@@ -1,0 +1,95 @@
+// Ablation A1: the hierarchical dependence test suite. "A hierarchical
+// suite of tests is used, starting with inexpensive tests" — we measure
+// whole-program dependence analysis with the cheap ZIV/SIV tiers enabled
+// versus Fourier–Motzkin-only, and report how many pairs each tier settles.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fortran/parser.h"
+
+namespace {
+
+ps::dep::TestStats analyzeAll(bool cheapFirst, double* seconds) {
+  ps::dep::TestStats total;
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& w : ps::workloads::all()) {
+    ps::DiagnosticEngine diags;
+    auto prog = ps::fortran::parseSource(w.source, diags);
+    for (auto& unit : prog->units) {
+      ps::ir::ProcedureModel model(*unit);
+      ps::dep::AnalysisContext ctx;
+      ctx.cheapTestsFirst = cheapFirst;
+      auto g = ps::dep::DependenceGraph::build(model, ctx);
+      const auto& s = g.stats();
+      total.zivDisproofs += s.zivDisproofs;
+      total.zivExact += s.zivExact;
+      total.strongSiv += s.strongSiv;
+      total.strongSivDisproofs += s.strongSivDisproofs;
+      total.indexArrayDisproofs += s.indexArrayDisproofs;
+      total.fmRuns += s.fmRuns;
+      total.fmDisproofs += s.fmDisproofs;
+      total.assumed += s.assumed;
+    }
+  }
+  *seconds = std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - start)
+                 .count();
+  return total;
+}
+
+void BM_HierarchicalSuite(benchmark::State& state) {
+  for (auto _ : state) {
+    double secs;
+    auto stats = analyzeAll(true, &secs);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_HierarchicalSuite)->Unit(benchmark::kMillisecond);
+
+void BM_FourierMotzkinOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    double secs;
+    auto stats = analyzeAll(false, &secs);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_FourierMotzkinOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Ablation A1: hierarchical dependence testing vs "
+              "Fourier-Motzkin only (all 8 workloads)\n\n");
+  double tCheap, tFm;
+  auto cheap = analyzeAll(true, &tCheap);
+  auto fmOnly = analyzeAll(false, &tFm);
+  std::printf("%-28s %12s %12s\n", "", "hierarchical", "FM-only");
+  std::printf("%-28s %12lld %12lld\n", "ZIV disproofs",
+              cheap.zivDisproofs, fmOnly.zivDisproofs);
+  std::printf("%-28s %12lld %12lld\n", "ZIV exact matches", cheap.zivExact,
+              fmOnly.zivExact);
+  std::printf("%-28s %12lld %12lld\n", "strong SIV tests", cheap.strongSiv,
+              fmOnly.strongSiv);
+  std::printf("%-28s %12lld %12lld\n", "strong SIV disproofs",
+              cheap.strongSivDisproofs, fmOnly.strongSivDisproofs);
+  std::printf("%-28s %12lld %12lld\n", "index-array disproofs",
+              cheap.indexArrayDisproofs, fmOnly.indexArrayDisproofs);
+  std::printf("%-28s %12lld %12lld\n", "FM runs", cheap.fmRuns,
+              fmOnly.fmRuns);
+  std::printf("%-28s %12lld %12lld\n", "FM disproofs", cheap.fmDisproofs,
+              fmOnly.fmDisproofs);
+  std::printf("%-28s %12lld %12lld\n", "assumed (pending)", cheap.assumed,
+              fmOnly.assumed);
+  std::printf("%-28s %11.1fms %11.1fms\n", "analysis wall time",
+              tCheap * 1e3, tFm * 1e3);
+  std::printf("\nExpected shape: the cheap tiers settle most pairs, "
+              "cutting FM invocations sharply\nwith no change in the "
+              "resulting dependence graph.\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A2: incremental update vs whole-program reanalysis. PED
+// "provides ... incremental updates of dependence information to reflect
+// the modified program"; we time an editing session (a sequence of
+// variable classifications across procedures) under each policy.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+/// One editing session: for each procedure, classify one private scalar.
+/// `incremental` uses the session's per-procedure update; otherwise every
+/// edit is followed by a full reanalysis of summaries + all procedures.
+double editSession(bool incremental, int* edits) {
+  auto start = std::chrono::steady_clock::now();
+  *edits = 0;
+  for (const auto& w : ps::workloads::all()) {
+    auto s = ps::bench::loadWorkload(w.name);
+    for (const auto& name : s->procedureNames()) {
+      s->selectProcedure(name);
+      for (const auto& loop : s->loops()) {
+        s->selectLoop(loop.id);
+        for (const auto& v : s->variablePane()) {
+          if (v.kind == "private" && v.dim == 0) {
+            s->classifyVariable(v.name, true, "edit");
+            if (!incremental) s->fullReanalysis();
+            ++*edits;
+            break;
+          }
+        }
+        break;  // one loop per procedure
+      }
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void BM_IncrementalEdits(benchmark::State& state) {
+  for (auto _ : state) {
+    int edits;
+    benchmark::DoNotOptimize(editSession(true, &edits));
+  }
+}
+BENCHMARK(BM_IncrementalEdits)->Unit(benchmark::kMillisecond);
+
+void BM_FullReanalysisEdits(benchmark::State& state) {
+  for (auto _ : state) {
+    int edits;
+    benchmark::DoNotOptimize(editSession(false, &edits));
+  }
+}
+BENCHMARK(BM_FullReanalysisEdits)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Ablation A2: incremental per-procedure update vs "
+              "whole-program reanalysis per edit\n\n");
+  int editsInc = 0, editsFull = 0;
+  double tInc = editSession(true, &editsInc);
+  double tFull = editSession(false, &editsFull);
+  std::printf("%-32s %8d edits  %10.1f ms\n", "incremental update",
+              editsInc, tInc * 1e3);
+  std::printf("%-32s %8d edits  %10.1f ms\n", "full reanalysis per edit",
+              editsFull, tFull * 1e3);
+  std::printf("speedup: %.1fx\n\n", tFull / (tInc > 0 ? tInc : 1e-9));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

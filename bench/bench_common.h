@@ -1,0 +1,48 @@
+#ifndef PS_BENCH_COMMON_H
+#define PS_BENCH_COMMON_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "ped/session.h"
+#include "support/diagnostics.h"
+#include "workloads/workloads.h"
+
+namespace ps::bench {
+
+inline std::unique_ptr<ped::Session> loadWorkload(const std::string& name) {
+  const workloads::Workload* w = workloads::byName(name);
+  if (!w) {
+    std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+    return nullptr;
+  }
+  DiagnosticEngine diags;
+  auto s = ped::Session::load(w->source, diags);
+  if (!s || diags.hasErrors()) {
+    std::fprintf(stderr, "load failed for %s:\n%s", name.c_str(),
+                 diags.dump().c_str());
+    return nullptr;
+  }
+  return s;
+}
+
+/// Count the non-blank lines of a workload's Fortran source (Table 1's
+/// "lines" column, measured on our synthetic equivalents).
+inline int sourceLines(const workloads::Workload& w) {
+  int lines = 0;
+  bool nonBlank = false;
+  for (const char* p = w.source; *p; ++p) {
+    if (*p == '\n') {
+      if (nonBlank) ++lines;
+      nonBlank = false;
+    } else if (*p != ' ' && *p != '\t') {
+      nonBlank = true;
+    }
+  }
+  return lines;
+}
+
+}  // namespace ps::bench
+
+#endif  // PS_BENCH_COMMON_H

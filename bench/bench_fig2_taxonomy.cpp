@@ -1,0 +1,11 @@
+// Figure 2: Transformation Taxonomy for PED, generated from the live
+// registry (so it cannot drift from the implementation).
+#include <cstdio>
+
+#include "transform/transform.h"
+
+int main() {
+  std::printf("Figure 2: Transformation Taxonomy for PED\n\n%s",
+              ps::transform::Registry::instance().taxonomy().c_str());
+  return 0;
+}

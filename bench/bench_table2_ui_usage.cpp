@@ -1,0 +1,138 @@
+// Table 2: User Interface Evaluation. The paper counts which of seven user
+// groups exercised each feature. We replay the §3.1 work model as one
+// scripted session per program (the "group") and report, per feature, which
+// programs' sessions used it — same asterisk matrix, with deterministic
+// scripted users standing in for the workshop attendees.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+using ps::ped::Session;
+
+namespace {
+
+/// Replay the work model on one program: profile to find hot loops, select
+/// them, inspect dependences and variables, correct conservative analysis
+/// (classification + deletion of pending deps the "user" understands),
+/// filter views, and check interfaces.
+ps::ped::UsageCounters replayWorkModel(Session& s) {
+  // 1. "the attendees augmented this work model with program execution
+  //    profiles to help them focus on the most computationally intensive
+  //    loops" — use the estimator + interpreter profile.
+  auto hot = s.hotLoops();
+  (void)s.profile();
+
+  int visited = 0;
+  for (const auto& est : hot) {
+    if (visited++ >= 4) break;
+    s.selectProcedure(est.procedure);
+    if (!s.selectLoop(est.loop)) continue;
+
+    bool blocked = false;
+    for (const auto& row : s.loops()) {
+      if (row.id == est.loop) blocked = !row.parallelizable;
+    }
+
+    // 2. "examine any parallelism inhibiting dependences" — users only dug
+    //    into the analysis when the loop resisted.
+    auto deps = s.dependencePane();
+    if (blocked) (void)s.explainLoop(est.loop);
+
+    // 3. Variable classification: correct conservative analysis — only
+    //    worth the effort on blocked loops.
+    if (blocked) {
+      for (const auto& v : s.variablePane()) {
+        if (v.kind == "private" && v.dim == 0) {
+          s.classifyVariable(v.name, true, "killed each iteration");
+          break;
+        }
+      }
+    }
+
+    // 4. Dependence deletion: reject pending deps the user can dismiss
+    //    from domain knowledge (only when the loop is otherwise blocked).
+    bool anyPending = false;
+    for (const auto& d : deps) {
+      if (d.mark == "pending") anyPending = true;
+    }
+    if (blocked && anyPending) {
+      Session::DependenceFilter f;
+      f.mark = ps::dep::DepMark::Pending;
+      f.carriedOnly = true;
+      s.markAllMatching(f, ps::dep::DepMark::Rejected,
+                        "user: values cannot collide");
+    }
+
+    // 5. View filtering: only reached for when the pane overflows ("source
+    //    view filtering was not widely used during the workshop").
+    if (deps.size() > 12) {
+      Session::DependenceFilter typeFilter;
+      typeFilter.type = ps::dep::DepType::True;
+      s.setDependenceFilter(typeFilter);
+      (void)s.dependencePane();
+      s.clearDependenceFilter();
+    }
+  }
+
+  // 6. The Composition Editor interface check.
+  (void)s.checkInterfaces();
+  return s.usage();
+}
+
+}  // namespace
+
+int main() {
+  struct Row {
+    const char* feature;
+    int ps::ped::UsageCounters::* counter;
+  };
+  const Row rows[] = {
+      {"dependence deletion", &ps::ped::UsageCounters::dependenceDeletions},
+      {"variable classification",
+       &ps::ped::UsageCounters::variableClassifications},
+      {"access to analysis", &ps::ped::UsageCounters::analysisQueries},
+      {"navigation: program", &ps::ped::UsageCounters::programNavigations},
+      {"view filtering", &ps::ped::UsageCounters::viewFilterUses},
+      {"detect interface error",
+       &ps::ped::UsageCounters::interfaceErrorChecks},
+  };
+
+  std::map<std::string, ps::ped::UsageCounters> usage;
+  for (const auto& w : ps::workloads::all()) {
+    auto s = ps::bench::loadWorkload(w.name);
+    if (!s) return 1;
+    usage[w.name] = replayWorkModel(*s);
+  }
+
+  std::printf("Table 2: User Interface Evaluation (scripted work-model "
+              "sessions; '*' = feature used by that program's session,\n"
+              "count in parentheses)\n\n");
+  std::printf("%-26s", "feature \\ program");
+  for (const auto& w : ps::workloads::all()) {
+    std::printf(" %-9s", w.name.c_str());
+  }
+  std::printf("  used-by\n%s\n", std::string(110, '-').c_str());
+  for (const auto& row : rows) {
+    std::printf("%-26s", row.feature);
+    int groups = 0;
+    for (const auto& w : ps::workloads::all()) {
+      int n = usage[w.name].*(row.counter);
+      if (n > 0) {
+        ++groups;
+        char cell[16];
+        std::snprintf(cell, sizeof cell, "*(%d)", n);
+        std::printf(" %-9s", cell);
+      } else {
+        std::printf(" %-9s", "");
+      }
+    }
+    std::printf("  %d/8\n", groups);
+  }
+  std::printf("\nPaper's qualitative shape: dependence deletion and program "
+              "navigation used by (almost) all groups;\nvariable "
+              "classification, analysis access and interface checking by "
+              "several; view filtering by few.\n");
+  return 0;
+}

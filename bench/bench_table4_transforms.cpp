@@ -1,0 +1,61 @@
+// Table 4: Transformations Used and Needed During the Workshop. We ask the
+// guidance engine, for every loop of every program, which transformations
+// are applicable and safe; a 'U' cell means the catalog offers the
+// transformation somewhere in that program, 'N' marks the two rows the
+// paper reports as missing from PED (control-flow structuring and
+// interprocedural motion — both implemented here, so they show as
+// offerable too).
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "bench_common.h"
+
+int main() {
+  const char* rows[] = {
+      "Loop Distribution", "Loop Interchange",        "Loop Fusion",
+      "Scalar Expansion",  "Loop Unrolling",          "Arithmetic IF Removal",
+      "Control Flow Structuring", "Loop Extraction",  "Loop Embedding",
+  };
+  std::map<std::string, std::set<std::string>> offered;  // row -> programs
+
+  for (const auto& w : ps::workloads::all()) {
+    auto s = ps::bench::loadWorkload(w.name);
+    if (!s) return 1;
+    for (const auto& procName : s->procedureNames()) {
+      s->selectProcedure(procName);
+      for (const auto& loop : s->loops()) {
+        for (const auto& g : s->guidance(loop.id, /*safeOnly=*/false)) {
+          if (g.advice.applicable && g.advice.safe) {
+            offered[g.transformation].insert(w.name);
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("Table 4: Transformations offerable per program (applicable "
+              "AND safe, per the guidance engine)\n\n");
+  std::printf("%-26s", "");
+  for (const auto& w : ps::workloads::all()) {
+    std::printf(" %-9s", w.name.c_str());
+  }
+  std::printf("\n%s\n", std::string(105, '-').c_str());
+  for (const char* row : rows) {
+    std::printf("%-26s", row);
+    for (const auto& w : ps::workloads::all()) {
+      bool u = offered[row].count(w.name) > 0;
+      // The last four rows were the paper's "N" (needed, not in PED);
+      // they are implemented in this reproduction.
+      std::printf(" %-9s", u ? "U" : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper's shape: scalar expansion the most-used "
+              "transformation; unrolling next; distribution /\ninterchange "
+              "/ fusion each used once; control flow simplification needed "
+              "by 3 programs\n(neoss, nxsns, dpmin era codes); "
+              "interprocedural motion needed by spec77.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// A batch "parallelization audit" across all eight bundled workloads — the
+// kind of downstream tool the library supports beyond the interactive
+// editor: for every procedure, report loop counts, parallel fractions, and
+// the top remaining impediment.
+#include <cstdio>
+
+#include "ped/session.h"
+#include "support/diagnostics.h"
+#include "workloads/workloads.h"
+
+int main() {
+  std::printf("%-10s %-10s %6s %9s  %s\n", "program", "procedure", "loops",
+              "parallel", "top impediment");
+  std::printf("%s\n", std::string(86, '-').c_str());
+  for (const auto& w : ps::workloads::all()) {
+    ps::DiagnosticEngine diags;
+    auto s = ps::ped::Session::load(w.source, diags);
+    if (!s) {
+      std::fprintf(stderr, "%s: load failed\n", w.name.c_str());
+      return 1;
+    }
+    for (const auto& proc : s->procedureNames()) {
+      s->selectProcedure(proc);
+      auto loops = s->loops();
+      if (loops.empty()) continue;
+      int parallel = 0;
+      std::string impediment;
+      for (const auto& l : loops) {
+        if (l.parallelizable) {
+          ++parallel;
+        } else if (impediment.empty()) {
+          // First line of the explanation after the header.
+          std::string e = s->explainLoop(l.id);
+          auto nl = e.find('\n');
+          if (nl != std::string::npos) {
+            auto second = e.find('\n', nl + 1);
+            impediment = e.substr(nl + 1, second - nl - 1);
+            // Trim leading spaces.
+            auto b = impediment.find_first_not_of(' ');
+            if (b != std::string::npos) impediment = impediment.substr(b);
+          }
+        }
+      }
+      std::printf("%-10s %-10s %6zu %8d/%zu  %s\n", w.name.c_str(),
+                  proc.c_str(), loops.size(), parallel, loops.size(),
+                  impediment.substr(0, 44).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Quickstart: load a Fortran program, look at what the analyzer sees, let
+// the advisor parallelize a loop, and print the transformed source.
+//
+//   $ ./quickstart
+//
+// This is the smallest end-to-end tour of the public API: ped::Session is
+// the facade; everything below it (parser, dependence analysis,
+// interprocedural summaries, transformations, interpreter) is reachable
+// through it.
+#include <cstdio>
+
+#include "fortran/pretty.h"
+#include "ped/session.h"
+#include "support/diagnostics.h"
+
+int main() {
+  const char* source =
+      "      PROGRAM DEMO\n"
+      "      REAL A(100), B(100)\n"
+      "      DO 10 I = 1, 100\n"
+      "        B(I) = FLOAT(I)\n"
+      "   10 CONTINUE\n"
+      "      DO 20 I = 1, 100\n"
+      "        T = B(I)*2.0\n"
+      "        A(I) = T + 1.0\n"
+      "   20 CONTINUE\n"
+      "      S = 0.0\n"
+      "      DO 30 I = 1, 100\n"
+      "        S = S + A(I)\n"
+      "   30 CONTINUE\n"
+      "      WRITE(6, *) S\n"
+      "      END\n";
+
+  ps::DiagnosticEngine diags;
+  auto session = ps::ped::Session::load(source, diags);
+  if (!session) {
+    std::fprintf(stderr, "%s", diags.dump().c_str());
+    return 1;
+  }
+
+  // 1. What does the analyzer think of each loop?
+  std::printf("== loops ==\n");
+  for (const auto& loop : session->loops()) {
+    std::printf("  %-28s %s\n", loop.headline.c_str(),
+                loop.parallelizable ? "parallelizable"
+                                    : "serialized");
+  }
+
+  // 2. Ask why the reduction loop is serialized.
+  auto loops = session->loops();
+  std::printf("\n== explanation for '%s' ==\n%s",
+              loops[2].headline.c_str(),
+              session->explainLoop(loops[2].id).c_str());
+
+  // 3. Take the advisor's safe suggestions for it.
+  std::printf("== guidance (safe + profitable) ==\n");
+  for (const auto& g : session->guidance(loops[2].id, /*safeOnly=*/true)) {
+    std::printf("  %-24s %s\n", g.transformation.c_str(),
+                g.advice.explanation.c_str());
+  }
+
+  // 4. Apply reduction recognition, then parallelize everything that is
+  //    now safe.
+  std::string error;
+  ps::transform::Target t;
+  t.loop = loops[2].id;
+  if (!session->applyTransformation("Reduction Recognition", t, &error)) {
+    std::fprintf(stderr, "transform failed: %s\n", error.c_str());
+    return 1;
+  }
+  for (const auto& loop : session->loops()) {
+    if (!loop.parallelizable) continue;
+    ps::transform::Target pt;
+    pt.loop = loop.id;
+    session->applyTransformation("Sequential to Parallel", pt, &error);
+  }
+
+  // 5. Show the transformed program and prove it still runs (the
+  //    interpreter executes PARALLEL DO loops in shuffled order with a
+  //    race detector armed).
+  std::printf("\n== transformed program ==\n%s",
+              ps::fortran::printProgram(session->program()).c_str());
+  auto run = session->profile();
+  // Write-write conflicts on per-iteration temporaries (outputOnly) are
+  // benign under classification-based privatization; flow races are not.
+  int flowRaces = 0;
+  for (const auto& race : run.races) {
+    if (!race.outputOnly) ++flowRaces;
+  }
+  std::printf("== execution ==\nok=%d flow-races=%d output:", run.ok,
+              flowRaces);
+  for (double v : run.output) std::printf(" %g", v);
+  std::printf("\n");
+  return run.ok && flowRaces == 0 ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+#include "cfg/control_dep.h"
+
+#include <algorithm>
+
+namespace ps::cfg {
+
+using fortran::StmtId;
+using fortran::StmtKind;
+
+ControlDependence ControlDependence::build(const FlowGraph& g) {
+  ControlDependence cd;
+  DominatorTree pdom = DominatorTree::postDominators(g);
+
+  // For each edge (a -> b) where b does not post-dominate a, every node on
+  // the post-dominator-tree path from b up to (but not including) pdom(a)
+  // is control dependent on a.
+  for (int a = 0; a < g.numNodes(); ++a) {
+    if (!g.isBranch(a)) continue;
+    const fortran::Stmt* branchStmt = g.stmtOf(a);
+    if (!branchStmt) continue;
+    for (int b : g.successors(a)) {
+      if (pdom.dominates(b, a)) continue;
+      if (!pdom.reachable(b) || !pdom.reachable(a)) continue;
+      int stop = pdom.idom(a);
+      for (int runner = b; runner != stop;) {
+        const fortran::Stmt* s = g.stmtOf(runner);
+        if (s && s->id != branchStmt->id) {
+          cd.deps_.push_back({branchStmt->id, s->id});
+        }
+        int up = pdom.idom(runner);
+        if (up == runner) break;  // hit the root
+        runner = up;
+      }
+    }
+  }
+  // Dedup (a node can be reached along several branch edges of `a`).
+  std::sort(cd.deps_.begin(), cd.deps_.end(),
+            [](const ControlDep& x, const ControlDep& y) {
+              return std::tie(x.branch, x.dependent) <
+                     std::tie(y.branch, y.dependent);
+            });
+  cd.deps_.erase(std::unique(cd.deps_.begin(), cd.deps_.end(),
+                             [](const ControlDep& x, const ControlDep& y) {
+                               return x.branch == y.branch &&
+                                      x.dependent == y.dependent;
+                             }),
+                 cd.deps_.end());
+  return cd;
+}
+
+std::vector<StmtId> ControlDependence::controllersOf(StmtId id) const {
+  std::vector<StmtId> out;
+  for (const auto& d : deps_) {
+    if (d.dependent == id) out.push_back(d.branch);
+  }
+  return out;
+}
+
+std::vector<StmtId> ControlDependence::controlledBy(StmtId branch) const {
+  std::vector<StmtId> out;
+  for (const auto& d : deps_) {
+    if (d.branch == branch) out.push_back(d.dependent);
+  }
+  return out;
+}
+
+bool ControlDependence::hasNonLoopController(
+    StmtId id, const ir::ProcedureModel& model) const {
+  for (StmtId c : controllersOf(id)) {
+    const fortran::Stmt* s = model.stmt(c);
+    if (s && s->kind != StmtKind::Do) return true;
+  }
+  return false;
+}
+
+}  // namespace ps::cfg

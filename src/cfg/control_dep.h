@@ -1,0 +1,46 @@
+#ifndef PS_CFG_CONTROL_DEP_H
+#define PS_CFG_CONTROL_DEP_H
+
+#include <map>
+#include <vector>
+
+#include "cfg/dominators.h"
+#include "cfg/flow_graph.h"
+#include "fortran/ast.h"
+
+namespace ps::cfg {
+
+/// One control dependence: `dependent` executes (or not) according to the
+/// branch decision at `branch` (Ferrante–Ottenstein–Warren construction via
+/// the post-dominance frontier).
+struct ControlDep {
+  fortran::StmtId branch;
+  fortran::StmtId dependent;
+};
+
+class ControlDependence {
+ public:
+  static ControlDependence build(const FlowGraph& g);
+
+  [[nodiscard]] const std::vector<ControlDep>& all() const { return deps_; }
+
+  /// Branch statements this statement is control dependent on.
+  [[nodiscard]] std::vector<fortran::StmtId> controllersOf(
+      fortran::StmtId id) const;
+  /// Statements controlled by this branch.
+  [[nodiscard]] std::vector<fortran::StmtId> controlledBy(
+      fortran::StmtId branch) const;
+
+  /// True if the statement's execution is conditional on something other
+  /// than its enclosing loop headers (used by transformation safety checks:
+  /// e.g. scalar expansion of a conditionally-assigned scalar).
+  [[nodiscard]] bool hasNonLoopController(
+      fortran::StmtId id, const ir::ProcedureModel& model) const;
+
+ private:
+  std::vector<ControlDep> deps_;
+};
+
+}  // namespace ps::cfg
+
+#endif  // PS_CFG_CONTROL_DEP_H

@@ -1,0 +1,78 @@
+#include "cfg/dominators.h"
+
+#include <algorithm>
+
+namespace ps::cfg {
+
+DominatorTree DominatorTree::dominators(const FlowGraph& g) {
+  return compute(g, /*reverse=*/false);
+}
+
+DominatorTree DominatorTree::postDominators(const FlowGraph& g) {
+  return compute(g, /*reverse=*/true);
+}
+
+DominatorTree DominatorTree::compute(const FlowGraph& g, bool reverse) {
+  DominatorTree t;
+  const int n = g.numNodes();
+  t.idom_.assign(static_cast<std::size_t>(n), -1);
+  t.root_ = reverse ? FlowGraph::kExit : FlowGraph::kEntry;
+
+  std::vector<int> order =
+      reverse ? g.reversePostOrderOfReverse() : g.reversePostOrder();
+  // Position of each node in the order, for the intersect walk.
+  std::vector<int> pos(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+
+  auto preds = [&](int node) -> const std::vector<int>& {
+    return reverse ? g.successors(node) : g.predecessors(node);
+  };
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (pos[static_cast<std::size_t>(a)] >
+             pos[static_cast<std::size_t>(b)]) {
+        a = t.idom_[static_cast<std::size_t>(a)];
+      }
+      while (pos[static_cast<std::size_t>(b)] >
+             pos[static_cast<std::size_t>(a)]) {
+        b = t.idom_[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+
+  t.idom_[static_cast<std::size_t>(t.root_)] = t.root_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : order) {
+      if (node == t.root_) continue;
+      int newIdom = -1;
+      for (int p : preds(node)) {
+        if (t.idom_[static_cast<std::size_t>(p)] < 0) continue;  // unprocessed
+        newIdom = (newIdom < 0) ? p : intersect(newIdom, p);
+      }
+      if (newIdom >= 0 && t.idom_[static_cast<std::size_t>(node)] != newIdom) {
+        t.idom_[static_cast<std::size_t>(node)] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  return t;
+}
+
+bool DominatorTree::dominates(int a, int b) const {
+  if (!reachable(b)) return false;
+  int cur = b;
+  while (true) {
+    if (cur == a) return true;
+    int up = idom(cur);
+    if (up == cur) return false;  // reached the root
+    cur = up;
+  }
+}
+
+}  // namespace ps::cfg

@@ -1,0 +1,41 @@
+#ifndef PS_CFG_DOMINATORS_H
+#define PS_CFG_DOMINATORS_H
+
+#include <vector>
+
+#include "cfg/flow_graph.h"
+
+namespace ps::cfg {
+
+/// Immediate-dominator trees computed by the classic iterative algorithm
+/// (Cooper–Harvey–Kennedy — fittingly, a Rice algorithm). Works on the
+/// forward graph for dominators and on the reverse graph for
+/// post-dominators.
+class DominatorTree {
+ public:
+  /// Dominators rooted at the entry node.
+  static DominatorTree dominators(const FlowGraph& g);
+  /// Post-dominators rooted at the exit node.
+  static DominatorTree postDominators(const FlowGraph& g);
+
+  /// Immediate dominator of a node; the root's idom is itself; unreachable
+  /// nodes report -1.
+  [[nodiscard]] int idom(int node) const {
+    return idom_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] int root() const { return root_; }
+  [[nodiscard]] bool reachable(int node) const { return idom(node) >= 0; }
+
+  /// True when `a` dominates (or post-dominates) `b`, reflexively.
+  [[nodiscard]] bool dominates(int a, int b) const;
+
+ private:
+  static DominatorTree compute(const FlowGraph& g, bool reverse);
+
+  std::vector<int> idom_;
+  int root_ = 0;
+};
+
+}  // namespace ps::cfg
+
+#endif  // PS_CFG_DOMINATORS_H

@@ -1,0 +1,264 @@
+#include "dataflow/constants.h"
+
+#include <cmath>
+
+#include "ir/refs.h"
+
+namespace ps::dataflow {
+
+using cfg::FlowGraph;
+using fortran::BinOp;
+using fortran::Expr;
+using fortran::ExprKind;
+using fortran::Stmt;
+using fortran::StmtId;
+using fortran::StmtKind;
+using fortran::UnOp;
+
+ConstVal ConstVal::meet(const ConstVal& o) const {
+  if (kind == Kind::Top) return o;
+  if (o.kind == Kind::Top) return *this;
+  if (*this == o) return *this;
+  return bottom();
+}
+
+namespace {
+
+std::optional<double> asReal(const ConstVal& v) {
+  switch (v.kind) {
+    case ConstVal::Kind::IntConst: return static_cast<double>(v.i);
+    case ConstVal::Kind::RealConst: return v.r;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<ConstVal> evalBinary(BinOp op, const ConstVal& l,
+                                   const ConstVal& r) {
+  const bool bothInt = l.kind == ConstVal::Kind::IntConst &&
+                       r.kind == ConstVal::Kind::IntConst;
+  // Logical operators.
+  if (op == BinOp::And || op == BinOp::Or || op == BinOp::Eqv ||
+      op == BinOp::Neqv) {
+    if (l.kind != ConstVal::Kind::LogicalConst ||
+        r.kind != ConstVal::Kind::LogicalConst) {
+      return std::nullopt;
+    }
+    switch (op) {
+      case BinOp::And: return ConstVal::ofLogical(l.b && r.b);
+      case BinOp::Or: return ConstVal::ofLogical(l.b || r.b);
+      case BinOp::Eqv: return ConstVal::ofLogical(l.b == r.b);
+      default: return ConstVal::ofLogical(l.b != r.b);
+    }
+  }
+  auto lr = asReal(l), rr = asReal(r);
+  if (!lr || !rr) return std::nullopt;
+  // Relational operators.
+  switch (op) {
+    case BinOp::Lt: return ConstVal::ofLogical(*lr < *rr);
+    case BinOp::Le: return ConstVal::ofLogical(*lr <= *rr);
+    case BinOp::Gt: return ConstVal::ofLogical(*lr > *rr);
+    case BinOp::Ge: return ConstVal::ofLogical(*lr >= *rr);
+    case BinOp::Eq: return ConstVal::ofLogical(*lr == *rr);
+    case BinOp::Ne: return ConstVal::ofLogical(*lr != *rr);
+    default: break;
+  }
+  // Arithmetic.
+  if (bothInt) {
+    switch (op) {
+      case BinOp::Add: return ConstVal::ofInt(l.i + r.i);
+      case BinOp::Sub: return ConstVal::ofInt(l.i - r.i);
+      case BinOp::Mul: return ConstVal::ofInt(l.i * r.i);
+      case BinOp::Div:
+        if (r.i == 0) return std::nullopt;
+        return ConstVal::ofInt(l.i / r.i);
+      case BinOp::Pow: {
+        if (r.i < 0) return std::nullopt;
+        long long acc = 1;
+        for (long long k = 0; k < r.i; ++k) acc *= l.i;
+        return ConstVal::ofInt(acc);
+      }
+      default: return std::nullopt;
+    }
+  }
+  switch (op) {
+    case BinOp::Add: return ConstVal::ofReal(*lr + *rr);
+    case BinOp::Sub: return ConstVal::ofReal(*lr - *rr);
+    case BinOp::Mul: return ConstVal::ofReal(*lr * *rr);
+    case BinOp::Div:
+      if (*rr == 0.0) return std::nullopt;
+      return ConstVal::ofReal(*lr / *rr);
+    case BinOp::Pow: return ConstVal::ofReal(std::pow(*lr, *rr));
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<ConstVal> ConstantAnalysis::evaluate(const Expr& e,
+                                                   const ConstEnv& env) {
+  switch (e.kind) {
+    case ExprKind::IntConst: return ConstVal::ofInt(e.intValue);
+    case ExprKind::RealConst: return ConstVal::ofReal(e.realValue);
+    case ExprKind::LogicalConst: return ConstVal::ofLogical(e.logicalValue);
+    case ExprKind::VarRef: {
+      auto it = env.find(e.name);
+      if (it != env.end() && it->second.isConst()) return it->second;
+      return std::nullopt;
+    }
+    case ExprKind::Binary: {
+      auto l = evaluate(*e.lhs, env);
+      auto r = evaluate(*e.rhs, env);
+      if (!l || !r) return std::nullopt;
+      return evalBinary(e.binOp, *l, *r);
+    }
+    case ExprKind::Unary: {
+      auto v = evaluate(*e.lhs, env);
+      if (!v) return std::nullopt;
+      switch (e.unOp) {
+        case UnOp::Plus: return v;
+        case UnOp::Neg:
+          if (v->kind == ConstVal::Kind::IntConst)
+            return ConstVal::ofInt(-v->i);
+          if (v->kind == ConstVal::Kind::RealConst)
+            return ConstVal::ofReal(-v->r);
+          return std::nullopt;
+        case UnOp::Not:
+          if (v->kind == ConstVal::Kind::LogicalConst)
+            return ConstVal::ofLogical(!v->b);
+          return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    default:
+      // Array references, function calls, strings: not tracked.
+      return std::nullopt;
+  }
+}
+
+ConstantAnalysis ConstantAnalysis::build(const FlowGraph& g,
+                                         const ir::ProcedureModel& model,
+                                         const ConstEnv& inherited) {
+  ConstantAnalysis ca;
+  ca.graph_ = &g;
+  const int n = g.numNodes();
+  ca.in_.assign(static_cast<std::size_t>(n), {});
+
+  // Entry environment: PARAMETER constants plus inherited interprocedural
+  // constants.
+  ConstEnv entry = inherited;
+  const fortran::Procedure& proc = model.procedure();
+  for (const auto& d : proc.decls) {
+    if (d.isParameter && d.parameterValue) {
+      if (auto v = evaluate(*d.parameterValue, entry)) entry[d.name] = *v;
+    }
+  }
+  ca.in_[FlowGraph::kEntry] = entry;
+
+  // Transfer function for one statement.
+  auto transfer = [&](const Stmt* s, ConstEnv env) -> ConstEnv {
+    if (!s) return env;
+    switch (s->kind) {
+      case StmtKind::Assign:
+        if (s->lhs->kind == ExprKind::VarRef) {
+          auto v = evaluate(*s->rhs, env);
+          env[s->lhs->name] = v ? *v : ConstVal::bottom();
+        }
+        break;
+      case StmtKind::Do:
+        // The DO variable varies across iterations.
+        env[s->doVar] = ConstVal::bottom();
+        break;
+      case StmtKind::Read:
+        for (const auto& item : s->args) {
+          if (item->kind == ExprKind::VarRef) {
+            env[item->name] = ConstVal::bottom();
+          }
+        }
+        break;
+      case StmtKind::Call:
+        // Without MOD information, any variable passed to a call (or in
+        // COMMON) may change.
+        for (const auto& a : s->args) {
+          if (a->kind == ExprKind::VarRef) env[a->name] = ConstVal::bottom();
+        }
+        for (const auto& d : proc.decls) {
+          if (!d.commonBlock.empty()) env[d.name] = ConstVal::bottom();
+        }
+        break;
+      default:
+        break;
+    }
+    return env;
+  };
+
+  auto meetInto = [](ConstEnv& into, const ConstEnv& from) -> bool {
+    bool changed = false;
+    // Variables only in `into`: meet with Top = unchanged. Variables in
+    // both: meet. Variables only in `from`: adopt.
+    for (const auto& [name, val] : from) {
+      auto it = into.find(name);
+      if (it == into.end()) {
+        into[name] = val;
+        changed = true;
+      } else {
+        ConstVal m = it->second.meet(val);
+        if (!(m == it->second)) {
+          it->second = m;
+          changed = true;
+        }
+      }
+    }
+    return changed;
+  };
+
+  auto order = g.reversePostOrder();
+  std::vector<ConstEnv> out(static_cast<std::size_t>(n));
+  out[FlowGraph::kEntry] = entry;
+  bool changed = true;
+  int iterations = 0;
+  while (changed && iterations < 100) {
+    changed = false;
+    ++iterations;
+    for (int node : order) {
+      if (node == FlowGraph::kEntry) continue;
+      auto un = static_cast<std::size_t>(node);
+      ConstEnv newIn;
+      bool first = true;
+      for (int p : g.predecessors(node)) {
+        const ConstEnv& po = out[static_cast<std::size_t>(p)];
+        if (first) {
+          newIn = po;
+          first = false;
+        } else {
+          // Meet: drop vars absent from either side to Top-equivalent
+          // (absent == Top), so intersection by meet.
+          meetInto(newIn, po);
+          // Additionally, vars in newIn but not in po stay (Top meet).
+        }
+      }
+      if (newIn != ca.in_[un]) {
+        ca.in_[un] = newIn;
+        changed = true;
+      }
+      ConstEnv newOut = transfer(g.stmtOf(node), ca.in_[un]);
+      if (newOut != out[un]) {
+        out[un] = std::move(newOut);
+        changed = true;
+      }
+    }
+  }
+  return ca;
+}
+
+const ConstEnv& ConstantAnalysis::envAt(StmtId stmt) const {
+  int node = graph_->nodeOf(stmt);
+  if (node < 0) return empty_;
+  return in_[static_cast<std::size_t>(node)];
+}
+
+std::optional<ConstVal> ConstantAnalysis::evaluateAt(StmtId stmt,
+                                                     const Expr& e) const {
+  return evaluate(e, envAt(stmt));
+}
+
+}  // namespace ps::dataflow

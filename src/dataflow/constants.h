@@ -1,0 +1,82 @@
+#ifndef PS_DATAFLOW_CONSTANTS_H
+#define PS_DATAFLOW_CONSTANTS_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cfg/flow_graph.h"
+#include "ir/model.h"
+
+namespace ps::dataflow {
+
+/// Lattice value for constant propagation.
+struct ConstVal {
+  enum class Kind { Top, IntConst, RealConst, LogicalConst, Bottom };
+  Kind kind = Kind::Top;
+  long long i = 0;
+  double r = 0.0;
+  bool b = false;
+
+  static ConstVal top() { return {}; }
+  static ConstVal bottom() { return {Kind::Bottom, 0, 0.0, false}; }
+  static ConstVal ofInt(long long v) { return {Kind::IntConst, v, 0.0, false}; }
+  static ConstVal ofReal(double v) { return {Kind::RealConst, 0, v, false}; }
+  static ConstVal ofLogical(bool v) {
+    return {Kind::LogicalConst, 0, 0.0, v};
+  }
+
+  [[nodiscard]] bool isConst() const {
+    return kind == Kind::IntConst || kind == Kind::RealConst ||
+           kind == Kind::LogicalConst;
+  }
+  [[nodiscard]] bool operator==(const ConstVal& o) const {
+    if (kind != o.kind) return false;
+    switch (kind) {
+      case Kind::IntConst: return i == o.i;
+      case Kind::RealConst: return r == o.r;
+      case Kind::LogicalConst: return b == o.b;
+      default: return true;
+    }
+  }
+
+  /// Lattice meet: Top meets anything = anything; unequal constants = Bottom.
+  [[nodiscard]] ConstVal meet(const ConstVal& o) const;
+};
+
+using ConstEnv = std::map<std::string, ConstVal>;
+
+/// Flow-sensitive scalar constant propagation over the statement CFG.
+/// PARAMETER declarations and (optionally) interprocedurally inherited
+/// constants seed the entry environment — the paper's "interprocedural
+/// constants are inherited from a procedure's callers and directly
+/// incorporated into the intraprocedural constants".
+class ConstantAnalysis {
+ public:
+  static ConstantAnalysis build(const cfg::FlowGraph& g,
+                                const ir::ProcedureModel& model,
+                                const ConstEnv& inherited = {});
+
+  /// Constant environment at the entry of a statement.
+  [[nodiscard]] const ConstEnv& envAt(fortran::StmtId stmt) const;
+
+  /// Evaluate an expression in the environment at `stmt`; nullopt when not
+  /// a compile-time constant there.
+  [[nodiscard]] std::optional<ConstVal> evaluateAt(
+      fortran::StmtId stmt, const fortran::Expr& e) const;
+
+  /// Evaluate with an explicit environment (also used by the interpreter's
+  /// partial evaluation mode and by the assertion engine).
+  static std::optional<ConstVal> evaluate(const fortran::Expr& e,
+                                          const ConstEnv& env);
+
+ private:
+  const cfg::FlowGraph* graph_ = nullptr;
+  std::vector<ConstEnv> in_;  // per node
+  ConstEnv empty_;
+};
+
+}  // namespace ps::dataflow
+
+#endif  // PS_DATAFLOW_CONSTANTS_H

@@ -1,0 +1,121 @@
+#include "dataflow/liveness.h"
+
+#include "ir/refs.h"
+
+namespace ps::dataflow {
+
+using cfg::FlowGraph;
+using fortran::Stmt;
+using fortran::StmtId;
+using ir::Ref;
+using ir::RefKind;
+
+Liveness Liveness::build(const FlowGraph& g, const ir::ProcedureModel& model) {
+  Liveness lv;
+  lv.graph_ = &g;
+  lv.model_ = &model;
+  const int n = g.numNodes();
+  lv.liveIn_.assign(static_cast<std::size_t>(n), {});
+  lv.liveOut_.assign(static_cast<std::size_t>(n), {});
+
+  const fortran::Procedure& proc = model.procedure();
+
+  // use/def per node. Array element stores do not fully define the array, so
+  // arrays are never in DEF (conservative for backward liveness).
+  std::vector<std::set<std::string>> use(static_cast<std::size_t>(n));
+  std::vector<std::set<std::string>> def(static_cast<std::size_t>(n));
+  for (const Stmt* s : model.allStmts()) {
+    int node = g.nodeOf(s->id);
+    if (node < 0) continue;
+    auto un = static_cast<std::size_t>(node);
+    for (const Ref& r : ir::collectRefs(*s)) {
+      const fortran::VarDecl* d = proc.findDecl(r.name);
+      bool isScalar = !d || !d->isArray();
+      if (r.isRead() && !def[un].count(r.name)) use[un].insert(r.name);
+      if (r.isWrite() && isScalar && r.kind != RefKind::CallActual &&
+          !use[un].count(r.name)) {
+        def[un].insert(r.name);
+      }
+    }
+  }
+
+  // Everything that escapes the procedure is live at exit: parameters and
+  // COMMON members (callers may observe them).
+  std::set<std::string> exitLive;
+  for (const auto& d : proc.decls) {
+    if (proc.isParam(d.name) || !d.commonBlock.empty()) {
+      exitLive.insert(d.name);
+    }
+  }
+  if (proc.kind == fortran::ProcKind::Function) exitLive.insert(proc.name);
+  lv.liveIn_[FlowGraph::kExit] = exitLive;
+
+  auto order = g.reversePostOrderOfReverse();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : order) {
+      if (node == FlowGraph::kExit) continue;
+      auto un = static_cast<std::size_t>(node);
+      std::set<std::string> out;
+      for (int s : g.successors(node)) {
+        const auto& si = lv.liveIn_[static_cast<std::size_t>(s)];
+        out.insert(si.begin(), si.end());
+      }
+      std::set<std::string> in = use[un];
+      for (const auto& v : out) {
+        if (!def[un].count(v)) in.insert(v);
+      }
+      if (out != lv.liveOut_[un] || in != lv.liveIn_[un]) {
+        lv.liveOut_[un] = std::move(out);
+        lv.liveIn_[un] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+  return lv;
+}
+
+std::set<std::string> Liveness::liveIn(StmtId stmt) const {
+  int node = graph_->nodeOf(stmt);
+  if (node < 0) return {};
+  return liveIn_[static_cast<std::size_t>(node)];
+}
+
+std::set<std::string> Liveness::liveOut(StmtId stmt) const {
+  int node = graph_->nodeOf(stmt);
+  if (node < 0) return {};
+  return liveOut_[static_cast<std::size_t>(node)];
+}
+
+bool Liveness::liveAfterLoop(const ir::Loop& loop,
+                             const std::string& name) const {
+  // The DO node's non-body successors are the loop exits; `name` is live
+  // after the loop if it is live-in at any of them. GOTO exits out of the
+  // body are covered because their targets are those nodes' successors.
+  int doNode = graph_->nodeOf(loop.stmt->id);
+  if (doNode < 0) return true;  // be conservative
+  for (int s : graph_->successors(doNode)) {
+    const Stmt* st = graph_->stmtOf(s);
+    bool inBody = false;
+    if (st) {
+      for (const Stmt* b : loop.bodyStmts) {
+        if (b == st) {
+          inBody = true;
+          break;
+        }
+      }
+    }
+    if (!inBody) {
+      if (s == FlowGraph::kExit) {
+        // Procedure exit: use the exit node's live-in (escaping variables).
+        if (liveIn_[FlowGraph::kExit].count(name)) return true;
+      } else if (liveIn_[static_cast<std::size_t>(s)].count(name)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ps::dataflow

@@ -1,0 +1,41 @@
+#ifndef PS_DATAFLOW_LIVENESS_H
+#define PS_DATAFLOW_LIVENESS_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cfg/flow_graph.h"
+#include "ir/model.h"
+
+namespace ps::dataflow {
+
+/// Backward live-variable analysis over the statement CFG. Privatization
+/// uses liveness to decide whether a privatized scalar/array needs its last
+/// value copied out of the loop.
+class Liveness {
+ public:
+  static Liveness build(const cfg::FlowGraph& g,
+                        const ir::ProcedureModel& model);
+
+  /// Variables live on entry to the statement's node.
+  [[nodiscard]] std::set<std::string> liveIn(fortran::StmtId stmt) const;
+  /// Variables live on exit from the statement's node.
+  [[nodiscard]] std::set<std::string> liveOut(fortran::StmtId stmt) const;
+
+  /// True if `name` may be read after the loop completes (live at the
+  /// loop's exit edges or at procedure exit if the variable escapes — a
+  /// parameter or COMMON member is conservatively live at exit).
+  [[nodiscard]] bool liveAfterLoop(const ir::Loop& loop,
+                                   const std::string& name) const;
+
+ private:
+  const cfg::FlowGraph* graph_ = nullptr;
+  const ir::ProcedureModel* model_ = nullptr;
+  std::vector<std::set<std::string>> liveIn_;   // per node
+  std::vector<std::set<std::string>> liveOut_;  // per node
+};
+
+}  // namespace ps::dataflow
+
+#endif  // PS_DATAFLOW_LIVENESS_H

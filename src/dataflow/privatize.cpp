@@ -1,0 +1,162 @@
+#include "dataflow/privatize.h"
+
+#include <deque>
+#include <set>
+
+#include "ir/refs.h"
+
+namespace ps::dataflow {
+
+using cfg::FlowGraph;
+using fortran::Stmt;
+using fortran::StmtKind;
+using ir::Loop;
+using ir::Ref;
+using ir::RefKind;
+
+const char* privatizationStatusName(PrivatizationStatus s) {
+  switch (s) {
+    case PrivatizationStatus::Unused: return "unused";
+    case PrivatizationStatus::Shared: return "shared";
+    case PrivatizationStatus::Private: return "private";
+    case PrivatizationStatus::PrivateNeedsLastValue: return "private(last)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Does this statement read `name` before any killing write it performs?
+/// (Fortran evaluates the RHS and subscripts before storing the LHS.)
+bool readsFirst(const Stmt& s, const std::string& name) {
+  for (const Ref& r : ir::collectRefs(s)) {
+    if (r.name != name) continue;
+    if (r.kind == RefKind::Read || r.kind == RefKind::CallActual) return true;
+  }
+  return false;
+}
+
+bool killsScalar(const Stmt& s, const std::string& name) {
+  for (const Ref& r : ir::collectRefs(s)) {
+    if (r.name != name) continue;
+    if (r.kind == RefKind::Write || r.kind == RefKind::DoVarDef) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PrivatizationAnalysis PrivatizationAnalysis::build(
+    const ir::ProcedureModel& model, const FlowGraph& g,
+    const Liveness& liveness) {
+  PrivatizationAnalysis pa;
+  const fortran::Procedure& proc = model.procedure();
+
+  for (const auto& loopPtr : model.loops()) {
+    const Loop* loop = loopPtr.get();
+    std::vector<VariableClassification>& classes = pa.classes_[loop];
+
+    // Scalars accessed in the loop body.
+    std::set<std::string> names;
+    std::map<std::string, VariableClassification> info;
+    for (const Stmt* s : loop->bodyStmts) {
+      for (const Ref& r : ir::collectRefs(*s)) {
+        const fortran::VarDecl* d = proc.findDecl(r.name);
+        if (d && d->isArray()) continue;  // arrays handled elsewhere
+        names.insert(r.name);
+        auto& vc = info[r.name];
+        vc.name = r.name;
+        if (r.isWrite()) vc.writtenInLoop = true;
+        if (r.isRead()) vc.readInLoop = true;
+      }
+    }
+    // The loop's own induction variable is implicitly private.
+    names.erase(loop->inductionVar());
+    info.erase(loop->inductionVar());
+
+    // Body-entry nodes: successors of the DO header that are in the body.
+    int doNode = g.nodeOf(loop->stmt->id);
+    std::set<int> bodyNodes;
+    for (const Stmt* s : loop->bodyStmts) {
+      int n = g.nodeOf(s->id);
+      if (n >= 0) bodyNodes.insert(n);
+    }
+    std::vector<int> entries;
+    for (int s : g.successors(doNode)) {
+      if (bodyNodes.count(s)) entries.push_back(s);
+    }
+
+    for (const std::string& name : names) {
+      VariableClassification& vc = info[name];
+
+      // Forward walk from body entry: does a read of `name` occur before a
+      // killing write on some path within one iteration?
+      std::deque<int> work(entries.begin(), entries.end());
+      std::set<int> seen;
+      bool exposed = false;
+      while (!work.empty() && !exposed) {
+        int node = work.front();
+        work.pop_front();
+        if (seen.count(node)) continue;
+        seen.insert(node);
+        const Stmt* s = g.stmtOf(node);
+        if (!s) continue;
+        if (readsFirst(*s, name)) {
+          exposed = true;
+          break;
+        }
+        if (killsScalar(*s, name)) continue;  // path killed here
+        // A call may read the scalar if it is in COMMON.
+        if ((s->kind == StmtKind::Call || !ir::calledFunctions(*s).empty())) {
+          const fortran::VarDecl* d = proc.findDecl(name);
+          if (d && !d->commonBlock.empty()) {
+            exposed = true;
+            break;
+          }
+        }
+        for (int succ : g.successors(node)) {
+          if (succ == doNode) continue;  // iteration boundary
+          if (bodyNodes.count(succ) && !seen.count(succ)) {
+            work.push_back(succ);
+          }
+        }
+      }
+      vc.upwardExposedRead = exposed;
+
+      if (!vc.readInLoop && !vc.writtenInLoop) {
+        vc.status = PrivatizationStatus::Unused;
+      } else if (!vc.writtenInLoop) {
+        // Read-only: shared is safe (no dependence arises).
+        vc.status = PrivatizationStatus::Shared;
+      } else if (exposed) {
+        vc.status = PrivatizationStatus::Shared;
+      } else if (liveness.liveAfterLoop(*loop, name)) {
+        vc.status = PrivatizationStatus::PrivateNeedsLastValue;
+      } else {
+        vc.status = PrivatizationStatus::Private;
+      }
+    }
+
+    for (auto& [name, vc] : info) {
+      (void)name;
+      classes.push_back(vc);
+    }
+  }
+  return pa;
+}
+
+const std::vector<VariableClassification>& PrivatizationAnalysis::classesFor(
+    const Loop& loop) const {
+  auto it = classes_.find(&loop);
+  return it == classes_.end() ? empty_ : it->second;
+}
+
+PrivatizationStatus PrivatizationAnalysis::statusOf(
+    const Loop& loop, const std::string& name) const {
+  for (const auto& vc : classesFor(loop)) {
+    if (vc.name == name) return vc.status;
+  }
+  return PrivatizationStatus::Unused;
+}
+
+}  // namespace ps::dataflow

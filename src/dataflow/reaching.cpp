@@ -1,0 +1,144 @@
+#include "dataflow/reaching.h"
+
+#include <algorithm>
+
+namespace ps::dataflow {
+
+using cfg::FlowGraph;
+using fortran::Stmt;
+using fortran::StmtId;
+using ir::Ref;
+using ir::RefKind;
+
+ReachingDefs ReachingDefs::build(const FlowGraph& g,
+                                 const ir::ProcedureModel& model) {
+  ReachingDefs r;
+  r.graph_ = &g;
+  const int n = g.numNodes();
+
+  // Gather all definitions and uses, node by node.
+  std::vector<std::vector<int>> gen(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> nodeUses(static_cast<std::size_t>(n));
+  const fortran::Procedure& proc = model.procedure();
+
+  for (const Stmt* s : model.allStmts()) {
+    int node = g.nodeOf(s->id);
+    if (node < 0) continue;
+    r.nodeOf_[s->id] = node;
+    for (const Ref& ref : ir::collectRefs(*s)) {
+      const fortran::VarDecl* decl = proc.findDecl(ref.name);
+      bool isScalar = !decl || !decl->isArray();
+      if (ref.isWrite()) {
+        Definition d;
+        d.stmt = s;
+        d.name = ref.name;
+        d.kind = ref.kind;
+        d.killing = isScalar && (ref.kind == RefKind::Write ||
+                                 ref.kind == RefKind::DoVarDef);
+        gen[static_cast<std::size_t>(node)].push_back(
+            static_cast<int>(r.defs_.size()));
+        r.defs_.push_back(std::move(d));
+      }
+      if (ref.isRead()) {
+        UseSite u;
+        u.stmt = s;
+        u.expr = ref.expr;
+        u.name = ref.name;
+        nodeUses[static_cast<std::size_t>(node)].push_back(
+            static_cast<int>(r.uses_.size()));
+        r.uses_.push_back(std::move(u));
+      }
+    }
+  }
+
+  const std::size_t nd = r.defs_.size();
+  // KILL sets per node: all killing-compatible defs of names this node
+  // scalar-writes.
+  std::vector<DenseBitSet> genBits(static_cast<std::size_t>(n),
+                                   DenseBitSet(nd));
+  std::vector<DenseBitSet> killBits(static_cast<std::size_t>(n),
+                                    DenseBitSet(nd));
+  for (int node = 0; node < n; ++node) {
+    for (int di : gen[static_cast<std::size_t>(node)]) {
+      genBits[static_cast<std::size_t>(node)].set(
+          static_cast<std::size_t>(di));
+      const Definition& d = r.defs_[static_cast<std::size_t>(di)];
+      if (!d.killing) continue;
+      for (std::size_t o = 0; o < nd; ++o) {
+        if (static_cast<int>(o) != di && r.defs_[o].name == d.name) {
+          killBits[static_cast<std::size_t>(node)].set(o);
+        }
+      }
+    }
+  }
+
+  // Iterate to fixpoint over reverse post-order.
+  r.in_.assign(static_cast<std::size_t>(n), DenseBitSet(nd));
+  std::vector<DenseBitSet> out(static_cast<std::size_t>(n), DenseBitSet(nd));
+  auto order = g.reversePostOrder();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : order) {
+      auto un = static_cast<std::size_t>(node);
+      DenseBitSet newIn(nd);
+      for (int p : g.predecessors(node)) {
+        newIn.unionWith(out[static_cast<std::size_t>(p)]);
+      }
+      r.in_[un] = newIn;
+      DenseBitSet newOut = newIn;
+      newOut.subtract(killBits[un]);
+      newOut.unionWith(genBits[un]);
+      if (!(newOut == out[un])) {
+        out[un] = std::move(newOut);
+        changed = true;
+      }
+    }
+  }
+
+  // Build def-use / use-def chains. A use in a node sees IN defs, plus any
+  // def generated *earlier in the same statement* — at statement
+  // granularity we approximate: LHS writes of the same statement do not
+  // reach the RHS read (Fortran evaluates RHS first), so IN suffices.
+  r.defUse_.assign(nd, {});
+  r.useDef_.assign(r.uses_.size(), {});
+  for (int node = 0; node < n; ++node) {
+    auto un = static_cast<std::size_t>(node);
+    for (int ui : nodeUses[un]) {
+      const UseSite& u = r.uses_[static_cast<std::size_t>(ui)];
+      r.in_[un].forEach([&](std::size_t di) {
+        if (r.defs_[di].name == u.name) {
+          r.defUse_[di].push_back(ui);
+          r.useDef_[static_cast<std::size_t>(ui)].push_back(
+              static_cast<int>(di));
+        }
+      });
+    }
+  }
+  return r;
+}
+
+std::vector<int> ReachingDefs::reachingAt(StmtId stmt,
+                                          const std::string& name) const {
+  std::vector<int> result;
+  auto it = nodeOf_.find(stmt);
+  if (it == nodeOf_.end()) return result;
+  const DenseBitSet& in = in_[static_cast<std::size_t>(it->second)];
+  in.forEach([&](std::size_t di) {
+    if (defs_[di].name == name) result.push_back(static_cast<int>(di));
+  });
+  return result;
+}
+
+bool ReachingDefs::uniqueReachingAssignment(StmtId stmt,
+                                            const std::string& name,
+                                            const Stmt** out) const {
+  auto defs = reachingAt(stmt, name);
+  if (defs.size() != 1) return false;
+  const Definition& d = defs_[static_cast<std::size_t>(defs[0])];
+  if (!d.killing || d.stmt->kind != fortran::StmtKind::Assign) return false;
+  if (out) *out = d.stmt;
+  return true;
+}
+
+}  // namespace ps::dataflow

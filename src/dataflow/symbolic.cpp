@@ -1,0 +1,264 @@
+#include "dataflow/symbolic.h"
+
+#include <algorithm>
+
+#include "ir/refs.h"
+
+namespace ps::dataflow {
+
+using fortran::BinOp;
+using fortran::Expr;
+using fortran::ExprKind;
+using fortran::Stmt;
+using fortran::StmtKind;
+using ir::Loop;
+using ir::Ref;
+using ir::RefKind;
+
+namespace {
+
+/// Match V = V + c  or  V = V - c  or  V = c + V; returns the stride.
+bool matchIncrement(const Stmt& s, std::string* name, long long* stride) {
+  if (s.kind != StmtKind::Assign || s.lhs->kind != ExprKind::VarRef) {
+    return false;
+  }
+  const Expr& rhs = *s.rhs;
+  if (rhs.kind != ExprKind::Binary) return false;
+  if (rhs.binOp != BinOp::Add && rhs.binOp != BinOp::Sub) return false;
+  const std::string& v = s.lhs->name;
+  const Expr *varSide = nullptr, *constSide = nullptr;
+  if (rhs.lhs->kind == ExprKind::VarRef && rhs.lhs->name == v) {
+    varSide = rhs.lhs.get();
+    constSide = rhs.rhs.get();
+  } else if (rhs.binOp == BinOp::Add && rhs.rhs->kind == ExprKind::VarRef &&
+             rhs.rhs->name == v) {
+    varSide = rhs.rhs.get();
+    constSide = rhs.lhs.get();
+  }
+  if (!varSide || constSide->kind != ExprKind::IntConst) return false;
+  *name = v;
+  *stride = (rhs.binOp == BinOp::Sub) ? -constSide->intValue
+                                      : constSide->intValue;
+  return true;
+}
+
+}  // namespace
+
+SymbolicAnalysis SymbolicAnalysis::build(
+    const ir::ProcedureModel& model, const cfg::FlowGraph& g,
+    const ReachingDefs& reaching, const ConstantAnalysis& constants,
+    const cfg::ControlDependence& cdeps,
+    const std::vector<Relation>& inherited) {
+  SymbolicAnalysis sa;
+  sa.model_ = &model;
+  sa.graph_ = &g;
+  sa.reaching_ = &reaching;
+  sa.constants_ = &constants;
+
+  const fortran::Procedure& proc = model.procedure();
+
+  for (const auto& loopPtr : model.loops()) {
+    const Loop* loop = loopPtr.get();
+    std::set<std::string>& defined = sa.definedIn_[loop];
+    std::set<std::string>& arrays = sa.arraysWritten_[loop];
+    defined.insert(loop->inductionVar());
+
+    for (const Stmt* s : loop->bodyStmts) {
+      for (const Ref& r : ir::collectRefs(*s)) {
+        if (!r.isWrite()) continue;
+        const fortran::VarDecl* d = proc.findDecl(r.name);
+        if (d && d->isArray()) {
+          arrays.insert(r.name);
+          // A whole array passed at a call site may be rewritten.
+          if (r.kind == RefKind::CallActual) defined.insert(r.name);
+        } else {
+          defined.insert(r.name);
+        }
+      }
+      // A call may modify any COMMON variable.
+      if (s->kind == StmtKind::Call || !ir::calledFunctions(*s).empty()) {
+        for (const auto& d : proc.decls) {
+          if (!d.commonBlock.empty()) {
+            defined.insert(d.name);
+            if (d.isArray()) arrays.insert(d.name);
+          }
+        }
+      }
+    }
+
+    // Auxiliary induction variables: scalar with exactly one defining
+    // statement in the loop, of increment shape, executed unconditionally
+    // (controlled only by enclosing DO headers).
+    std::map<std::string, std::vector<const Stmt*>> defsOf;
+    for (const Stmt* s : loop->bodyStmts) {
+      for (const Ref& r : ir::collectRefs(*s)) {
+        if (r.isWrite()) defsOf[r.name].push_back(s);
+      }
+    }
+    for (const auto& [name, defs] : defsOf) {
+      if (defs.size() != 1) continue;
+      std::string v;
+      long long stride = 0;
+      if (!matchIncrement(*defs[0], &v, &stride)) continue;
+      if (cdeps.hasNonLoopController(defs[0]->id, model)) continue;
+      // The update must be directly in this loop's body (not a nested
+      // loop's): otherwise it advances more than once per iteration.
+      const Loop* encl = model.enclosingLoop(defs[0]->id);
+      if (encl != loop) continue;
+      sa.auxIvs_[loop].push_back({v, stride, defs[0]});
+    }
+
+    // Relations: symbolic equalities valid throughout the loop. Inherited
+    // (interprocedural) relations only survive if nothing in the loop
+    // redefines the variable or its operands.
+    std::vector<Relation> rels;
+    for (const Relation& r : inherited) {
+      if (defined.count(r.name)) continue;
+      bool stable = true;
+      for (const auto& [v, c] : r.value.coef) {
+        (void)c;
+        if (defined.count(v)) stable = false;
+      }
+      if (stable) rels.push_back(r);
+    }
+    // Names read inside the loop but never defined in it, with a unique
+    // reaching killing assignment of an affine value whose operands are
+    // also loop-invariant.
+    std::set<std::string> readNames;
+    for (const Stmt* s : loop->bodyStmts) {
+      for (const Ref& r : ir::collectRefs(*s)) {
+        if (r.isRead()) readNames.insert(r.name);
+      }
+    }
+    for (const std::string& name : readNames) {
+      if (defined.count(name)) continue;
+      const Stmt* def = nullptr;
+      if (!reaching.uniqueReachingAssignment(loop->stmt->id, name, &def)) {
+        continue;
+      }
+      LinearExpr form = linearize(*def->rhs);
+      if (!form.affine) continue;
+      bool operandsStable = true;
+      for (const auto& [v, c] : form.coef) {
+        (void)c;
+        if (defined.count(v)) operandsStable = false;
+      }
+      if (!operandsStable) continue;
+      // Avoid the degenerate self relation V = V.
+      if (form.coef.size() == 1 && form.constant == 0 &&
+          form.coefOf(name) == 1) {
+        continue;
+      }
+      rels.push_back({name, std::move(form)});
+    }
+    sa.relations_[loop] = std::move(rels);
+  }
+  return sa;
+}
+
+const std::set<std::string>& SymbolicAnalysis::definedIn(
+    const Loop& loop) const {
+  auto it = definedIn_.find(&loop);
+  return it == definedIn_.end() ? empty_ : it->second;
+}
+
+bool SymbolicAnalysis::isLoopInvariant(const Expr& e, const Loop& loop) const {
+  const auto& defined = definedIn(loop);
+  auto itArr = arraysWritten_.find(&loop);
+  const std::set<std::string>& arrays =
+      itArr == arraysWritten_.end() ? empty_ : itArr->second;
+
+  bool invariant = true;
+  e.forEach([&](const Expr& sub) {
+    switch (sub.kind) {
+      case ExprKind::VarRef:
+        if (defined.count(sub.name)) invariant = false;
+        break;
+      case ExprKind::ArrayRef:
+        if (arrays.count(sub.name)) invariant = false;
+        break;
+      case ExprKind::FuncCall:
+        if (!ir::isIntrinsic(sub.name)) invariant = false;
+        break;
+      default:
+        break;
+    }
+  });
+  return invariant;
+}
+
+std::vector<AuxInduction> SymbolicAnalysis::auxInductionsOf(
+    const Loop& loop) const {
+  auto it = auxIvs_.find(&loop);
+  return it == auxIvs_.end() ? std::vector<AuxInduction>{} : it->second;
+}
+
+std::vector<Relation> SymbolicAnalysis::relationsAt(const Loop& loop) const {
+  auto it = relations_.find(&loop);
+  return it == relations_.end() ? std::vector<Relation>{} : it->second;
+}
+
+std::map<std::string, LinearExpr> SymbolicAnalysis::substitutionFor(
+    const Loop& loop, const Stmt& atStmt) const {
+  std::map<std::string, LinearExpr> sub;
+
+  // 1. Constants at the loop header.
+  const ConstEnv& env = constants_->envAt(loop.stmt->id);
+  for (const auto& [name, val] : env) {
+    if (val.kind == ConstVal::Kind::IntConst) {
+      LinearExpr c;
+      c.constant = val.i;
+      sub[name] = c;
+    }
+  }
+
+  // 2. Symbolic relations (may reference other symbolics; resolve one level
+  //    through the constant map).
+  for (const Relation& r : relationsAt(loop)) {
+    LinearExpr resolved;
+    resolved.constant = r.value.constant;
+    resolved.affine = r.value.affine;
+    for (const auto& [v, c] : r.value.coef) {
+      auto it = sub.find(v);
+      if (it != sub.end()) {
+        resolved.add(it->second, c);
+      } else {
+        resolved.coef[v] += c;
+        if (resolved.coef[v] == 0) resolved.coef.erase(v);
+      }
+    }
+    sub[r.name] = std::move(resolved);
+  }
+
+  // 3. Auxiliary induction variables for this loop and all enclosing loops:
+  //    V -> stride*IV + (V@preheader symbolic) + adjustment, where the
+  //    symbolic pre-loop value cancels between any two refs in the loop.
+  for (const Loop* l = &loop; l; l = l->parent) {
+    for (const AuxInduction& aux : auxInductionsOf(*l)) {
+      // Normalized iteration number: (IV - lo)/step — only handle step 1
+      // (or absent), the overwhelmingly common case; otherwise skip.
+      const Stmt* doStmt = l->stmt;
+      if (doStmt->doStep && !doStmt->doStep->isIntConst(1)) continue;
+      LinearExpr lo = linearize(*doStmt->doLo, sub);
+      if (!lo.affine) continue;
+      LinearExpr form;
+      form.coef[l->inductionVar()] = aux.stride;
+      form.add(lo, -aux.stride);
+      form.coef["@pre:" + aux.name] = 1;  // opaque pre-loop value
+      // Position adjustment: refs at statements after the update in body
+      // order have advanced one extra stride.
+      int posUpdate = -1, posAt = -1, idx = 0;
+      for (const Stmt* s : l->bodyStmts) {
+        if (s == aux.update) posUpdate = idx;
+        if (s->id == atStmt.id) posAt = idx;
+        ++idx;
+      }
+      bool after = (posAt >= 0 && posUpdate >= 0 && posAt > posUpdate);
+      if (after) form.constant += aux.stride;
+      sub[aux.name] = std::move(form);
+    }
+  }
+  return sub;
+}
+
+}  // namespace ps::dataflow

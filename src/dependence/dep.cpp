@@ -1,0 +1,54 @@
+#include "dependence/dep.h"
+
+namespace ps::dep {
+
+const char* depTypeName(DepType t) {
+  switch (t) {
+    case DepType::True: return "True";
+    case DepType::Anti: return "Anti";
+    case DepType::Output: return "Output";
+    case DepType::Input: return "Input";
+    case DepType::Control: return "Control";
+  }
+  return "?";
+}
+
+const char* directionName(Direction d) {
+  switch (d) {
+    case Direction::Lt: return "<";
+    case Direction::Eq: return "=";
+    case Direction::Gt: return ">";
+    case Direction::Le: return "<=";
+    case Direction::Ge: return ">=";
+    case Direction::Star: return "*";
+  }
+  return "?";
+}
+
+const char* depMarkName(DepMark m) {
+  switch (m) {
+    case DepMark::Proven: return "proven";
+    case DepMark::Pending: return "pending";
+    case DepMark::Accepted: return "accepted";
+    case DepMark::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+std::string DependenceVector::str() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    if (i) out += ",";
+    if (dirs[i] == Direction::Eq) {
+      out += "=";  // equal levels print '=' (the paper's notation)
+    } else if (dists.size() > i && dists[i].has_value()) {
+      out += std::to_string(*dists[i]);
+    } else {
+      out += directionName(dirs[i]);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ps::dep

@@ -1,0 +1,57 @@
+#ifndef PS_DEPENDENCE_FM_H
+#define PS_DEPENDENCE_FM_H
+
+#include <string>
+#include <vector>
+
+#include "dataflow/linear.h"
+
+namespace ps::dep {
+
+/// A linear constraint over named integer variables: expr >= 0, expr > 0
+/// (i.e. expr >= 1 for integers), or expr == 0.
+struct Constraint {
+  enum class Kind { Ge0, Gt0, Eq0 };
+  dataflow::LinearExpr expr;
+  Kind kind = Kind::Ge0;
+
+  static Constraint ge0(dataflow::LinearExpr e) {
+    return {std::move(e), Kind::Ge0};
+  }
+  static Constraint gt0(dataflow::LinearExpr e) {
+    return {std::move(e), Kind::Gt0};
+  }
+  static Constraint eq0(dataflow::LinearExpr e) {
+    return {std::move(e), Kind::Eq0};
+  }
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Fourier–Motzkin elimination over rationals, with an integer GCD
+/// refinement on equalities — the "exact" tier of the hierarchical
+/// dependence test suite [Goff–Kennedy–Tseng 1991], in the spirit of the
+/// Omega test the paper cites for deriving breaking conditions.
+///
+/// Soundness contract: `infeasible() == true` means there is definitely no
+/// solution (hence no dependence); `false` means a solution may exist.
+class FourierMotzkin {
+ public:
+  explicit FourierMotzkin(std::vector<Constraint> constraints);
+
+  /// True when the system provably has no integer solution.
+  [[nodiscard]] bool infeasible() const { return infeasible_; }
+
+  /// Number of eliminations performed (ablation metric).
+  [[nodiscard]] int eliminations() const { return eliminations_; }
+
+ private:
+  void solve(std::vector<Constraint> cs);
+
+  bool infeasible_ = false;
+  int eliminations_ = 0;
+};
+
+}  // namespace ps::dep
+
+#endif  // PS_DEPENDENCE_FM_H

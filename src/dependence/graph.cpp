@@ -1,0 +1,788 @@
+#include "dependence/graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dataflow/constants.h"
+#include "dataflow/liveness.h"
+#include "dataflow/reaching.h"
+#include "ir/refs.h"
+
+namespace ps::dep {
+
+using dataflow::ConstantAnalysis;
+using dataflow::LinearExpr;
+using dataflow::Liveness;
+using dataflow::PrivatizationAnalysis;
+using dataflow::PrivatizationStatus;
+using dataflow::ReachingDefs;
+using dataflow::SymbolicAnalysis;
+using fortran::Expr;
+using fortran::ExprKind;
+using fortran::Stmt;
+using fortran::StmtId;
+using fortran::StmtKind;
+using ir::Loop;
+using ir::Ref;
+using ir::RefKind;
+
+namespace {
+
+struct ARef {
+  const Stmt* stmt = nullptr;
+  const Expr* expr = nullptr;
+  bool write = false;
+};
+
+DepType typeOf(bool srcWrite, bool dstWrite) {
+  if (srcWrite && dstWrite) return DepType::Output;
+  if (srcWrite) return DepType::True;
+  if (dstWrite) return DepType::Anti;
+  return DepType::Input;
+}
+
+/// The chain of loops containing a statement, outermost first.
+std::vector<const Loop*> loopChain(const ir::ProcedureModel& model,
+                                   StmtId id) {
+  const Loop* l = model.enclosingLoop(id);
+  if (!l) return {};
+  auto path = l->nestPath();
+  return path;
+}
+
+/// Longest common prefix of two loop chains.
+std::vector<const Loop*> commonNest(const std::vector<const Loop*>& a,
+                                    const std::vector<const Loop*>& b) {
+  std::vector<const Loop*> out;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] != b[i]) break;
+    out.push_back(a[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
+                                       const AnalysisContext& ctx) {
+  DependenceGraph g;
+  g.model_ = &model;
+
+  cfg::FlowGraph fg = cfg::FlowGraph::build(model);
+  ReachingDefs reaching = ReachingDefs::build(fg, model);
+  Liveness liveness = Liveness::build(fg, model);
+  dataflow::ConstEnv entryEnv;
+  for (const auto& [name, v] : ctx.inheritedConstants) {
+    entryEnv[name] = dataflow::ConstVal::ofInt(v);
+  }
+  ConstantAnalysis constants = ConstantAnalysis::build(fg, model, entryEnv);
+  cfg::ControlDependence cdeps = cfg::ControlDependence::build(fg);
+  SymbolicAnalysis sym = SymbolicAnalysis::build(
+      model, fg, reaching, constants, cdeps,
+      ctx.useSymbolicInfo ? ctx.inheritedRelations
+                          : std::vector<dataflow::Relation>{});
+  PrivatizationAnalysis priv =
+      PrivatizationAnalysis::build(model, fg, liveness);
+
+  const fortran::Procedure& proc = model.procedure();
+  OpaqueTable opaques;
+
+  // -------------------------------------------------------------------
+  // Per-statement substitution maps for subscript linearization, with
+  // forward substitution of unique same-loop scalar assignments (this is
+  // how "I3 = IT(N)" flows into "F(I3 + 1)").
+  // -------------------------------------------------------------------
+  std::map<StmtId, std::map<std::string, LinearExpr>> subCache;
+  auto subFor = [&](const Stmt* s) -> const std::map<std::string, LinearExpr>& {
+    auto it = subCache.find(s->id);
+    if (it != subCache.end()) return it->second;
+    std::map<std::string, LinearExpr> sub;
+    const Loop* loop = model.enclosingLoop(s->id);
+    if (ctx.useSymbolicInfo) {
+      if (loop) {
+        sub = sym.substitutionFor(*loop, *s);
+      } else {
+        for (const auto& [name, val] : constants.envAt(s->id)) {
+          if (val.kind == dataflow::ConstVal::Kind::IntConst) {
+            LinearExpr c;
+            c.constant = val.i;
+            sub[name] = c;
+          }
+        }
+      }
+      // Forward substitution: scalar vars read in this statement's
+      // subscripts whose unique reaching definition is an assignment inside
+      // the same loop (so the value is this iteration's).
+      if (loop) {
+        std::set<std::string> wanted;
+        s->forEachExpr([&](const Expr& e) {
+          if (e.kind == ExprKind::VarRef) wanted.insert(e.name);
+        });
+        for (const std::string& v : wanted) {
+          if (sub.count(v)) continue;
+          const Stmt* def = nullptr;
+          if (!reaching.uniqueReachingAssignment(s->id, v, &def)) continue;
+          if (def == s) continue;
+          const Loop* defLoop = model.enclosingLoop(def->id);
+          bool defInNest = false;
+          for (const Loop* l = defLoop; l; l = l->parent) {
+            if (l == loop ||
+                std::find(loop->nestPath().begin(), loop->nestPath().end(),
+                          l) != loop->nestPath().end()) {
+              defInNest = true;
+              break;
+            }
+          }
+          if (!defInNest && defLoop != nullptr) continue;
+          // Operands must be stable between the def and the use: every
+          // variable in the rhs is either loop-invariant or an enclosing
+          // induction variable (constant within an iteration).
+          bool stable = true;
+          def->rhs->forEach([&](const Expr& e) {
+            if (e.kind != ExprKind::VarRef) return;
+            bool isIv = false;
+            for (const Loop* l = loop; l; l = l->parent) {
+              if (l->inductionVar() == e.name) isIv = true;
+            }
+            if (!isIv && sym.definedIn(*loop).count(e.name)) stable = false;
+          });
+          if (!stable) continue;
+          sub[v] = linearizeSubscript(*def->rhs, sub, opaques);
+        }
+      }
+    }
+    return subCache.emplace(s->id, std::move(sub)).first->second;
+  };
+
+  // -------------------------------------------------------------------
+  // LoopContext per loop.
+  // -------------------------------------------------------------------
+  auto contextOf = [&](const Loop* loop) -> LoopContext {
+    LoopContext lc;
+    lc.iv = loop->inductionVar();
+    lc.doStmt = loop->stmt->id;
+    const auto& sub = subFor(loop->stmt);
+    lc.lo = linearizeSubscript(*loop->stmt->doLo, sub, opaques);
+    lc.hi = linearizeSubscript(*loop->stmt->doHi, sub, opaques);
+    lc.step = 1;
+    if (loop->stmt->doStep) {
+      LinearExpr st = linearizeSubscript(*loop->stmt->doStep, sub, opaques);
+      lc.step = st.isConstant() ? st.constant : 0;
+    }
+    return lc;
+  };
+
+  auto effectiveStatus = [&](const Loop* loop,
+                             const std::string& name) -> PrivatizationStatus {
+    auto itL = ctx.classificationOverrides.find(loop->stmt->id);
+    if (itL != ctx.classificationOverrides.end()) {
+      auto itV = itL->second.find(name);
+      if (itV != itL->second.end()) {
+        return itV->second ? PrivatizationStatus::Private
+                           : PrivatizationStatus::Shared;
+      }
+    }
+    if (!ctx.usePrivatization) {
+      // Ablation: act as if kill analysis were unavailable.
+      for (const auto& vc : priv.classesFor(*loop)) {
+        if (vc.name == name) {
+          return (vc.writtenInLoop || vc.readInLoop)
+                     ? PrivatizationStatus::Shared
+                     : PrivatizationStatus::Unused;
+        }
+      }
+      return PrivatizationStatus::Unused;
+    }
+    return priv.statusOf(*loop, name);
+  };
+
+  auto addDep = [&](DepType type, const ARef& src, const ARef& dst,
+                    const std::vector<const Loop*>& nest, int level,
+                    const LevelResult& res, bool interproc) {
+    Dependence d;
+    d.id = g.nextId_++;
+    d.type = type;
+    d.srcStmt = src.stmt->id;
+    d.dstStmt = dst.stmt->id;
+    d.srcRef = src.expr;
+    d.dstRef = dst.expr;
+    d.variable = src.expr   ? src.expr->name
+                 : dst.expr ? dst.expr->name
+                            : "";
+    d.level = level;
+    d.commonLoop = nest.empty() ? fortran::kInvalidStmt
+                                : nest.back()->stmt->id;
+    if (level > 0) {
+      d.carrierLoop = nest[static_cast<std::size_t>(level - 1)]->stmt->id;
+    }
+    d.vector.dirs.resize(nest.size(), Direction::Star);
+    d.vector.dists.resize(nest.size());
+    for (std::size_t k = 0; k < nest.size(); ++k) {
+      if (level == 0 || static_cast<int>(k) < level - 1) {
+        d.vector.dirs[k] = Direction::Eq;
+        d.vector.dists[k] = 0;
+      } else if (static_cast<int>(k) == level - 1) {
+        d.vector.dirs[k] = Direction::Lt;
+        if (res.distance) d.vector.dists[k] = res.distance;
+      }
+    }
+    d.mark = (res.answer == DepAnswer::DependenceExact) ? DepMark::Proven
+                                                        : DepMark::Pending;
+    d.interprocedural = interproc;
+    g.deps_.push_back(std::move(d));
+  };
+
+  // -------------------------------------------------------------------
+  // Array-reference pairs.
+  // -------------------------------------------------------------------
+  std::map<std::string, std::vector<ARef>> refsByArray;
+  std::vector<const Stmt*> callStmts;
+  for (const Stmt* s : model.allStmts()) {
+    for (const Ref& r : ir::collectRefs(*s)) {
+      if (!r.isArrayRef()) continue;
+      if (r.kind == RefKind::CallActual) continue;  // handled via effects
+      const fortran::VarDecl* d = proc.findDecl(r.name);
+      if (!d || !d->isArray()) continue;
+      refsByArray[r.name].push_back({s, r.expr, r.isWrite()});
+    }
+    if (!ir::calledFunctions(*s).empty()) callStmts.push_back(s);
+  }
+
+  // Position of each statement in pre-order (intra-iteration execution
+  // order proxy for loop-independent dependence orientation).
+  std::map<StmtId, int> position;
+  {
+    int idx = 0;
+    for (const Stmt* s : model.allStmts()) position[s->id] = idx++;
+  }
+
+  for (auto& [array, refs] : refsByArray) {
+    (void)array;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      for (std::size_t j = i; j < refs.size(); ++j) {
+        const ARef& r1 = refs[i];
+        const ARef& r2 = refs[j];
+        if (!r1.write && !r2.write && !ctx.includeInputDeps) continue;
+        if (i == j && !r1.write) continue;
+        auto nest = commonNest(loopChain(model, r1.stmt->id),
+                               loopChain(model, r2.stmt->id));
+        if (nest.empty()) continue;
+
+        std::vector<LoopContext> lctxs;
+        for (const Loop* l : nest) lctxs.push_back(contextOf(l));
+        DependenceTester tester(lctxs, ctx.facts, ctx.indexFacts, opaques,
+                                sym.definedIn(*nest.front()),
+                                ctx.cheapTestsFirst);
+
+        const auto& sub1 = subFor(r1.stmt);
+        const auto& sub2 = subFor(r2.stmt);
+
+        // Refine the direction at the level below the carrier (what loop
+        // interchange legality needs) by constrained re-tests.
+        auto refineInner = [&](const RefPair& pair, int level) {
+          if (level >= static_cast<int>(nest.size())) return Direction::Star;
+          bool lt = tester.test(pair, level, Direction::Lt).answer !=
+                    DepAnswer::NoDependence;
+          bool eq = tester.test(pair, level, Direction::Eq).answer !=
+                    DepAnswer::NoDependence;
+          bool gt = tester.test(pair, level, Direction::Gt).answer !=
+                    DepAnswer::NoDependence;
+          int count = (lt ? 1 : 0) + (eq ? 1 : 0) + (gt ? 1 : 0);
+          if (count != 1) {
+            if (lt && eq && !gt) return Direction::Le;
+            if (!lt && eq && gt) return Direction::Ge;
+            return Direction::Star;
+          }
+          if (lt) return Direction::Lt;
+          if (eq) return Direction::Eq;
+          return Direction::Gt;
+        };
+
+        // A user classification of the array as private w.r.t. a loop
+        // removes the dependences that loop carries (each iteration gets
+        // its own copy); loop-independent deps and inner-carried deps
+        // remain.
+        auto carrierPrivatized = [&](int level) {
+          const Loop* carrier = nest[static_cast<std::size_t>(level - 1)];
+          auto itL = ctx.classificationOverrides.find(carrier->stmt->id);
+          if (itL == ctx.classificationOverrides.end()) return false;
+          auto itV = itL->second.find(array);
+          return itV != itL->second.end() && itV->second;
+        };
+
+        for (int level = 1; level <= static_cast<int>(nest.size());
+             ++level) {
+          if (carrierPrivatized(level)) continue;
+          RefPair fwd{r1.expr, r2.expr, &sub1, &sub2};
+          LevelResult res = tester.test(fwd, level);
+          if (res.answer != DepAnswer::NoDependence) {
+            addDep(typeOf(r1.write, r2.write), r1, r2, nest, level, res,
+                   false);
+            if (static_cast<std::size_t>(level) < nest.size()) {
+              g.deps_.back().vector.dirs[static_cast<std::size_t>(level)] =
+                  refineInner(fwd, level);
+            }
+          }
+          if (i != j) {
+            RefPair rev{r2.expr, r1.expr, &sub2, &sub1};
+            LevelResult rres = tester.test(rev, level);
+            if (rres.answer != DepAnswer::NoDependence) {
+              addDep(typeOf(r2.write, r1.write), r2, r1, nest, level, rres,
+                     false);
+              if (static_cast<std::size_t>(level) < nest.size()) {
+                g.deps_.back()
+                    .vector.dirs[static_cast<std::size_t>(level)] =
+                    refineInner(rev, level);
+              }
+            }
+          }
+        }
+        if (i != j) {
+          // Loop-independent: source is the statement executed first.
+          const ARef& first =
+              position[r1.stmt->id] <= position[r2.stmt->id] ? r1 : r2;
+          const ARef& second = (&first == &r1) ? r2 : r1;
+          if (first.stmt != second.stmt) {
+            LevelResult res = tester.test(
+                {first.expr, second.expr, &subFor(first.stmt),
+                 &subFor(second.stmt)},
+                0);
+            if (res.answer != DepAnswer::NoDependence) {
+              addDep(typeOf(first.write, second.write), first, second, nest,
+                     0, res, false);
+            }
+          }
+        }
+        g.stats_.zivDisproofs += tester.stats().zivDisproofs;
+        g.stats_.zivExact += tester.stats().zivExact;
+        g.stats_.strongSiv += tester.stats().strongSiv;
+        g.stats_.strongSivDisproofs += tester.stats().strongSivDisproofs;
+        g.stats_.indexArrayDisproofs += tester.stats().indexArrayDisproofs;
+        g.stats_.fmRuns += tester.stats().fmRuns;
+        g.stats_.fmDisproofs += tester.stats().fmDisproofs;
+        g.stats_.assumed += tester.stats().assumed;
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Scalar dependences, gated by privatization status per loop.
+  // -------------------------------------------------------------------
+  for (const auto& loopPtr : model.loops()) {
+    const Loop* loop = loopPtr.get();
+    for (const auto& vc : priv.classesFor(*loop)) {
+      PrivatizationStatus status = effectiveStatus(loop, vc.name);
+      if (status != PrivatizationStatus::Shared) continue;
+      if (!vc.writtenInLoop) continue;  // read-only shared: no dependence
+
+      // Did the user force this variable shared (or is the privatization
+      // ablation active)? Then honor it literally — no oracle refinement.
+      bool forcedShared = !ctx.usePrivatization;
+      {
+        auto itL = ctx.classificationOverrides.find(loop->stmt->id);
+        if (itL != ctx.classificationOverrides.end()) {
+          auto itV = itL->second.find(vc.name);
+          if (itV != itL->second.end() && !itV->second) forcedShared = true;
+        }
+      }
+
+      // Gather the scalar's access sites directly in this loop. A call
+      // actual counts as read+write only when no interprocedural summary
+      // says otherwise — this is where MOD/REF analysis pays off for
+      // scalars.
+      std::vector<ARef> writes, reads;
+      for (const Stmt* s : loop->bodyStmts) {
+        for (const Ref& r : ir::collectRefs(*s)) {
+          if (r.name != vc.name) continue;
+          if (r.kind == RefKind::DoVarDef) continue;
+          bool mayRead = r.isRead();
+          bool mayWrite = r.isWrite();
+          if (r.kind == RefKind::CallActual && ctx.oracle) {
+            auto callees = ir::calledFunctions(*s);
+            bool allKnown = !callees.empty();
+            for (const auto& c : callees) {
+              if (!ctx.oracle->knowsCallee(c)) allKnown = false;
+            }
+            if (allKnown) {
+              mayRead = mayWrite = false;
+              for (const auto& c : callees) {
+                for (const auto& e : ctx.oracle->effectsOfCall(*s, c)) {
+                  if (e.var != r.name) continue;
+                  // Only entry-exposed reads matter for cross-iteration
+                  // dependences: a read after the callee's kill sees this
+                  // iteration's value (interprocedural scalar KILL).
+                  mayRead = mayRead || e.exposedRead;
+                  mayWrite = mayWrite || e.mayWrite;
+                }
+              }
+            }
+          }
+          if (mayWrite) writes.push_back({s, r.expr, true});
+          if (mayRead) reads.push_back({s, r.expr, false});
+        }
+      }
+      // A scalar with no (exposed) reads whose value dies with the loop is
+      // effectively private even when classified shared: no dependence can
+      // be observed.
+      if (!forcedShared && reads.empty() &&
+          !liveness.liveAfterLoop(*loop, vc.name)) {
+        continue;
+      }
+      auto nestOf = [&](const Stmt* s1, const Stmt* s2) {
+        return commonNest(loopChain(model, s1->id),
+                          loopChain(model, s2->id));
+      };
+      auto levelOf = [&](const std::vector<const Loop*>& nest) {
+        for (std::size_t k = 0; k < nest.size(); ++k) {
+          if (nest[k] == loop) return static_cast<int>(k) + 1;
+        }
+        return 0;
+      };
+      LevelResult assumed;
+      assumed.answer = DepAnswer::DependenceExact;  // same address: certain
+
+      // Recompute upward exposure with oracle-refined call semantics: a
+      // call that kills the scalar without reading its incoming value ends
+      // the search path instead of exposing it (interprocedural scalar
+      // KILL, the nxsns case).
+      bool exposed = vc.upwardExposedRead;
+      if (exposed && ctx.oracle && !forcedShared) {
+        int doNode = fg.nodeOf(loop->stmt->id);
+        std::set<int> bodyNodes;
+        for (const Stmt* s : loop->bodyStmts) {
+          int n = fg.nodeOf(s->id);
+          if (n >= 0) bodyNodes.insert(n);
+        }
+        std::vector<int> work;
+        for (int succ : fg.successors(doNode)) {
+          if (bodyNodes.count(succ)) work.push_back(succ);
+        }
+        std::set<int> seen;
+        bool refined = false;
+        bool decidable = true;
+        while (!work.empty() && !refined && decidable) {
+          int node = work.back();
+          work.pop_back();
+          if (seen.count(node)) continue;
+          seen.insert(node);
+          const Stmt* s = fg.stmtOf(node);
+          if (!s) continue;
+          bool killsHere = false;
+          for (const Ref& r : ir::collectRefs(*s)) {
+            if (r.name != vc.name) continue;
+            if (r.kind == RefKind::Read) {
+              refined = true;
+              break;
+            }
+            if (r.kind == RefKind::CallActual) {
+              bool known = true;
+              bool calleeExposed = false, calleeKills = false;
+              for (const auto& c : ir::calledFunctions(*s)) {
+                if (!ctx.oracle->knowsCallee(c)) {
+                  known = false;
+                  break;
+                }
+                for (const auto& eff : ctx.oracle->effectsOfCall(*s, c)) {
+                  if (eff.var != r.name) continue;
+                  calleeExposed = calleeExposed || eff.exposedRead;
+                  calleeKills = calleeKills || eff.kills;
+                }
+              }
+              if (!known) {
+                decidable = false;
+                break;
+              }
+              if (calleeExposed) {
+                refined = true;
+                break;
+              }
+              if (calleeKills) killsHere = true;
+            }
+            if (r.kind == RefKind::Write || r.kind == RefKind::DoVarDef) {
+              killsHere = true;
+            }
+          }
+          if (refined || !decidable) break;
+          if (killsHere) continue;
+          for (int succ : fg.successors(node)) {
+            if (succ == doNode) continue;
+            if (bodyNodes.count(succ) && !seen.count(succ)) {
+              work.push_back(succ);
+            }
+          }
+        }
+        if (decidable) exposed = refined;
+      }
+      for (const ARef& w : writes) {
+        for (const ARef& r : reads) {
+          if (!exposed) continue;
+          auto nest = nestOf(w.stmt, r.stmt);
+          int level = levelOf(nest);
+          if (level == 0) continue;
+          addDep(DepType::True, w, r, nest, level, assumed, false);
+          addDep(DepType::Anti, r, w, nest, level, assumed, false);
+        }
+        // Output dependences only matter when the scalar's value can be
+        // observed across iterations (exposed read) or after the loop —
+        // unless the user insists the variable is shared.
+        if (!forcedShared && !exposed &&
+            !liveness.liveAfterLoop(*loop, vc.name)) {
+          continue;
+        }
+        for (const ARef& w2 : writes) {
+          auto nest = nestOf(w.stmt, w2.stmt);
+          int level = levelOf(nest);
+          if (level == 0) continue;
+          addDep(DepType::Output, w, w2, nest, level, assumed, false);
+          break;  // one representative output edge per source write
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Control dependences.
+  // -------------------------------------------------------------------
+  for (const auto& cdep : cdeps.all()) {
+    const Stmt* branch = model.stmt(cdep.branch);
+    const Stmt* dependent = model.stmt(cdep.dependent);
+    if (!branch || !dependent) continue;
+    if (branch->kind == StmtKind::Do) continue;  // loop control is implicit
+    Dependence d;
+    d.id = g.nextId_++;
+    d.type = DepType::Control;
+    d.srcStmt = branch->id;
+    d.dstStmt = dependent->id;
+    d.level = 0;
+    auto nest = commonNest(loopChain(model, branch->id),
+                           loopChain(model, dependent->id));
+    d.commonLoop =
+        nest.empty() ? fortran::kInvalidStmt : nest.back()->stmt->id;
+    d.vector.dirs.resize(nest.size(), Direction::Eq);
+    d.vector.dists.resize(nest.size(), 0);
+    d.mark = DepMark::Proven;
+    g.deps_.push_back(std::move(d));
+  }
+
+  // -------------------------------------------------------------------
+  // Call-site dependences (interprocedural side effects).
+  // -------------------------------------------------------------------
+  auto conservativeEffects = [&](const Stmt* s) {
+    std::vector<CallEffect> effects;
+    for (const Ref& r : ir::collectRefs(*s)) {
+      if (r.kind != RefKind::CallActual) continue;
+      CallEffect e;
+      e.var = r.name;
+      const fortran::VarDecl* d = proc.findDecl(r.name);
+      e.isArray = d && d->isArray();
+      e.mayRead = true;
+      e.mayWrite = true;
+      effects.push_back(std::move(e));
+    }
+    for (const auto& d : proc.decls) {
+      if (d.commonBlock.empty()) continue;
+      CallEffect e;
+      e.var = d.name;
+      e.isArray = d.isArray();
+      e.mayRead = true;
+      e.mayWrite = true;
+      effects.push_back(std::move(e));
+    }
+    return effects;
+  };
+
+  for (const Stmt* call : callStmts) {
+    const Loop* callLoop = model.enclosingLoop(call->id);
+    if (!callLoop) continue;  // calls outside loops cannot carry
+
+    std::vector<CallEffect> effects;
+    bool summarized = false;
+    for (const std::string& callee : ir::calledFunctions(*call)) {
+      if (ctx.oracle && ctx.oracle->knowsCallee(callee)) {
+        auto es = ctx.oracle->effectsOfCall(*call, callee);
+        for (auto& e : es) effects.push_back(std::move(e));
+        summarized = true;
+      } else {
+        auto es = conservativeEffects(call);
+        for (auto& e : es) effects.push_back(std::move(e));
+        summarized = false;
+        break;  // one unknown callee poisons the call site
+      }
+    }
+
+    // Aggregate per-variable kill/exposure info across the split effects.
+    std::map<std::string, std::pair<bool, bool>> scalarInfo;  // kills, exposed
+    for (const CallEffect& e : effects) {
+      if (e.isArray) continue;
+      auto& info = scalarInfo[e.var];
+      info.first = info.first || e.kills;
+      info.second = info.second || e.exposedRead;
+    }
+
+    for (const CallEffect& e : effects) {
+      if (!e.mayRead && !e.mayWrite) continue;
+      const fortran::VarDecl* d = proc.findDecl(e.var);
+      bool isArray = d && d->isArray();
+
+      // Interprocedural scalar KILL: a scalar the callee overwrites on
+      // every path, never reading its incoming value, whose value dies with
+      // the loop, cannot carry a dependence — provided nothing in the loop
+      // reads it before the call each iteration.
+      if (!isArray && summarized) {
+        auto info = scalarInfo[e.var];
+        if (info.first && !info.second &&
+            !liveness.liveAfterLoop(*callLoop, e.var)) {
+          bool readBeforeCall = false;
+          for (const Stmt* s : callLoop->bodyStmts) {
+            if (position[s->id] >= position[call->id]) continue;
+            for (const Ref& r : ir::collectRefs(*s)) {
+              if (r.name == e.var && r.isRead()) readBeforeCall = true;
+            }
+          }
+          if (!readBeforeCall) continue;
+        }
+      }
+
+      // Dependences against explicit references of the same variable.
+      auto itRefs = refsByArray.find(e.var);
+      std::vector<ARef> others;
+      if (isArray && itRefs != refsByArray.end()) others = itRefs->second;
+      if (!isArray) {
+        for (const Stmt* s : callLoop->bodyStmts) {
+          if (s == call) continue;
+          for (const Ref& r : ir::collectRefs(*s)) {
+            if (r.name == e.var && r.kind != RefKind::CallActual &&
+                r.kind != RefKind::DoVarDef) {
+              others.push_back({s, r.expr, r.isWrite()});
+            }
+          }
+        }
+      }
+
+      ARef callRef{call, nullptr, e.mayWrite};
+      for (const ARef& o : others) {
+        auto nest = commonNest(loopChain(model, call->id),
+                               loopChain(model, o.stmt->id));
+        if (nest.empty()) continue;
+        std::vector<LoopContext> lctxs;
+        for (const Loop* l : nest) lctxs.push_back(contextOf(l));
+        DependenceTester tester(lctxs, ctx.facts, ctx.indexFacts, opaques,
+                                sym.definedIn(*nest.front()),
+                                ctx.cheapTestsFirst);
+        auto carrierPrivatized = [&](int level) {
+          const Loop* carrier = nest[static_cast<std::size_t>(level - 1)];
+          auto itL = ctx.classificationOverrides.find(carrier->stmt->id);
+          if (itL == ctx.classificationOverrides.end()) return false;
+          auto itV = itL->second.find(e.var);
+          return itV != itL->second.end() && itV->second;
+        };
+        for (int level = 1; level <= static_cast<int>(nest.size());
+             ++level) {
+          if (carrierPrivatized(level)) continue;
+          LevelResult res;
+          if (summarized && e.section && o.expr) {
+            res = tester.testSection(*o.expr, subFor(o.stmt), *e.section,
+                                     subFor(call), level,
+                                     /*callIsSrc=*/true);
+          } else {
+            res.answer = DepAnswer::DependenceAssumed;
+          }
+          if (res.answer != DepAnswer::NoDependence &&
+              (e.mayWrite || o.write)) {
+            addDep(typeOf(e.mayWrite, o.write), callRef, o, nest, level, res,
+                   true);
+          }
+        }
+      }
+
+      // Call-to-itself across iterations: the write effect against every
+      // effect on the same variable (write-write and write-read pairs).
+      if (e.mayWrite) {
+        auto nest = loopChain(model, call->id);
+        if (!nest.empty()) {
+          std::vector<LoopContext> lctxs;
+          for (const Loop* l : nest) lctxs.push_back(contextOf(l));
+          DependenceTester tester(lctxs, ctx.facts, ctx.indexFacts, opaques,
+                                  sym.definedIn(*nest.front()),
+                                  ctx.cheapTestsFirst);
+          auto selfCarrierPrivatized = [&](int level) {
+            const Loop* carrier =
+                nest[static_cast<std::size_t>(level - 1)];
+            auto itL = ctx.classificationOverrides.find(carrier->stmt->id);
+            if (itL == ctx.classificationOverrides.end()) return false;
+            auto itV = itL->second.find(e.var);
+            return itV != itL->second.end() && itV->second;
+          };
+          for (const CallEffect& e2 : effects) {
+            if (e2.var != e.var) continue;
+            for (int level = 1; level <= static_cast<int>(nest.size());
+                 ++level) {
+              if (selfCarrierPrivatized(level)) continue;
+              LevelResult res;
+              if (summarized && e.section && e2.section) {
+                res = tester.testSections(*e.section, subFor(call),
+                                          *e2.section, subFor(call), level);
+              } else {
+                res.answer = DepAnswer::DependenceAssumed;
+              }
+              if (res.answer != DepAnswer::NoDependence) {
+                addDep(e2.mayWrite ? DepType::Output : DepType::True,
+                       callRef, callRef, nest, level, res, true);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  return g;
+}
+
+std::vector<const Dependence*> DependenceGraph::forLoop(
+    const Loop& loop) const {
+  std::vector<const Dependence*> out;
+  for (const auto& d : deps_) {
+    bool srcIn = loop.contains(d.srcStmt);
+    bool dstIn = loop.contains(d.dstStmt);
+    if (srcIn && dstIn) out.push_back(&d);
+  }
+  return out;
+}
+
+std::vector<const Dependence*> DependenceGraph::parallelismInhibitors(
+    const Loop& loop) const {
+  std::vector<const Dependence*> out;
+  for (const auto& d : deps_) {
+    if (d.carrierLoop == loop.stmt->id && d.inhibitsParallelism()) {
+      out.push_back(&d);
+    }
+  }
+  return out;
+}
+
+bool DependenceGraph::parallelizable(const Loop& loop) const {
+  return parallelismInhibitors(loop).empty();
+}
+
+Dependence* DependenceGraph::byId(std::uint32_t id) {
+  for (auto& d : deps_) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+DependenceGraph::Summary DependenceGraph::summary() const {
+  Summary s;
+  for (const auto& d : deps_) {
+    ++s.totalDeps;
+    if (d.mark == DepMark::Proven) ++s.provenDeps;
+    if (d.mark == DepMark::Pending) ++s.pendingDeps;
+    if (d.loopCarried()) ++s.carriedDeps;
+    if (d.type == DepType::Control) ++s.controlDeps;
+    if (d.interprocedural) ++s.interprocDeps;
+  }
+  return s;
+}
+
+}  // namespace ps::dep

@@ -1,0 +1,100 @@
+#ifndef PS_DEPENDENCE_GRAPH_H
+#define PS_DEPENDENCE_GRAPH_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cfg/control_dep.h"
+#include "cfg/flow_graph.h"
+#include "dataflow/privatize.h"
+#include "dataflow/symbolic.h"
+#include "dependence/dep.h"
+#include "dependence/section.h"
+#include "dependence/subscript.h"
+#include "dependence/testsuite.h"
+#include "ir/model.h"
+
+namespace ps::dep {
+
+/// User-editable analysis context: assertions and variable classification
+/// overrides sharpen the graph; PED rebuilds incrementally after each edit.
+struct AnalysisContext {
+  /// Linear facts from assertions and relations (shared symbol namespace
+  /// with the subscript linearizer).
+  std::vector<Fact> facts;
+  IndexArrayFacts indexFacts;
+  /// Per-loop variable classification overrides: loop DO-stmt id -> name ->
+  /// force-private? (true = treat as private, false = force shared).
+  std::map<fortran::StmtId, std::map<std::string, bool>> classificationOverrides;
+  /// Interprocedural side-effect oracle; may be null.
+  const SideEffectOracle* oracle = nullptr;
+  /// Constants inherited from callers (interprocedural constant
+  /// propagation).
+  std::map<std::string, long long> inheritedConstants;
+  /// Symbolic relations valid on entry (interprocedural symbolic
+  /// propagation, e.g. arc3d's JM = JMAX - 1 established in an init
+  /// routine).
+  std::vector<dataflow::Relation> inheritedRelations;
+  /// Track Input (read-read) dependences too.
+  bool includeInputDeps = false;
+  /// Ablation: disable the cheap-test tiers (A1).
+  bool cheapTestsFirst = true;
+  /// Ablation: pretend no symbolic relations/constants are available (A3).
+  bool useSymbolicInfo = true;
+  /// Ablation: disable scalar privatization (A3) — every scalar is shared.
+  bool usePrivatization = true;
+};
+
+/// The dependence graph of one procedure, as PED computes and displays it.
+class DependenceGraph {
+ public:
+  /// Run all supporting analyses and build the graph.
+  static DependenceGraph build(ir::ProcedureModel& model,
+                               const AnalysisContext& ctx = {});
+
+  [[nodiscard]] const std::vector<Dependence>& all() const { return deps_; }
+  [[nodiscard]] std::vector<Dependence>& allMutable() { return deps_; }
+
+  /// Dependences whose endpoints both lie in the given loop (the dependence
+  /// pane's progressive disclosure: "when the user expresses interest in a
+  /// particular loop ... the selected loop's dependences immediately
+  /// appear").
+  [[nodiscard]] std::vector<const Dependence*> forLoop(
+      const ir::Loop& loop) const;
+
+  /// Dependences that inhibit parallelization of the loop: active
+  /// loop-carried edges whose carrier is this loop.
+  [[nodiscard]] std::vector<const Dependence*> parallelismInhibitors(
+      const ir::Loop& loop) const;
+
+  /// True when the loop may run its iterations in parallel under the
+  /// current marking/classification.
+  [[nodiscard]] bool parallelizable(const ir::Loop& loop) const;
+
+  [[nodiscard]] Dependence* byId(std::uint32_t id);
+  [[nodiscard]] const TestStats& stats() const { return stats_; }
+
+  /// The statistics of supporting analyses, for Table 3 style reporting.
+  struct Summary {
+    int totalDeps = 0;
+    int provenDeps = 0;
+    int pendingDeps = 0;
+    int carriedDeps = 0;
+    int controlDeps = 0;
+    int interprocDeps = 0;
+  };
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  std::vector<Dependence> deps_;
+  ir::ProcedureModel* model_ = nullptr;
+  TestStats stats_;
+  std::uint32_t nextId_ = 1;
+};
+
+}  // namespace ps::dep
+
+#endif  // PS_DEPENDENCE_GRAPH_H

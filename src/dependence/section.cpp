@@ -1,0 +1,24 @@
+#include "dependence/section.h"
+
+#include "fortran/pretty.h"
+
+namespace ps::dep {
+
+std::string SectionDim::str() const {
+  std::string l = lo ? fortran::printExpr(*lo) : "*";
+  std::string h = hi ? fortran::printExpr(*hi) : "*";
+  if (l == h) return l;
+  return l + ":" + h;
+}
+
+std::string Section::str() const {
+  std::string out = array + "(";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i) out += ", ";
+    out += dims[i] ? dims[i]->str() : "*";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ps::dep

@@ -1,0 +1,94 @@
+#ifndef PS_DEPENDENCE_SECTION_H
+#define PS_DEPENDENCE_SECTION_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fortran/ast.h"
+
+namespace ps::dep {
+
+/// One dimension of a bounded regular section [Havlak–Kennedy]: an inclusive
+/// range of subscript values as caller-scope expressions (actual arguments
+/// substituted for formals by the interprocedural translator).
+struct SectionDim {
+  fortran::ExprPtr lo;
+  fortran::ExprPtr hi;
+
+  [[nodiscard]] SectionDim clone() const {
+    SectionDim d;
+    if (lo) d.lo = lo->clone();
+    if (hi) d.hi = hi->clone();
+    return d;
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+/// A bounded regular section over an array. A disengaged dimension means
+/// "whole extent / unknown".
+struct Section {
+  std::string array;
+  std::vector<std::optional<SectionDim>> dims;
+
+  [[nodiscard]] Section clone() const {
+    Section s;
+    s.array = array;
+    for (const auto& d : dims) {
+      if (d) {
+        s.dims.push_back(d->clone());
+      } else {
+        s.dims.emplace_back();
+      }
+    }
+    return s;
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+/// The effect of one call site on one caller-visible variable, produced by
+/// interprocedural MOD/REF/KILL + regular-section analysis.
+struct CallEffect {
+  std::string var;
+  bool isArray = false;
+  bool mayRead = false;
+  bool mayWrite = false;
+  /// Every-path overwrite of the section (flow-sensitive KILL analysis).
+  bool kills = false;
+  /// The callee may read the variable's incoming value (a read reachable
+  /// from entry before any kill) — interprocedural upward-exposed use.
+  bool exposedRead = false;
+  /// When known, the accessed portion of an array, in caller terms.
+  std::optional<Section> section;
+
+  [[nodiscard]] CallEffect clone() const {
+    CallEffect e;
+    e.var = var;
+    e.isArray = isArray;
+    e.mayRead = mayRead;
+    e.mayWrite = mayWrite;
+    e.kills = kills;
+    e.exposedRead = exposedRead;
+    if (section) e.section = section->clone();
+    return e;
+  }
+};
+
+/// Interface the dependence-graph builder uses to ask about procedure
+/// calls. The interproc module provides the real implementation; a null
+/// oracle forces worst-case assumptions (every call may read and write all
+/// of its actuals and all COMMON storage) — exactly the baseline Table 3's
+/// "sections" row improves on.
+class SideEffectOracle {
+ public:
+  virtual ~SideEffectOracle() = default;
+  /// True when summaries exist for this callee.
+  [[nodiscard]] virtual bool knowsCallee(const std::string& name) const = 0;
+  /// Effects of the named call in this statement, in caller terms.
+  [[nodiscard]] virtual std::vector<CallEffect> effectsOfCall(
+      const fortran::Stmt& stmt, const std::string& callee) const = 0;
+};
+
+}  // namespace ps::dep
+
+#endif  // PS_DEPENDENCE_SECTION_H

@@ -1,0 +1,124 @@
+#include "dependence/subscript.h"
+
+#include "fortran/pretty.h"
+#include "ir/refs.h"
+
+namespace ps::dep {
+
+using dataflow::LinearExpr;
+using fortran::BinOp;
+using fortran::Expr;
+using fortran::ExprKind;
+using fortran::UnOp;
+
+std::string OpaqueTable::intern(const Expr& e) {
+  std::string symbol = "@" + fortran::printExpr(e);
+  auto it = terms_.find(symbol);
+  if (it != terms_.end()) return symbol;
+  OpaqueTerm term;
+  term.symbol = symbol;
+  if (e.kind == ExprKind::ArrayRef ||
+      (e.kind == ExprKind::FuncCall && !ir::isIntrinsic(e.name))) {
+    term.array = e.name;
+    if (!e.args.empty()) term.innerPrinted = fortran::printExpr(*e.args[0]);
+  }
+  e.forEach([&](const Expr& sub) {
+    if (sub.kind == ExprKind::VarRef) term.vars.insert(sub.name);
+    if (sub.kind == ExprKind::ArrayRef || sub.kind == ExprKind::FuncCall) {
+      for (const auto& a : sub.args) {
+        a->forEach([&](const Expr& inner) {
+          if (inner.kind == ExprKind::VarRef) term.vars.insert(inner.name);
+        });
+      }
+    }
+  });
+  terms_.emplace(symbol, std::move(term));
+  return symbol;
+}
+
+const OpaqueTerm* OpaqueTable::find(const std::string& symbol) const {
+  auto it = terms_.find(symbol);
+  return it == terms_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+LinearExpr opaque(const Expr& e, OpaqueTable& t) {
+  LinearExpr out;
+  out.coef[t.intern(e)] = 1;
+  if (e.kind == ExprKind::ArrayRef) out.hasIndexArray = true;
+  if (e.kind == ExprKind::FuncCall) {
+    out.hasCall = true;
+    if (!ir::isIntrinsic(e.name)) out.hasIndexArray = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearExpr linearizeSubscript(
+    const Expr& e, const std::map<std::string, LinearExpr>& substitute,
+    OpaqueTable& opaques) {
+  switch (e.kind) {
+    case ExprKind::IntConst: {
+      LinearExpr out;
+      out.constant = e.intValue;
+      return out;
+    }
+    case ExprKind::VarRef: {
+      auto it = substitute.find(e.name);
+      if (it != substitute.end() && it->second.affine) return it->second;
+      LinearExpr out;
+      out.coef[e.name] = 1;
+      return out;
+    }
+    case ExprKind::ArrayRef:
+    case ExprKind::FuncCall:
+      return opaque(e, opaques);
+    case ExprKind::Unary: {
+      if (e.unOp == UnOp::Neg) {
+        LinearExpr v = linearizeSubscript(*e.lhs, substitute, opaques);
+        LinearExpr out;
+        out.add(v, -1);
+        return out;
+      }
+      if (e.unOp == UnOp::Plus) {
+        return linearizeSubscript(*e.lhs, substitute, opaques);
+      }
+      return opaque(e, opaques);
+    }
+    case ExprKind::Binary: {
+      switch (e.binOp) {
+        case BinOp::Add: {
+          LinearExpr l = linearizeSubscript(*e.lhs, substitute, opaques);
+          return l.add(linearizeSubscript(*e.rhs, substitute, opaques), 1);
+        }
+        case BinOp::Sub: {
+          LinearExpr l = linearizeSubscript(*e.lhs, substitute, opaques);
+          return l.add(linearizeSubscript(*e.rhs, substitute, opaques), -1);
+        }
+        case BinOp::Mul: {
+          LinearExpr l = linearizeSubscript(*e.lhs, substitute, opaques);
+          LinearExpr r = linearizeSubscript(*e.rhs, substitute, opaques);
+          if (l.isConstant()) {
+            LinearExpr out;
+            out.add(r, l.constant);
+            return out;
+          }
+          if (r.isConstant()) {
+            LinearExpr out;
+            out.add(l, r.constant);
+            return out;
+          }
+          return opaque(e, opaques);
+        }
+        default:
+          return opaque(e, opaques);
+      }
+    }
+    default:
+      return opaque(e, opaques);
+  }
+}
+
+}  // namespace ps::dep

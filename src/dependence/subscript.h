@@ -1,0 +1,53 @@
+#ifndef PS_DEPENDENCE_SUBSCRIPT_H
+#define PS_DEPENDENCE_SUBSCRIPT_H
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "dataflow/linear.h"
+#include "fortran/ast.h"
+
+namespace ps::dep {
+
+/// Information about one opaque term created while linearizing a subscript:
+/// a subtree the linear model cannot express (index-array reference,
+/// non-intrinsic call, nonlinear product). Opaque terms are named
+/// "@<printed-expr>", so structurally identical subtrees map to the same
+/// symbol and cancel when both references see the same value.
+struct OpaqueTerm {
+  std::string symbol;        // "@IT(N)"
+  std::string array;         // "IT" when the term is an array reference
+  std::string innerPrinted;  // printed first subscript, e.g. "N"
+  std::set<std::string> vars;  // variables occurring inside the term
+};
+
+/// Registry of opaque terms seen while linearizing a procedure's subscripts.
+class OpaqueTable {
+ public:
+  /// Intern an opaque subtree; returns its symbol.
+  std::string intern(const fortran::Expr& e);
+
+  [[nodiscard]] const OpaqueTerm* find(const std::string& symbol) const;
+  [[nodiscard]] const std::map<std::string, OpaqueTerm>& all() const {
+    return terms_;
+  }
+
+ private:
+  std::map<std::string, OpaqueTerm> terms_;
+};
+
+/// Linearize a subscript expression into an affine form over induction
+/// variables, symbolic scalars, and opaque terms. Unlike
+/// dataflow::linearize, the result is *always* affine — inexpressible
+/// subtrees become opaque symbols — which lets the dependence tester reason
+/// uniformly and cancel identical unknowns, the practical treatment of
+/// symbolics from Goff–Kennedy–Tseng.
+[[nodiscard]] dataflow::LinearExpr linearizeSubscript(
+    const fortran::Expr& e,
+    const std::map<std::string, dataflow::LinearExpr>& substitute,
+    OpaqueTable& opaques);
+
+}  // namespace ps::dep
+
+#endif  // PS_DEPENDENCE_SUBSCRIPT_H

@@ -1,0 +1,154 @@
+#ifndef PS_DEPENDENCE_TESTSUITE_H
+#define PS_DEPENDENCE_TESTSUITE_H
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataflow/linear.h"
+#include "dependence/dep.h"
+#include "dependence/fm.h"
+#include "dependence/section.h"
+#include "dependence/subscript.h"
+#include "fortran/ast.h"
+
+namespace ps::dep {
+
+/// One loop of the common nest enclosing a reference pair, outermost first.
+struct LoopContext {
+  std::string iv;
+  dataflow::LinearExpr lo;  // linearized lower bound (loop-entry values)
+  dataflow::LinearExpr hi;  // linearized upper bound
+  long long step = 1;       // 0 = unknown (non-constant step)
+  fortran::StmtId doStmt = fortran::kInvalidStmt;
+};
+
+/// A linear fact known to hold: expr >= 0 (or > 0 when strict). Sources:
+/// loop bounds of enclosing non-common loops, symbolic relations, and user
+/// RELATION / RANGE assertions.
+struct Fact {
+  dataflow::LinearExpr expr;
+  bool strict = false;
+};
+
+/// Assertions about index arrays (the paper's §3.3 / §4.3 obstacles).
+struct IndexArrayFacts {
+  /// PERMUTATION(A): A maps distinct arguments to distinct values.
+  std::set<std::string> permutation;
+  /// STRIDED(A, k): A is monotone increasing with A(i+1) >= A(i) + k.
+  std::map<std::string, long long> strided;
+  /// SEPARATED(A, B, k): min over B's values minus max over A's >= k.
+  std::map<std::pair<std::string, std::string>, long long> separated;
+
+  [[nodiscard]] bool empty() const {
+    return permutation.empty() && strided.empty() && separated.empty();
+  }
+};
+
+/// A pair of array references (same array) to test for dependence, with the
+/// substitution maps of their statements.
+struct RefPair {
+  const fortran::Expr* src = nullptr;
+  const fortran::Expr* dst = nullptr;
+  const std::map<std::string, dataflow::LinearExpr>* srcSub = nullptr;
+  const std::map<std::string, dataflow::LinearExpr>* dstSub = nullptr;
+};
+
+enum class DepAnswer {
+  NoDependence,       // proved independent
+  DependenceExact,    // dependence exists and the test was exact (-> proven)
+  DependenceAssumed,  // could not disprove (-> pending)
+};
+
+struct LevelResult {
+  DepAnswer answer = DepAnswer::DependenceAssumed;
+  /// Iteration distance at the carrier level when exactly known.
+  std::optional<long long> distance;
+};
+
+/// Counters for the hierarchical suite (ablation benches A1/A3).
+struct TestStats {
+  long long zivDisproofs = 0;
+  long long zivExact = 0;
+  long long strongSiv = 0;
+  long long strongSivDisproofs = 0;
+  long long indexArrayDisproofs = 0;
+  long long fmRuns = 0;
+  long long fmDisproofs = 0;
+  long long assumed = 0;
+};
+
+/// The hierarchical dependence tester: "a hierarchical suite of tests is
+/// used, starting with inexpensive tests, to prove or disprove that a
+/// dependence exists" [19]. `cheapFirst=false` skips the ZIV/SIV tiers and
+/// goes straight to Fourier–Motzkin (ablation A1).
+class DependenceTester {
+ public:
+  DependenceTester(std::vector<LoopContext> commonLoops,
+                   std::vector<Fact> facts, IndexArrayFacts indexFacts,
+                   OpaqueTable& opaques,
+                   std::set<std::string> variantVars = {},
+                   bool cheapFirst = true);
+
+  /// Test for a dependence src -> dst carried at `level` (1-based index into
+  /// the common nest; 0 = loop-independent, i.e. same iteration of every
+  /// common loop). `innerDir` optionally constrains the direction at the
+  /// next-deeper level (level+1), for direction-vector refinement.
+  [[nodiscard]] LevelResult test(const RefPair& pair, int level,
+                                 Direction innerDir = Direction::Star);
+
+  /// Test a dependence between an array reference and a call-site section
+  /// access (interprocedural side-effect endpoint). NoDependence means the
+  /// reference provably lies outside the section under the iteration
+  /// constraints.
+  [[nodiscard]] LevelResult testSection(
+      const fortran::Expr& ref,
+      const std::map<std::string, dataflow::LinearExpr>& refSub,
+      const Section& section,
+      const std::map<std::string, dataflow::LinearExpr>& callSub, int level,
+      bool callIsSrc);
+
+  /// Overlap test between two call-site sections (call-call dependence).
+  [[nodiscard]] LevelResult testSections(
+      const Section& a,
+      const std::map<std::string, dataflow::LinearExpr>& aSub,
+      const Section& b,
+      const std::map<std::string, dataflow::LinearExpr>& bSub, int level);
+
+  [[nodiscard]] const TestStats& stats() const { return stats_; }
+  [[nodiscard]] int numCommonLoops() const {
+    return static_cast<int>(loops_.size());
+  }
+
+ private:
+  /// Linearize one side of a dimension with iteration tagging for `level`.
+  dataflow::LinearExpr tagged(
+      const fortran::Expr& e,
+      const std::map<std::string, dataflow::LinearExpr>& sub, int level,
+      bool isSrc);
+  /// Rename iteration-variant symbols in a linear form.
+  dataflow::LinearExpr tagForm(const dataflow::LinearExpr& f, int level,
+                               bool isSrc) const;
+  [[nodiscard]] bool variantAtOrBelow(const std::string& var,
+                                      int level) const;
+
+  bool indexArrayDisproof(const dataflow::LinearExpr& diff, int level) const;
+
+  /// Append iteration-variable bounds, carrier direction and facts, then run
+  /// Fourier–Motzkin; returns true when the system is infeasible.
+  bool finishFm(std::vector<Constraint> cs, int level);
+
+  std::vector<LoopContext> loops_;
+  std::vector<Fact> facts_;
+  IndexArrayFacts indexFacts_;
+  OpaqueTable& opaques_;
+  std::set<std::string> variantVars_;
+  bool cheapFirst_;
+  TestStats stats_;
+};
+
+}  // namespace ps::dep
+
+#endif  // PS_DEPENDENCE_TESTSUITE_H

@@ -1,0 +1,54 @@
+#ifndef PS_FORTRAN_LEXER_H
+#define PS_FORTRAN_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fortran/token.h"
+#include "support/diagnostics.h"
+
+namespace ps::fortran {
+
+/// Lexes a relaxed Fortran-77 dialect:
+///  - comment lines: 'C', 'c' or '*' in column 1, or '!' anywhere;
+///  - statement labels: leading integer on a line;
+///  - continuations: a non-blank character in column 6 of a line whose
+///    columns 1-5 are blank (fixed form), or a trailing '&' (free form);
+///  - keywords are not reserved; identifiers are upper-cased;
+///  - directive comments beginning with 'CPED$' or '!PED$' are preserved
+///    and surfaced to the parser as assertion lines.
+///
+/// The lexer emits a Newline token at every statement boundary so the parser
+/// can stay line-oriented, as Fortran is.
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Tokenize the whole source.
+  [[nodiscard]] std::vector<Token> run();
+
+  /// Directive comment payloads encountered, with the line each appeared on.
+  /// The payload is everything after the 'PED$' sentinel, upper-cased.
+  struct Directive {
+    int line;
+    std::string text;
+  };
+  [[nodiscard]] const std::vector<Directive>& directives() const {
+    return directives_;
+  }
+
+ private:
+  void lexLine(std::string_view line, int lineNo, bool continuation,
+               std::vector<Token>& out);
+  void lexBody(std::string_view body, int lineNo, int colBase,
+               std::vector<Token>& out);
+
+  std::string source_;
+  DiagnosticEngine& diags_;
+  std::vector<Directive> directives_;
+};
+
+}  // namespace ps::fortran
+
+#endif  // PS_FORTRAN_LEXER_H

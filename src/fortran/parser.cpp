@@ -1,0 +1,954 @@
+#include "fortran/parser.h"
+
+#include <cassert>
+
+namespace ps::fortran {
+
+namespace {
+
+/// Statement keywords that begin a non-assignment statement. Fortran has no
+/// reserved words, so these only apply when the following token is not '='.
+bool isStatementKeyword(const std::string& w) {
+  static const char* kws[] = {
+      "DO",      "IF",        "ELSE",   "ELSEIF", "ENDIF",    "END",
+      "ENDDO",   "GOTO",      "GO",     "CALL",   "CONTINUE", "RETURN",
+      "STOP",    "READ",      "WRITE",  "PRINT",  "FORMAT",   "PROGRAM",
+      "SUBROUTINE", "FUNCTION", "DATA",
+  };
+  for (const char* k : kws) {
+    if (w == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens,
+               std::vector<Lexer::Directive> directives,
+               DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)),
+      directives_(std::move(directives)),
+      diags_(diags) {}
+
+const Token& Parser::peek(int ahead) const {
+  std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  if (i >= tokens_.size()) return tokens_.back();
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(Tok k) {
+  if (check(k)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::matchKeyword(const char* kw) {
+  if (checkKeyword(kw)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::expect(Tok k, const char* context) {
+  if (match(k)) return true;
+  diags_.error(peek().loc, std::string("expected ") + tokName(k) + " in " +
+                               context + ", found " + tokName(peek().kind));
+  return false;
+}
+
+void Parser::skipToNewline() {
+  while (!check(Tok::Newline) && !check(Tok::EndOfFile)) advance();
+  match(Tok::Newline);
+}
+
+void Parser::expectNewline(const char* context) {
+  if (!match(Tok::Newline) && !check(Tok::EndOfFile)) {
+    diags_.error(peek().loc,
+                 std::string("unexpected tokens after ") + context);
+    skipToNewline();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Program structure
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  program_ = std::make_unique<Program>();
+  while (!check(Tok::EndOfFile)) {
+    if (match(Tok::Newline)) continue;
+    auto unit = parseUnit();
+    if (unit) {
+      program_->units.push_back(std::move(unit));
+    } else {
+      skipToNewline();
+    }
+  }
+  return std::move(program_);
+}
+
+ProcedurePtr Parser::parseUnit() {
+  auto proc = std::make_unique<Procedure>();
+  proc->loc = peek().loc;
+  current_ = proc.get();
+
+  // Optional typed FUNCTION header: REAL FUNCTION F(X) etc.
+  TypeKind fnType = TypeKind::Unknown;
+  std::size_t save = pos_;
+  if (checkKeyword("INTEGER") || checkKeyword("REAL") ||
+      checkKeyword("LOGICAL") || checkKeyword("DOUBLE")) {
+    if (peek().isKeyword("DOUBLE") && peek(1).isKeyword("PRECISION") &&
+        peek(2).isKeyword("FUNCTION")) {
+      fnType = TypeKind::DoublePrecision;
+      advance();
+      advance();
+    } else if (peek(1).isKeyword("FUNCTION")) {
+      if (peek().isKeyword("INTEGER")) fnType = TypeKind::Integer;
+      else if (peek().isKeyword("REAL")) fnType = TypeKind::Real;
+      else if (peek().isKeyword("LOGICAL")) fnType = TypeKind::Logical;
+      advance();
+    } else {
+      pos_ = save;
+    }
+  }
+
+  if (matchKeyword("PROGRAM")) {
+    proc->kind = ProcKind::Program;
+    proc->name = peek().text;
+    if (!expect(Tok::Identifier, "PROGRAM header")) return nullptr;
+    expectNewline("PROGRAM header");
+  } else if (matchKeyword("SUBROUTINE") || checkKeyword("FUNCTION")) {
+    bool isFunction = matchKeyword("FUNCTION");
+    proc->kind = isFunction ? ProcKind::Function : ProcKind::Subroutine;
+    proc->returnType = fnType;
+    proc->name = peek().text;
+    if (!expect(Tok::Identifier, "procedure header")) return nullptr;
+    if (match(Tok::LParen)) {
+      if (!check(Tok::RParen)) {
+        do {
+          if (!check(Tok::Identifier)) {
+            diags_.error(peek().loc, "expected parameter name");
+            break;
+          }
+          proc->params.push_back(advance().text);
+        } while (match(Tok::Comma));
+      }
+      expect(Tok::RParen, "parameter list");
+    }
+    expectNewline("procedure header");
+  } else {
+    // Implicit main program: a file that begins with statements.
+    proc->kind = ProcKind::Program;
+    proc->name = "MAIN";
+  }
+
+  parseUnitBody(*proc);
+  current_ = nullptr;
+  return proc;
+}
+
+void Parser::parseUnitBody(Procedure& proc) {
+  // Declarations come first; the first non-declaration line starts the
+  // executable part.
+  while (!check(Tok::EndOfFile)) {
+    if (match(Tok::Newline)) continue;
+    if (!parseDeclaration(proc)) break;
+  }
+  // Executable statements until END.
+  while (!check(Tok::EndOfFile)) {
+    if (match(Tok::Newline)) continue;
+    flushDirectives(proc.body);
+    if (checkKeyword("END") && !peek(1).is(Tok::Assign)) {
+      advance();
+      expectNewline("END");
+      break;
+    }
+    auto stmt = parseStatement();
+    if (stmt) proc.body.push_back(std::move(stmt));
+  }
+  // Resolve implicit types for anything referenced but not declared.
+  proc.forEachStmtMutable([&](Stmt& s) {
+    s.forEachExprMutable([&](Expr& e) {
+      if (e.kind == ExprKind::VarRef || e.kind == ExprKind::ArrayRef) {
+        if (!proc.findDecl(e.name)) {
+          VarDecl d;
+          d.name = e.name;
+          d.type = implicitType(e.name);
+          d.loc = e.loc;
+          if (e.kind == ExprKind::ArrayRef) {
+            // Referenced as an array without a declaration: synthesize an
+            // assumed-size declaration so analyses have a shape to work with.
+            for (std::size_t i = 0; i < e.args.size(); ++i) {
+              d.dims.emplace_back();
+            }
+          }
+          proc.decls.push_back(std::move(d));
+        }
+      }
+    });
+  });
+  for (auto& d : proc.decls) {
+    if (d.type == TypeKind::Unknown) d.type = implicitType(d.name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+bool Parser::parseDeclaration(Procedure& proc) {
+  if (check(Tok::Label)) return false;  // labeled statements are executable
+  if (!check(Tok::Identifier)) return false;
+  const std::string& w = peek().text;
+  if (peek(1).is(Tok::Assign)) return false;  // assignment, not a decl
+
+  if (w == "IMPLICIT") {
+    skipToNewline();  // IMPLICIT NONE etc.; we use standard implicit rules
+    return true;
+  }
+  if (w == "INTEGER" || w == "REAL" || w == "LOGICAL" || w == "CHARACTER") {
+    TypeKind t = TypeKind::Integer;
+    if (w == "REAL") t = TypeKind::Real;
+    else if (w == "LOGICAL") t = TypeKind::Logical;
+    else if (w == "CHARACTER") t = TypeKind::Character;
+    advance();
+    // Optional size: REAL*8 => double precision.
+    if (match(Tok::Star)) {
+      long long size = 4;
+      if (check(Tok::IntLiteral)) size = advance().intValue;
+      if (t == TypeKind::Real && size >= 8) t = TypeKind::DoublePrecision;
+    }
+    parseTypeDeclLine(proc, t);
+    return true;
+  }
+  if (w == "DOUBLE" && peek(1).isKeyword("PRECISION")) {
+    advance();
+    advance();
+    parseTypeDeclLine(proc, TypeKind::DoublePrecision);
+    return true;
+  }
+  if (w == "DIMENSION") {
+    advance();
+    parseDimensionLine(proc);
+    return true;
+  }
+  if (w == "COMMON") {
+    advance();
+    parseCommonLine(proc);
+    return true;
+  }
+  if (w == "PARAMETER") {
+    advance();
+    parseParameterLine(proc);
+    return true;
+  }
+  if (w == "DATA" || w == "EXTERNAL" || w == "INTRINSIC" || w == "SAVE") {
+    skipToNewline();
+    return true;
+  }
+  return false;
+}
+
+void Parser::parseTypeDeclLine(Procedure& proc, TypeKind type) {
+  do {
+    if (!check(Tok::Identifier)) {
+      diags_.error(peek().loc, "expected variable name in declaration");
+      skipToNewline();
+      return;
+    }
+    std::string name = advance().text;
+    VarDecl* existing = proc.findDecl(name);
+    VarDecl fresh;
+    VarDecl& d = existing ? *existing : fresh;
+    d.name = name;
+    d.type = type;
+    d.loc = peek().loc;
+    if (check(Tok::LParen)) {
+      d.dims = parseDimList();
+    }
+    if (!existing) proc.decls.push_back(std::move(fresh));
+  } while (match(Tok::Comma));
+  expectNewline("type declaration");
+}
+
+std::vector<Dimension> Parser::parseDimList() {
+  std::vector<Dimension> dims;
+  expect(Tok::LParen, "dimension list");
+  do {
+    Dimension dim;
+    if (match(Tok::Star)) {
+      // assumed size
+    } else {
+      ExprPtr first = parseExpr();
+      if (match(Tok::Colon)) {
+        dim.lower = std::move(first);
+        if (match(Tok::Star)) {
+          // A(lo:*)
+        } else {
+          dim.upper = parseExpr();
+        }
+      } else {
+        dim.upper = std::move(first);
+      }
+    }
+    dims.push_back(std::move(dim));
+  } while (match(Tok::Comma));
+  expect(Tok::RParen, "dimension list");
+  return dims;
+}
+
+void Parser::parseDimensionLine(Procedure& proc) {
+  do {
+    if (!check(Tok::Identifier)) {
+      diags_.error(peek().loc, "expected array name in DIMENSION");
+      skipToNewline();
+      return;
+    }
+    std::string name = advance().text;
+    auto dims = parseDimList();
+    if (VarDecl* d = proc.findDecl(name)) {
+      d->dims = std::move(dims);
+    } else {
+      VarDecl fresh;
+      fresh.name = name;
+      fresh.type = implicitType(name);
+      fresh.dims = std::move(dims);
+      proc.decls.push_back(std::move(fresh));
+    }
+  } while (match(Tok::Comma));
+  expectNewline("DIMENSION");
+}
+
+void Parser::parseCommonLine(Procedure& proc) {
+  std::string block = "//";  // blank common
+  if (match(Tok::Slash)) {
+    if (check(Tok::Identifier)) block = advance().text;
+    expect(Tok::Slash, "COMMON block name");
+  }
+  do {
+    if (!check(Tok::Identifier)) {
+      diags_.error(peek().loc, "expected variable name in COMMON");
+      skipToNewline();
+      return;
+    }
+    std::string name = advance().text;
+    std::vector<Dimension> dims;
+    if (check(Tok::LParen)) dims = parseDimList();
+    if (VarDecl* d = proc.findDecl(name)) {
+      d->commonBlock = block;
+      if (!dims.empty()) d->dims = std::move(dims);
+    } else {
+      VarDecl fresh;
+      fresh.name = name;
+      fresh.type = implicitType(name);
+      fresh.commonBlock = block;
+      fresh.dims = std::move(dims);
+      proc.decls.push_back(std::move(fresh));
+    }
+    // Another /BLOCK/ may follow mid-line.
+    if (check(Tok::Slash)) {
+      advance();
+      if (check(Tok::Identifier)) block = advance().text;
+      expect(Tok::Slash, "COMMON block name");
+      continue;
+    }
+  } while (match(Tok::Comma));
+  expectNewline("COMMON");
+}
+
+void Parser::parseParameterLine(Procedure& proc) {
+  expect(Tok::LParen, "PARAMETER");
+  do {
+    if (!check(Tok::Identifier)) {
+      diags_.error(peek().loc, "expected name in PARAMETER");
+      break;
+    }
+    std::string name = advance().text;
+    expect(Tok::Assign, "PARAMETER");
+    ExprPtr value = parseExpr();
+    if (VarDecl* d = proc.findDecl(name)) {
+      d->isParameter = true;
+      d->parameterValue = std::move(value);
+    } else {
+      VarDecl fresh;
+      fresh.name = name;
+      fresh.type = implicitType(name);
+      fresh.isParameter = true;
+      fresh.parameterValue = std::move(value);
+      proc.decls.push_back(std::move(fresh));
+    }
+  } while (match(Tok::Comma));
+  expect(Tok::RParen, "PARAMETER");
+  expectNewline("PARAMETER");
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void Parser::flushDirectives(std::vector<StmtPtr>& into) {
+  int curLine = peek().loc.line;
+  while (directiveIdx_ < directives_.size() &&
+         directives_[directiveIdx_].line < curLine) {
+    auto s = makeStmt(StmtKind::Assertion,
+                      {directives_[directiveIdx_].line, 1});
+    s->id = freshId();
+    s->assertionText = directives_[directiveIdx_].text;
+    into.push_back(std::move(s));
+    ++directiveIdx_;
+  }
+}
+
+StmtPtr Parser::parseStatement() {
+  int label = 0;
+  SourceLoc loc = peek().loc;
+  if (check(Tok::Label)) {
+    label = static_cast<int>(advance().intValue);
+  }
+  return parseStatementAfterLabel(label, loc);
+}
+
+StmtPtr Parser::parseStatementAfterLabel(int label, SourceLoc loc) {
+  if (check(Tok::Identifier) && !peek(1).is(Tok::Assign)) {
+    const std::string& w = peek().text;
+    if (w == "DO" &&
+        (peek(1).is(Tok::IntLiteral) ||
+         (peek(1).is(Tok::Identifier) && peek(2).is(Tok::Assign)) ||
+         peek(1).isKeyword("WHILE"))) {
+      advance();
+      return parseDo(label, loc);
+    }
+    if (w == "PARALLEL" && peek(1).isKeyword("DO")) {
+      advance();
+      advance();
+      auto s = parseDo(label, loc);
+      if (s) s->isParallel = true;
+      return s;
+    }
+    if (w == "IF" && peek(1).is(Tok::LParen)) {
+      advance();
+      return parseIf(label, loc);
+    }
+    if (isStatementKeyword(w) && w != "DO" && w != "IF") {
+      return parseSimpleStatement(label, loc);
+    }
+  }
+  return parseAssignment(label, loc);
+}
+
+StmtPtr Parser::parseDo(int label, SourceLoc loc) {
+  auto s = makeStmt(StmtKind::Do, loc);
+  s->id = freshId();
+  s->label = label;
+
+  int endLabel = 0;
+  if (check(Tok::IntLiteral)) {
+    endLabel = static_cast<int>(advance().intValue);
+    match(Tok::Comma);  // DO 10, I = ...
+  }
+  s->doEndLabel = endLabel;
+
+  if (!check(Tok::Identifier)) {
+    diags_.error(peek().loc, "expected DO variable");
+    skipToNewline();
+    return nullptr;
+  }
+  s->doVar = advance().text;
+  expect(Tok::Assign, "DO statement");
+  s->doLo = parseExpr();
+  expect(Tok::Comma, "DO statement");
+  s->doHi = parseExpr();
+  if (match(Tok::Comma)) s->doStep = parseExpr();
+  expectNewline("DO statement");
+
+  parseBody(s->body, endLabel);
+
+  if (endLabel == 0) {
+    // Body ended at ENDDO (consumed by parseBody).
+  }
+  return s;
+}
+
+void Parser::parseBody(std::vector<StmtPtr>& into, int doEndLabel) {
+  lastClosedLabel_ = 0;
+  while (!check(Tok::EndOfFile)) {
+    if (match(Tok::Newline)) continue;
+    flushDirectives(into);
+
+    if (doEndLabel == 0) {
+      if (checkKeyword("ENDDO")) {
+        advance();
+        expectNewline("ENDDO");
+        return;
+      }
+      if (checkKeyword("END") && peek(1).isKeyword("DO")) {
+        advance();
+        advance();
+        expectNewline("END DO");
+        return;
+      }
+    }
+    if (checkKeyword("END") && !peek(1).is(Tok::Assign) &&
+        !peek(1).isKeyword("DO")) {
+      diags_.error(peek().loc, "unterminated DO body at END");
+      return;  // leave END for the unit parser
+    }
+
+    int label = 0;
+    SourceLoc loc = peek().loc;
+    if (check(Tok::Label)) label = static_cast<int>(advance().intValue);
+
+    auto stmt = parseStatementAfterLabel(label, loc);
+    if (stmt) {
+      bool closes = (doEndLabel != 0 && label == doEndLabel);
+      into.push_back(std::move(stmt));
+      if (closes) {
+        lastClosedLabel_ = label;
+        return;
+      }
+      // A nested DO that shares our terminating label closes us too.
+      if (doEndLabel != 0 && lastClosedLabel_ == doEndLabel) {
+        return;  // keep lastClosedLabel_ set for any further enclosing DO
+      }
+      lastClosedLabel_ = 0;
+    }
+  }
+  if (doEndLabel != 0) {
+    diags_.error(peek().loc, "DO body not terminated by label " +
+                                 std::to_string(doEndLabel));
+  }
+}
+
+StmtPtr Parser::parseIf(int label, SourceLoc loc) {
+  expect(Tok::LParen, "IF");
+  ExprPtr cond = parseExpr();
+  expect(Tok::RParen, "IF");
+
+  // Arithmetic IF: IF (e) l1, l2, l3
+  if (check(Tok::IntLiteral)) {
+    auto s = makeStmt(StmtKind::ArithmeticIf, loc);
+    s->id = freshId();
+    s->label = label;
+    s->condExpr = std::move(cond);
+    s->aifLabels[0] = static_cast<int>(advance().intValue);
+    expect(Tok::Comma, "arithmetic IF");
+    s->aifLabels[1] = static_cast<int>(advance().intValue);
+    expect(Tok::Comma, "arithmetic IF");
+    s->aifLabels[2] = static_cast<int>(advance().intValue);
+    expectNewline("arithmetic IF");
+    return s;
+  }
+
+  if (matchKeyword("THEN")) {
+    // Block IF.
+    expectNewline("IF ... THEN");
+    auto s = makeStmt(StmtKind::If, loc);
+    s->id = freshId();
+    s->label = label;
+    IfArm arm;
+    arm.condition = std::move(cond);
+    s->arms.push_back(std::move(arm));
+
+    while (!check(Tok::EndOfFile)) {
+      if (match(Tok::Newline)) continue;
+      flushDirectives(s->arms.back().body.empty() && s->arms.size() == 1
+                          ? s->arms.back().body
+                          : s->arms.back().body);
+      // ELSE IF / ELSEIF
+      if (checkKeyword("ELSEIF") ||
+          (checkKeyword("ELSE") && peek(1).isKeyword("IF"))) {
+        if (matchKeyword("ELSEIF")) {
+        } else {
+          advance();
+          advance();
+        }
+        expect(Tok::LParen, "ELSE IF");
+        ExprPtr c = parseExpr();
+        expect(Tok::RParen, "ELSE IF");
+        matchKeyword("THEN");
+        expectNewline("ELSE IF");
+        IfArm next;
+        next.condition = std::move(c);
+        s->arms.push_back(std::move(next));
+        continue;
+      }
+      if (checkKeyword("ELSE") && !peek(1).isKeyword("IF")) {
+        advance();
+        expectNewline("ELSE");
+        IfArm elseArm;  // null condition
+        s->arms.push_back(std::move(elseArm));
+        continue;
+      }
+      if (checkKeyword("ENDIF") ||
+          (checkKeyword("END") && peek(1).isKeyword("IF"))) {
+        if (matchKeyword("ENDIF")) {
+        } else {
+          advance();
+          advance();
+        }
+        expectNewline("ENDIF");
+        break;
+      }
+      if (checkKeyword("END") && !peek(1).is(Tok::Assign)) {
+        diags_.error(peek().loc, "unterminated IF at END");
+        break;
+      }
+      int innerLabel = 0;
+      SourceLoc innerLoc = peek().loc;
+      if (check(Tok::Label)) innerLabel = static_cast<int>(advance().intValue);
+      auto stmt = parseStatementAfterLabel(innerLabel, innerLoc);
+      if (stmt) s->arms.back().body.push_back(std::move(stmt));
+    }
+    return s;
+  }
+
+  // Logical IF: IF (cond) simple-statement
+  auto s = makeStmt(StmtKind::If, loc);
+  s->id = freshId();
+  s->label = label;
+  s->isLogicalIf = true;
+  IfArm arm;
+  arm.condition = std::move(cond);
+  auto body = parseStatementAfterLabel(0, peek().loc);
+  if (body) arm.body.push_back(std::move(body));
+  s->arms.push_back(std::move(arm));
+  return s;
+}
+
+StmtPtr Parser::parseSimpleStatement(int label, SourceLoc loc) {
+  const std::string w = peek().text;
+
+  if (w == "GOTO" || (w == "GO" && peek(1).isKeyword("TO"))) {
+    if (w == "GO") advance();
+    advance();
+    auto s = makeStmt(StmtKind::Goto, loc);
+    s->id = freshId();
+    s->label = label;
+    if (check(Tok::IntLiteral)) {
+      s->gotoTarget = static_cast<int>(advance().intValue);
+    } else {
+      diags_.error(peek().loc, "expected label after GOTO");
+    }
+    expectNewline("GOTO");
+    return s;
+  }
+  if (w == "CALL") {
+    advance();
+    return parseCall(label, loc);
+  }
+  if (w == "CONTINUE") {
+    advance();
+    auto s = makeStmt(StmtKind::Continue, loc);
+    s->id = freshId();
+    s->label = label;
+    expectNewline("CONTINUE");
+    return s;
+  }
+  if (w == "RETURN") {
+    advance();
+    auto s = makeStmt(StmtKind::Return, loc);
+    s->id = freshId();
+    s->label = label;
+    expectNewline("RETURN");
+    return s;
+  }
+  if (w == "STOP") {
+    advance();
+    auto s = makeStmt(StmtKind::Stop, loc);
+    s->id = freshId();
+    s->label = label;
+    skipToNewline();  // optional stop code
+    return s;
+  }
+  if (w == "READ") {
+    advance();
+    return parseIo(StmtKind::Read, label, loc);
+  }
+  if (w == "WRITE") {
+    advance();
+    return parseIo(StmtKind::Write, label, loc);
+  }
+  if (w == "PRINT") {
+    advance();
+    // PRINT *, items  => WRITE
+    match(Tok::Star);
+    match(Tok::Comma);
+    auto s = makeStmt(StmtKind::Write, loc);
+    s->id = freshId();
+    s->label = label;
+    if (!check(Tok::Newline) && !check(Tok::EndOfFile)) {
+      do {
+        s->args.push_back(parseExpr());
+      } while (match(Tok::Comma));
+    }
+    expectNewline("PRINT");
+    return s;
+  }
+  if (w == "FORMAT" || w == "DATA") {
+    // Keep the label alive as a CONTINUE; contents are irrelevant to the
+    // analyses we perform.
+    auto s = makeStmt(StmtKind::Continue, loc);
+    s->id = freshId();
+    s->label = label;
+    skipToNewline();
+    return s;
+  }
+  diags_.error(loc, "unrecognized statement '" + w + "'");
+  skipToNewline();
+  return nullptr;
+}
+
+StmtPtr Parser::parseCall(int label, SourceLoc loc) {
+  auto s = makeStmt(StmtKind::Call, loc);
+  s->id = freshId();
+  s->label = label;
+  if (!check(Tok::Identifier)) {
+    diags_.error(peek().loc, "expected subroutine name after CALL");
+    skipToNewline();
+    return nullptr;
+  }
+  s->callee = advance().text;
+  if (match(Tok::LParen)) {
+    if (!check(Tok::RParen)) {
+      do {
+        s->args.push_back(parseExpr());
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, "CALL argument list");
+  }
+  expectNewline("CALL");
+  return s;
+}
+
+StmtPtr Parser::parseIo(StmtKind kind, int label, SourceLoc loc) {
+  auto s = makeStmt(kind, loc);
+  s->id = freshId();
+  s->label = label;
+  // Control list: (unit[, format]) — contents ignored — or '*, '.
+  if (match(Tok::LParen)) {
+    int depth = 1;
+    while (depth > 0 && !check(Tok::Newline) && !check(Tok::EndOfFile)) {
+      if (check(Tok::LParen)) ++depth;
+      if (check(Tok::RParen)) --depth;
+      advance();
+    }
+  } else if (match(Tok::Star)) {
+    match(Tok::Comma);
+  }
+  if (!check(Tok::Newline) && !check(Tok::EndOfFile)) {
+    do {
+      s->args.push_back(parseExpr());
+    } while (match(Tok::Comma));
+  }
+  expectNewline("I/O statement");
+  return s;
+}
+
+StmtPtr Parser::parseAssignment(int label, SourceLoc loc) {
+  if (!check(Tok::Identifier)) {
+    diags_.error(peek().loc, std::string("expected statement, found ") +
+                                 tokName(peek().kind));
+    skipToNewline();
+    return nullptr;
+  }
+  auto s = makeStmt(StmtKind::Assign, loc);
+  s->id = freshId();
+  s->label = label;
+
+  std::string name = advance().text;
+  if (check(Tok::LParen)) {
+    auto subs = parseArgList();
+    s->lhs = makeArrayRef(name, std::move(subs), loc);
+  } else {
+    s->lhs = makeVarRef(name, loc);
+  }
+  if (!expect(Tok::Assign, "assignment")) {
+    skipToNewline();
+    return nullptr;
+  }
+  s->rhs = parseExpr();
+  expectNewline("assignment");
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parseExpr() { return parseEquivalence(); }
+
+ExprPtr Parser::parseEquivalence() {
+  ExprPtr e = parseDisjunction();
+  while (check(Tok::Eqv) || check(Tok::Neqv)) {
+    BinOp op = check(Tok::Eqv) ? BinOp::Eqv : BinOp::Neqv;
+    SourceLoc loc = advance().loc;
+    e = makeBinary(op, std::move(e), parseDisjunction(), loc);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseDisjunction() {
+  ExprPtr e = parseConjunction();
+  while (check(Tok::Or)) {
+    SourceLoc loc = advance().loc;
+    e = makeBinary(BinOp::Or, std::move(e), parseConjunction(), loc);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseConjunction() {
+  ExprPtr e = parseNegation();
+  while (check(Tok::And)) {
+    SourceLoc loc = advance().loc;
+    e = makeBinary(BinOp::And, std::move(e), parseNegation(), loc);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseNegation() {
+  if (check(Tok::Not)) {
+    SourceLoc loc = advance().loc;
+    return makeUnary(UnOp::Not, parseNegation(), loc);
+  }
+  return parseRelational();
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr e = parseAdditive();
+  BinOp op;
+  bool found = true;
+  switch (peek().kind) {
+    case Tok::Lt: op = BinOp::Lt; break;
+    case Tok::Le: op = BinOp::Le; break;
+    case Tok::Gt: op = BinOp::Gt; break;
+    case Tok::Ge: op = BinOp::Ge; break;
+    case Tok::Eq: op = BinOp::Eq; break;
+    case Tok::Ne: op = BinOp::Ne; break;
+    default: found = false; op = BinOp::Eq; break;
+  }
+  if (found) {
+    SourceLoc loc = advance().loc;
+    e = makeBinary(op, std::move(e), parseAdditive(), loc);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr e = parseMultiplicative();
+  while (check(Tok::Plus) || check(Tok::Minus)) {
+    BinOp op = check(Tok::Plus) ? BinOp::Add : BinOp::Sub;
+    SourceLoc loc = advance().loc;
+    e = makeBinary(op, std::move(e), parseMultiplicative(), loc);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr e = parseUnary();
+  while (check(Tok::Star) || check(Tok::Slash)) {
+    BinOp op = check(Tok::Star) ? BinOp::Mul : BinOp::Div;
+    SourceLoc loc = advance().loc;
+    e = makeBinary(op, std::move(e), parseUnary(), loc);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(Tok::Minus)) {
+    SourceLoc loc = advance().loc;
+    return makeUnary(UnOp::Neg, parseUnary(), loc);
+  }
+  if (check(Tok::Plus)) {
+    SourceLoc loc = advance().loc;
+    return makeUnary(UnOp::Plus, parseUnary(), loc);
+  }
+  return parsePower();
+}
+
+ExprPtr Parser::parsePower() {
+  ExprPtr base = parsePrimary();
+  if (check(Tok::Power)) {
+    SourceLoc loc = advance().loc;
+    // '**' is right-associative.
+    return makeBinary(BinOp::Pow, std::move(base), parseUnary(), loc);
+  }
+  return base;
+}
+
+std::vector<ExprPtr> Parser::parseArgList() {
+  std::vector<ExprPtr> args;
+  expect(Tok::LParen, "argument list");
+  if (!check(Tok::RParen)) {
+    do {
+      args.push_back(parseExpr());
+    } while (match(Tok::Comma));
+  }
+  expect(Tok::RParen, "argument list");
+  return args;
+}
+
+bool Parser::declaredArray(const std::string& name) const {
+  if (!current_) return false;
+  const VarDecl* d = current_->findDecl(name);
+  return d && d->isArray();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc loc = peek().loc;
+  if (check(Tok::IntLiteral)) {
+    return makeIntConst(advance().intValue, loc);
+  }
+  if (check(Tok::RealLiteral)) {
+    return makeRealConst(advance().realValue, loc);
+  }
+  if (check(Tok::TrueLit)) {
+    advance();
+    return makeLogicalConst(true, loc);
+  }
+  if (check(Tok::FalseLit)) {
+    advance();
+    return makeLogicalConst(false, loc);
+  }
+  if (check(Tok::StringLiteral)) {
+    return makeStringConst(advance().text, loc);
+  }
+  if (match(Tok::LParen)) {
+    ExprPtr e = parseExpr();
+    expect(Tok::RParen, "parenthesized expression");
+    return e;
+  }
+  if (check(Tok::Identifier)) {
+    std::string name = advance().text;
+    if (check(Tok::LParen)) {
+      auto args = parseArgList();
+      if (declaredArray(name)) {
+        return makeArrayRef(std::move(name), std::move(args), loc);
+      }
+      return makeFuncCall(std::move(name), std::move(args), loc);
+    }
+    return makeVarRef(std::move(name), loc);
+  }
+  diags_.error(loc, std::string("expected expression, found ") +
+                        tokName(peek().kind));
+  advance();
+  return makeIntConst(0, loc);
+}
+
+std::unique_ptr<Program> parseSource(std::string_view source,
+                                     DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  auto tokens = lexer.run();
+  Parser parser(std::move(tokens), lexer.directives(), diags);
+  return parser.parseProgram();
+}
+
+}  // namespace ps::fortran

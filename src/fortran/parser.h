@@ -1,0 +1,107 @@
+#ifndef PS_FORTRAN_PARSER_H
+#define PS_FORTRAN_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fortran/ast.h"
+#include "fortran/lexer.h"
+#include "fortran/token.h"
+#include "support/diagnostics.h"
+
+namespace ps::fortran {
+
+/// Recursive-descent parser for the relaxed Fortran-77 dialect described in
+/// DESIGN.md. Error recovery is per-statement: a malformed statement is
+/// reported and skipped, so one bad line never hides the rest of the file
+/// (PED parses incrementally and keeps editing possible with errors present).
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::vector<Lexer::Directive> directives,
+         DiagnosticEngine& diags);
+
+  /// Parse a whole source file into a Program.
+  [[nodiscard]] std::unique_ptr<Program> parseProgram();
+
+ private:
+  // Token cursor.
+  [[nodiscard]] const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(Tok k) const { return peek().is(k); }
+  [[nodiscard]] bool checkKeyword(const char* kw) const {
+    return peek().isKeyword(kw);
+  }
+  bool match(Tok k);
+  bool matchKeyword(const char* kw);
+  bool expect(Tok k, const char* context);
+  void skipToNewline();
+  void expectNewline(const char* context);
+
+  // Units.
+  ProcedurePtr parseUnit();
+  void parseUnitBody(Procedure& proc);
+  bool parseDeclaration(Procedure& proc);  // true if the line was a decl
+  void parseTypeDeclLine(Procedure& proc, TypeKind type);
+  void parseDimensionLine(Procedure& proc);
+  void parseCommonLine(Procedure& proc);
+  void parseParameterLine(Procedure& proc);
+  std::vector<Dimension> parseDimList();
+
+  // Statements. Returns null at END / ENDDO / ELSE boundaries.
+  StmtPtr parseStatement();
+  StmtPtr parseStatementAfterLabel(int label, SourceLoc loc);
+  StmtPtr parseDo(int label, SourceLoc loc);
+  StmtPtr parseIf(int label, SourceLoc loc);
+  StmtPtr parseSimpleStatement(int label, SourceLoc loc);
+  StmtPtr parseAssignment(int label, SourceLoc loc);
+  StmtPtr parseCall(int label, SourceLoc loc);
+  StmtPtr parseIo(StmtKind kind, int label, SourceLoc loc);
+
+  /// Parse statements until `stop()` says to halt; used for DO bodies and IF
+  /// arms. The terminating token(s) are left for the caller.
+  void parseBody(std::vector<StmtPtr>& into, int doEndLabel);
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseEquivalence();
+  ExprPtr parseDisjunction();
+  ExprPtr parseConjunction();
+  ExprPtr parseNegation();
+  ExprPtr parseRelational();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePower();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseArgList();
+
+  /// Emit Assertion statements for directives that lexically precede the
+  /// current token's line.
+  void flushDirectives(std::vector<StmtPtr>& into);
+
+  [[nodiscard]] bool declaredArray(const std::string& name) const;
+
+  StmtId freshId() { return program_->freshId(); }
+
+  std::vector<Token> tokens_;
+  std::vector<Lexer::Directive> directives_;
+  std::size_t directiveIdx_ = 0;
+  std::size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+  std::unique_ptr<Program> program_;
+  Procedure* current_ = nullptr;
+  /// When a DO body is terminated by a shared labeled statement (two DOs
+  /// ending on the same label), the inner parse consumes the statement and
+  /// records its label here so enclosing DOs waiting on it also terminate.
+  int lastClosedLabel_ = 0;
+};
+
+/// Convenience: lex + parse in one step.
+std::unique_ptr<Program> parseSource(std::string_view source,
+                                     DiagnosticEngine& diags);
+
+}  // namespace ps::fortran
+
+#endif  // PS_FORTRAN_PARSER_H

@@ -1,0 +1,35 @@
+#ifndef PS_FORTRAN_PRETTY_H
+#define PS_FORTRAN_PRETTY_H
+
+#include <string>
+
+#include "fortran/ast.h"
+
+namespace ps::fortran {
+
+/// Pretty-printing options. PED displays source "in pretty-printed form";
+/// the same printer also produces parseable text for round-trip tests and
+/// for re-parsing after transformations.
+struct PrettyOptions {
+  int indentWidth = 2;
+  bool emitDeclarations = true;
+  /// Emit "PARALLEL DO" for loops marked parallel (PED's sequential<->
+  /// parallel display); when false, parallel loops print as plain DO.
+  bool emitParallelMarkers = true;
+};
+
+[[nodiscard]] std::string printExpr(const Expr& e);
+[[nodiscard]] std::string printStmt(const Stmt& s, int indent = 0,
+                                    const PrettyOptions& opts = {});
+[[nodiscard]] std::string printProcedure(const Procedure& proc,
+                                         const PrettyOptions& opts = {});
+[[nodiscard]] std::string printProgram(const Program& prog,
+                                       const PrettyOptions& opts = {});
+
+/// A single-line rendering of a statement header (DO/IF show only their
+/// header, not the body) — used by the source pane.
+[[nodiscard]] std::string stmtHeadline(const Stmt& s);
+
+}  // namespace ps::fortran
+
+#endif  // PS_FORTRAN_PRETTY_H

@@ -1,0 +1,66 @@
+#ifndef PS_FORTRAN_TOKEN_H
+#define PS_FORTRAN_TOKEN_H
+
+#include <string>
+
+#include "support/source_loc.h"
+
+namespace ps::fortran {
+
+enum class Tok {
+  // literals & names
+  Identifier,
+  IntLiteral,
+  RealLiteral,
+  StringLiteral,
+  Label,        // statement label at start of a line
+  // punctuation
+  LParen,
+  RParen,
+  Comma,
+  Assign,       // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Power,        // **
+  Colon,
+  // relational / logical (both F77 dot-form and F90 symbol form)
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+  Not,
+  Eqv,
+  Neqv,
+  TrueLit,
+  FalseLit,
+  // structure
+  Newline,      // end of statement
+  EndOfFile,
+};
+
+/// One lexical token. `text` holds the canonical (upper-cased) spelling for
+/// identifiers; literals keep their source spelling.
+struct Token {
+  Tok kind = Tok::EndOfFile;
+  std::string text;
+  long long intValue = 0;     // valid for IntLiteral and Label
+  double realValue = 0.0;     // valid for RealLiteral
+  SourceLoc loc;
+
+  [[nodiscard]] bool is(Tok k) const { return kind == k; }
+  /// True when this token is the identifier `kw` (keywords are not reserved
+  /// in Fortran; the parser recognizes them contextually).
+  [[nodiscard]] bool isKeyword(const char* kw) const;
+};
+
+const char* tokName(Tok t);
+
+}  // namespace ps::fortran
+
+#endif  // PS_FORTRAN_TOKEN_H

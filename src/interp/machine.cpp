@@ -1,0 +1,884 @@
+#include "interp/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <random>
+#include <set>
+
+#include "fortran/pretty.h"
+#include "ir/refs.h"
+
+namespace ps::interp {
+
+using fortran::BinOp;
+using fortran::Expr;
+using fortran::ExprKind;
+using fortran::Procedure;
+using fortran::Program;
+using fortran::Stmt;
+using fortran::StmtKind;
+using fortran::TypeKind;
+using fortran::UnOp;
+
+namespace {
+
+bool Value_isTrue(const Value& v) { return v.asLogical(); }
+
+/// A flattened instruction.
+struct Op {
+  enum class K {
+    Exec,     // assign / call / read / write / continue / assertion
+    Branch,   // if cond is FALSE jump to a
+    Jump,     // jump to a
+    DoInit,   // initialize loop slot c; on zero trip jump to a (exit)
+    DoStep,   // advance loop slot c; if more iterations jump to a (body)
+    ArithIf,  // three-way branch to a/b/c on sign of cond
+    Ret,      // return from procedure
+    Stop,     // stop the whole program
+  };
+  K k = K::Exec;
+  const Stmt* stmt = nullptr;
+  const Expr* cond = nullptr;
+  int a = 0, b = 0, c = 0;
+};
+
+struct Compiled {
+  std::vector<Op> ops;
+  std::map<int, int> labelPc;  // label -> pc
+  int loopSlots = 0;
+};
+
+class Compiler {
+ public:
+  Compiled compile(const Procedure& proc) {
+    for (const auto& s : proc.body) compileStmt(*s);
+    Op ret;
+    ret.k = Op::K::Ret;
+    out_.ops.push_back(ret);
+    // Resolve label jumps.
+    for (Op& op : out_.ops) {
+      if (op.k == Op::K::Jump && op.b != 0) {
+        op.a = pcOfLabel(op.b);
+        op.b = 0;
+      } else if (op.k == Op::K::ArithIf) {
+        op.a = pcOfLabel(op.a, /*isLabel=*/true);
+        op.b = pcOfLabel(op.b, true);
+        op.c = pcOfLabel(op.c, true);
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  int pcOfLabel(int label, bool = false) {
+    auto it = out_.labelPc.find(label);
+    if (it != out_.labelPc.end()) return it->second;
+    return static_cast<int>(out_.ops.size()) - 1;  // fall to Ret
+  }
+
+  void compileStmt(const Stmt& s) {
+    if (s.label != 0) {
+      out_.labelPc[s.label] = static_cast<int>(out_.ops.size());
+    }
+    switch (s.kind) {
+      case StmtKind::Assign:
+      case StmtKind::Call:
+      case StmtKind::Read:
+      case StmtKind::Write:
+      case StmtKind::Continue:
+      case StmtKind::Assertion: {
+        Op op;
+        op.k = Op::K::Exec;
+        op.stmt = &s;
+        out_.ops.push_back(op);
+        return;
+      }
+      case StmtKind::Return: {
+        Op op;
+        op.k = Op::K::Ret;
+        op.stmt = &s;
+        out_.ops.push_back(op);
+        return;
+      }
+      case StmtKind::Stop: {
+        Op op;
+        op.k = Op::K::Stop;
+        op.stmt = &s;
+        out_.ops.push_back(op);
+        return;
+      }
+      case StmtKind::Goto: {
+        Op op;
+        op.k = Op::K::Jump;
+        op.stmt = &s;
+        op.b = s.gotoTarget;  // resolved later
+        out_.ops.push_back(op);
+        return;
+      }
+      case StmtKind::ArithmeticIf: {
+        Op op;
+        op.k = Op::K::ArithIf;
+        op.stmt = &s;
+        op.cond = s.condExpr.get();
+        op.a = s.aifLabels[0];
+        op.b = s.aifLabels[1];
+        op.c = s.aifLabels[2];
+        out_.ops.push_back(op);
+        return;
+      }
+      case StmtKind::If: {
+        std::vector<int> endJumps;
+        for (std::size_t i = 0; i < s.arms.size(); ++i) {
+          const auto& arm = s.arms[i];
+          int branchPc = -1;
+          if (arm.condition) {
+            Op br;
+            br.k = Op::K::Branch;
+            br.stmt = &s;
+            br.cond = arm.condition.get();
+            branchPc = static_cast<int>(out_.ops.size());
+            out_.ops.push_back(br);
+          }
+          for (const auto& b : arm.body) compileStmt(*b);
+          if (i + 1 < s.arms.size()) {
+            Op jmp;
+            jmp.k = Op::K::Jump;
+            endJumps.push_back(static_cast<int>(out_.ops.size()));
+            out_.ops.push_back(jmp);
+          }
+          if (branchPc >= 0) {
+            out_.ops[static_cast<std::size_t>(branchPc)].a =
+                static_cast<int>(out_.ops.size());
+          }
+        }
+        for (int pc : endJumps) {
+          out_.ops[static_cast<std::size_t>(pc)].a =
+              static_cast<int>(out_.ops.size());
+        }
+        return;
+      }
+      case StmtKind::Do: {
+        int slot = out_.loopSlots++;
+        Op init;
+        init.k = Op::K::DoInit;
+        init.stmt = &s;
+        init.c = slot;
+        int initPc = static_cast<int>(out_.ops.size());
+        out_.ops.push_back(init);
+        int bodyPc = static_cast<int>(out_.ops.size());
+        for (const auto& b : s.body) compileStmt(*b);
+        Op step;
+        step.k = Op::K::DoStep;
+        step.stmt = &s;
+        step.c = slot;
+        step.a = bodyPc;
+        out_.ops.push_back(step);
+        out_.ops[static_cast<std::size_t>(initPc)].a =
+            static_cast<int>(out_.ops.size());
+        return;
+      }
+    }
+  }
+
+  Compiled out_;
+};
+
+struct RuntimeError {
+  std::string message;
+  ps::SourceLoc loc;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The execution engine
+// ---------------------------------------------------------------------------
+
+struct Machine::Impl {
+  const Program& program;
+  const RunOptions& opts;
+  RunResult result;
+  std::size_t inputPos = 0;
+  std::mt19937 rng;
+  std::map<const Procedure*, Compiled> compiled;
+  std::map<std::string, Storage> commons;  // key: block|name
+
+  struct ArrayShape {
+    std::vector<long long> extents;      // -1 = assumed size
+    std::vector<long long> lowerBounds;
+  };
+
+  struct Frame {
+    const Procedure* proc = nullptr;
+    std::map<std::string, Storage> locals;
+    std::map<std::string, CellRef> bindings;      // formals bound by ref
+    std::map<std::string, ArrayShape> shapes;     // evaluated array shapes
+    std::deque<Storage> temps;  // deque: stable addresses for bindings
+  };
+
+  /// Cross-iteration access tracking for one active PARALLEL DO.
+  struct ParallelCtx {
+    const Stmt* loop = nullptr;
+    long long iteration = 0;
+    std::map<CellRef::Address, std::pair<long long, std::string>>
+        firstWriter;  // address -> (iteration, variable)
+    std::map<CellRef::Address, long long> secondWriter;
+    std::map<CellRef::Address, long long> exposedReader;
+    std::set<CellRef::Address> writtenThisIter;
+    std::set<CellRef::Address> ivAddresses;
+
+    void beginIteration(long long iter) {
+      iteration = iter;
+      writtenThisIter.clear();
+    }
+    void onRead(const CellRef::Address& a) {
+      if (!writtenThisIter.count(a) && !exposedReader.count(a)) {
+        exposedReader[a] = iteration;
+      }
+    }
+    void onWrite(const CellRef::Address& a, const std::string& var) {
+      writtenThisIter.insert(a);
+      auto it = firstWriter.find(a);
+      if (it == firstWriter.end()) {
+        firstWriter[a] = {iteration, var};
+      } else if (it->second.first != iteration && !secondWriter.count(a)) {
+        secondWriter[a] = iteration;
+      }
+    }
+    void finish(std::vector<Race>& races) const {
+      std::set<std::string> reported;
+      for (const auto& [addr, wr] : firstWriter) {
+        if (ivAddresses.count(addr)) continue;  // implicitly private
+        auto er = exposedReader.find(addr);
+        if (er != exposedReader.end() && er->second != wr.first) {
+          if (reported.insert(wr.second).second) {
+            races.push_back(
+                {loop->id, wr.second, wr.first, er->second, false});
+          }
+          continue;
+        }
+        auto sw = secondWriter.find(addr);
+        if (sw != secondWriter.end()) {
+          if (reported.insert(wr.second).second) {
+            races.push_back(
+                {loop->id, wr.second, wr.first, sw->second, true});
+          }
+        }
+      }
+    }
+  };
+  std::vector<ParallelCtx> parallelStack;
+
+  Impl(const Program& p, const RunOptions& o) : program(p), opts(o) {
+    rng.seed(o.shuffleSeed);
+  }
+
+  const Compiled& compiledFor(const Procedure& proc) {
+    auto it = compiled.find(&proc);
+    if (it != compiled.end()) return it->second;
+    Compiler c;
+    return compiled.emplace(&proc, c.compile(proc)).first->second;
+  }
+
+  // -------------------------------------------------------------------
+  // Storage resolution
+  // -------------------------------------------------------------------
+
+  long long evalIntExpr(Frame& f, const Expr& e) {
+    return eval(f, e).asInt();
+  }
+
+  ArrayShape shapeFor(Frame& f, const fortran::VarDecl& decl) {
+    ArrayShape shape;
+    for (const auto& d : decl.dims) {
+      long long lb = d.lower ? evalIntExpr(f, *d.lower) : 1;
+      long long ext = -1;
+      if (d.upper) {
+        ext = evalIntExpr(f, *d.upper) - lb + 1;
+        if (ext < 0) ext = 0;
+      }
+      shape.lowerBounds.push_back(lb);
+      shape.extents.push_back(ext);
+    }
+    return shape;
+  }
+
+  /// Resolve the base cell and shape of a variable in a frame.
+  CellRef baseOf(Frame& f, const std::string& name, ArrayShape** shapeOut) {
+    auto itB = f.bindings.find(name);
+    if (itB != f.bindings.end()) {
+      if (shapeOut) {
+        auto itS = f.shapes.find(name);
+        *shapeOut = (itS != f.shapes.end()) ? &itS->second : nullptr;
+      }
+      return itB->second;
+    }
+    const fortran::VarDecl* decl = f.proc->findDecl(name);
+    if (decl && !decl->commonBlock.empty()) {
+      std::string key = decl->commonBlock + "|" + name;
+      auto itC = commons.find(key);
+      if (itC == commons.end()) {
+        Storage st;
+        st.type = decl->type == TypeKind::DoublePrecision ? TypeKind::Real
+                                                          : decl->type;
+        ArrayShape shape = shapeFor(f, *decl);
+        std::size_t total = 1;
+        for (long long e : shape.extents) {
+          total *= static_cast<std::size_t>(e < 0 ? 1 : e);
+        }
+        st.extents = shape.extents;
+        st.lowerBounds = shape.lowerBounds;
+        st.resize(total);
+        itC = commons.emplace(key, std::move(st)).first;
+        f.shapes[name] = shape;
+      } else if (!f.shapes.count(name)) {
+        ArrayShape shape;
+        shape.extents = itC->second.extents;
+        shape.lowerBounds = itC->second.lowerBounds;
+        f.shapes[name] = shape;
+      }
+      if (shapeOut) *shapeOut = &f.shapes[name];
+      return {&itC->second, 0};
+    }
+    // Local (created lazily).
+    auto itL = f.locals.find(name);
+    if (itL == f.locals.end()) {
+      Storage st;
+      TypeKind t = decl ? decl->type : fortran::implicitType(name);
+      st.type = (t == TypeKind::DoublePrecision) ? TypeKind::Real : t;
+      ArrayShape shape;
+      if (decl && decl->isArray()) shape = shapeFor(f, *decl);
+      std::size_t total = 1;
+      for (long long e : shape.extents) {
+        if (e < 0) {
+          throw RuntimeError{"local array " + name + " has unknown extent",
+                             decl ? decl->loc : ps::SourceLoc{}};
+        }
+        total *= static_cast<std::size_t>(e);
+      }
+      st.extents = shape.extents;
+      st.lowerBounds = shape.lowerBounds;
+      st.resize(total);
+      itL = f.locals.emplace(name, std::move(st)).first;
+      f.shapes[name] = shape;
+      // PARAMETER constants materialize with their value.
+      if (decl && decl->isParameter && decl->parameterValue) {
+        itL->second.store(0, eval(f, *decl->parameterValue));
+      }
+    }
+    if (shapeOut) *shapeOut = &f.shapes[name];
+    return {&itL->second, 0};
+  }
+
+  CellRef cellOf(Frame& f, const Expr& ref) {
+    ArrayShape* shape = nullptr;
+    CellRef base = baseOf(f, ref.name, &shape);
+    if (ref.kind == ExprKind::VarRef) return base;
+    // Column-major linearization.
+    std::size_t flat = 0;
+    std::size_t mult = 1;
+    for (std::size_t d = 0; d < ref.args.size(); ++d) {
+      long long idx = evalIntExpr(f, *ref.args[d]);
+      long long lb = 1, ext = -1;
+      if (shape && d < shape->lowerBounds.size()) {
+        lb = shape->lowerBounds[d];
+        ext = shape->extents[d];
+      }
+      long long rel = idx - lb;
+      if (rel < 0 || (ext >= 0 && rel >= ext)) {
+        throw RuntimeError{"subscript out of range for " + ref.name + ": " +
+                               std::to_string(idx),
+                           ref.loc};
+      }
+      flat += static_cast<std::size_t>(rel) * mult;
+      if (ext >= 0) mult *= static_cast<std::size_t>(ext);
+    }
+    std::size_t off = base.offset + flat;
+    if (off >= base.storage->size()) {
+      // Assumed-size overrun of the underlying slab.
+      throw RuntimeError{"subscript beyond storage of " + ref.name, ref.loc};
+    }
+    return {base.storage, off};
+  }
+
+  Value load(Frame& f, const Expr& ref) {
+    CellRef c = cellOf(f, ref);
+    for (auto& ctx : parallelStack) ctx.onRead(c.address());
+    return c.storage->load(c.offset);
+  }
+
+  void store(Frame& f, const Expr& ref, const Value& v) {
+    CellRef c = cellOf(f, ref);
+    for (auto& ctx : parallelStack) ctx.onWrite(c.address(), ref.name);
+    c.storage->store(c.offset, v);
+  }
+
+  // -------------------------------------------------------------------
+  // Expression evaluation
+  // -------------------------------------------------------------------
+
+  Value intrinsic(Frame& f, const Expr& call) {
+    const std::string& n = call.name;
+    auto arg = [&](std::size_t i) { return eval(f, *call.args[i]); };
+    auto real1 = [&](double (*fn)(double)) {
+      return Value::ofReal(fn(arg(0).asReal()));
+    };
+    if (n == "ABS" || n == "DABS") {
+      Value v = arg(0);
+      return v.kind == Value::Kind::Int ? Value::ofInt(std::llabs(v.i))
+                                        : Value::ofReal(std::fabs(v.asReal()));
+    }
+    if (n == "IABS") return Value::ofInt(std::llabs(arg(0).asInt()));
+    if (n == "SQRT" || n == "DSQRT") return real1(std::sqrt);
+    if (n == "SIN") return real1(std::sin);
+    if (n == "COS") return real1(std::cos);
+    if (n == "TAN") return real1(std::tan);
+    if (n == "ATAN") return real1(std::atan);
+    if (n == "EXP" || n == "DEXP") return real1(std::exp);
+    if (n == "LOG" || n == "ALOG" || n == "DLOG") return real1(std::log);
+    if (n == "LOG10") return real1(std::log10);
+    if (n == "ATAN2") {
+      return Value::ofReal(std::atan2(arg(0).asReal(), arg(1).asReal()));
+    }
+    if (n == "MAX" || n == "AMAX1" || n == "MAX0") {
+      Value acc = arg(0);
+      bool isInt = acc.kind == Value::Kind::Int && n != "AMAX1";
+      double best = acc.asReal();
+      for (std::size_t i = 1; i < call.args.size(); ++i) {
+        Value v = arg(i);
+        if (v.kind != Value::Kind::Int) isInt = false;
+        best = std::max(best, v.asReal());
+      }
+      return isInt ? Value::ofInt(static_cast<long long>(best))
+                   : Value::ofReal(best);
+    }
+    if (n == "MIN" || n == "AMIN1" || n == "MIN0") {
+      Value acc = arg(0);
+      bool isInt = acc.kind == Value::Kind::Int && n != "AMIN1";
+      double best = acc.asReal();
+      for (std::size_t i = 1; i < call.args.size(); ++i) {
+        Value v = arg(i);
+        if (v.kind != Value::Kind::Int) isInt = false;
+        best = std::min(best, v.asReal());
+      }
+      return isInt ? Value::ofInt(static_cast<long long>(best))
+                   : Value::ofReal(best);
+    }
+    if (n == "MOD" || n == "AMOD") {
+      Value a = arg(0), b = arg(1);
+      if (a.kind == Value::Kind::Int && b.kind == Value::Kind::Int) {
+        if (b.i == 0) throw RuntimeError{"MOD by zero", call.loc};
+        return Value::ofInt(a.i % b.i);
+      }
+      return Value::ofReal(std::fmod(a.asReal(), b.asReal()));
+    }
+    if (n == "FLOAT" || n == "REAL" || n == "DBLE" || n == "SNGL" ||
+        n == "DFLOAT") {
+      return Value::ofReal(arg(0).asReal());
+    }
+    if (n == "INT" || n == "IFIX") return Value::ofInt(arg(0).asInt());
+    if (n == "NINT") {
+      return Value::ofInt(static_cast<long long>(std::llround(
+          arg(0).asReal())));
+    }
+    if (n == "SIGN" || n == "ISIGN") {
+      Value a = arg(0), b = arg(1);
+      double m = std::fabs(a.asReal());
+      double v = b.asReal() >= 0 ? m : -m;
+      return n == "ISIGN" ? Value::ofInt(static_cast<long long>(v))
+                          : Value::ofReal(v);
+    }
+    if (n == "DIM" || n == "IDIM") {
+      double v = std::max(0.0, arg(0).asReal() - arg(1).asReal());
+      return n == "IDIM" ? Value::ofInt(static_cast<long long>(v))
+                         : Value::ofReal(v);
+    }
+    throw RuntimeError{"unknown intrinsic " + n, call.loc};
+  }
+
+  Value eval(Frame& f, const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntConst: return Value::ofInt(e.intValue);
+      case ExprKind::RealConst: return Value::ofReal(e.realValue);
+      case ExprKind::LogicalConst: return Value::ofLogical(e.logicalValue);
+      case ExprKind::StringConst: return Value::ofReal(0.0);
+      case ExprKind::VarRef:
+      case ExprKind::ArrayRef:
+        return load(f, e);
+      case ExprKind::FuncCall: {
+        if (ir::isIntrinsic(e.name)) return intrinsic(f, e);
+        const Procedure* callee = findUnit(e.name);
+        if (!callee) {
+          throw RuntimeError{"call to undefined function " + e.name, e.loc};
+        }
+        return callProcedure(f, *callee, e.args, &e);
+      }
+      case ExprKind::Unary: {
+        Value v = eval(f, *e.lhs);
+        switch (e.unOp) {
+          case UnOp::Plus: return v;
+          case UnOp::Neg:
+            return v.kind == Value::Kind::Int ? Value::ofInt(-v.i)
+                                              : Value::ofReal(-v.asReal());
+          case UnOp::Not: return Value::ofLogical(!v.asLogical());
+        }
+        return v;
+      }
+      case ExprKind::Binary: {
+        // Short-circuit-free Fortran semantics; evaluate both sides.
+        Value l = eval(f, *e.lhs);
+        Value r = eval(f, *e.rhs);
+        const bool bothInt =
+            l.kind == Value::Kind::Int && r.kind == Value::Kind::Int;
+        switch (e.binOp) {
+          case BinOp::Add:
+            return bothInt ? Value::ofInt(l.i + r.i)
+                           : Value::ofReal(l.asReal() + r.asReal());
+          case BinOp::Sub:
+            return bothInt ? Value::ofInt(l.i - r.i)
+                           : Value::ofReal(l.asReal() - r.asReal());
+          case BinOp::Mul:
+            return bothInt ? Value::ofInt(l.i * r.i)
+                           : Value::ofReal(l.asReal() * r.asReal());
+          case BinOp::Div:
+            if (bothInt) {
+              if (r.i == 0) throw RuntimeError{"integer division by zero",
+                                               e.loc};
+              return Value::ofInt(l.i / r.i);
+            }
+            return Value::ofReal(l.asReal() / r.asReal());
+          case BinOp::Pow:
+            if (bothInt && r.i >= 0) {
+              long long acc = 1;
+              for (long long k = 0; k < r.i; ++k) acc *= l.i;
+              return Value::ofInt(acc);
+            }
+            return Value::ofReal(std::pow(l.asReal(), r.asReal()));
+          case BinOp::Lt: return Value::ofLogical(l.asReal() < r.asReal());
+          case BinOp::Le: return Value::ofLogical(l.asReal() <= r.asReal());
+          case BinOp::Gt: return Value::ofLogical(l.asReal() > r.asReal());
+          case BinOp::Ge: return Value::ofLogical(l.asReal() >= r.asReal());
+          case BinOp::Eq: return Value::ofLogical(l.asReal() == r.asReal());
+          case BinOp::Ne: return Value::ofLogical(l.asReal() != r.asReal());
+          case BinOp::And:
+            return Value::ofLogical(l.asLogical() && r.asLogical());
+          case BinOp::Or:
+            return Value::ofLogical(l.asLogical() || r.asLogical());
+          case BinOp::Eqv:
+            return Value::ofLogical(l.asLogical() == r.asLogical());
+          case BinOp::Neqv:
+            return Value::ofLogical(l.asLogical() != r.asLogical());
+        }
+        return l;
+      }
+    }
+    return Value::ofReal(0.0);
+  }
+
+  const Procedure* findUnit(const std::string& name) {
+    for (const auto& u : program.units) {
+      if (u->name == name) return u.get();
+    }
+    return nullptr;
+  }
+
+  // -------------------------------------------------------------------
+  // Calls
+  // -------------------------------------------------------------------
+
+  Value callProcedure(Frame& caller, const Procedure& callee,
+                      const std::vector<fortran::ExprPtr>& args,
+                      const Expr* funcExpr) {
+    Frame f;
+    f.proc = &callee;
+    // Bind formals.
+    for (std::size_t i = 0; i < callee.params.size() && i < args.size();
+         ++i) {
+      const Expr& actual = *args[i];
+      const std::string& formal = callee.params[i];
+      if (actual.kind == ExprKind::VarRef ||
+          actual.kind == ExprKind::ArrayRef) {
+        CellRef cell = (actual.kind == ExprKind::VarRef)
+                           ? baseOf(caller, actual.name, nullptr)
+                           : cellOf(caller, actual);
+        f.bindings[formal] = cell;
+      } else {
+        // Value actual: a fresh temp cell.
+        Value v = eval(caller, actual);
+        f.temps.emplace_back();
+        Storage& st = f.temps.back();
+        st.type = (v.kind == Value::Kind::Int) ? TypeKind::Integer
+                                               : TypeKind::Real;
+        st.resize(1);
+        st.store(0, v);
+        f.bindings[formal] = {&st, 0};
+      }
+    }
+    // Evaluate formal array shapes (dims may reference other formals).
+    for (const auto& formal : callee.params) {
+      const fortran::VarDecl* d = callee.findDecl(formal);
+      if (d && d->isArray() && f.bindings.count(formal)) {
+        f.shapes[formal] = shapeFor(f, *d);
+      }
+    }
+    execute(f);
+    if (funcExpr) {
+      // Function result lives in the variable named after the function.
+      ArrayShape* shape = nullptr;
+      CellRef cell = baseOf(f, callee.name, &shape);
+      return cell.storage->load(cell.offset);
+    }
+    return Value::ofReal(0.0);
+  }
+
+  // -------------------------------------------------------------------
+  // Statement execution
+  // -------------------------------------------------------------------
+
+  Value nextInput() {
+    if (opts.input.empty()) {
+      double v = static_cast<double>((inputPos % 97) + 1);
+      ++inputPos;
+      return Value::ofReal(v);
+    }
+    double v = opts.input[inputPos % opts.input.size()];
+    ++inputPos;
+    return Value::ofReal(v);
+  }
+
+  void execSimple(Frame& f, const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        Value v = eval(f, *s.rhs);
+        store(f, *s.lhs, v);
+        return;
+      }
+      case StmtKind::Call: {
+        const Procedure* callee = findUnit(s.callee);
+        if (!callee) {
+          throw RuntimeError{"call to undefined subroutine " + s.callee,
+                             s.loc};
+        }
+        callProcedure(f, *callee, s.args, nullptr);
+        return;
+      }
+      case StmtKind::Read: {
+        for (const auto& item : s.args) {
+          Value v = nextInput();
+          store(f, *item, v);
+        }
+        return;
+      }
+      case StmtKind::Write: {
+        for (const auto& item : s.args) {
+          if (item->kind == ExprKind::StringConst) continue;
+          result.output.push_back(eval(f, *item).asReal());
+        }
+        return;
+      }
+      default:
+        return;  // Continue / Assertion: no-op
+    }
+  }
+
+  struct LoopState {
+    long long trip = 0;
+    long long k = 0;
+    long long lo = 0;
+    long long step = 1;
+    bool parallel = false;
+    std::vector<long long> perm;
+    bool realIv = false;
+    double rlo = 0.0, rstep = 1.0;
+  };
+
+  void setLoopVar(Frame& f, const Stmt& s, LoopState& ls, long long k) {
+    long long idx = ls.perm.empty() ? k : ls.perm[static_cast<std::size_t>(k)];
+    if (ls.parallel && !parallelStack.empty() &&
+        parallelStack.back().loop == &s) {
+      parallelStack.back().beginIteration(idx);
+    }
+    fortran::Expr var;
+    var.kind = ExprKind::VarRef;
+    var.name = s.doVar;
+    // Register the induction variable's cell as implicitly private in
+    // every active parallel context (a parallel DO privatizes its own IV;
+    // inner sequential IVs are killed every iteration, so their write-write
+    // conflicts are benign).
+    {
+      CellRef c = cellOf(f, var);
+      for (auto& ctx : parallelStack) ctx.ivAddresses.insert(c.address());
+    }
+    if (ls.realIv) {
+      store(f, var, Value::ofReal(ls.rlo + static_cast<double>(idx) *
+                                               ls.rstep));
+    } else {
+      store(f, var, Value::ofInt(ls.lo + idx * ls.step));
+    }
+  }
+
+  void execute(Frame& f) {
+    const Compiled& code = compiledFor(*f.proc);
+    std::vector<LoopState> slots(
+        static_cast<std::size_t>(code.loopSlots));
+    std::size_t pc = 0;
+    while (pc < code.ops.size()) {
+      const Op& op = code.ops[pc];
+      if (++result.steps > opts.maxSteps) {
+        throw RuntimeError{"step limit exceeded",
+                           op.stmt ? op.stmt->loc : ps::SourceLoc{}};
+      }
+      if (op.stmt) ++result.stmtCounts[op.stmt->id];
+      switch (op.k) {
+        case Op::K::Exec:
+          execSimple(f, *op.stmt);
+          ++pc;
+          break;
+        case Op::K::Branch: {
+          Value v = eval(f, *op.cond);
+          if (!Value_isTrue(v)) {
+            pc = static_cast<std::size_t>(op.a);
+          } else {
+            ++pc;
+          }
+          break;
+        }
+        case Op::K::Jump:
+          pc = static_cast<std::size_t>(op.a);
+          break;
+        case Op::K::ArithIf: {
+          double v = eval(f, *op.cond).asReal();
+          pc = static_cast<std::size_t>(v < 0 ? op.a : (v == 0 ? op.b
+                                                               : op.c));
+          break;
+        }
+        case Op::K::DoInit: {
+          LoopState& ls = slots[static_cast<std::size_t>(op.c)];
+          const Stmt& s = *op.stmt;
+          Value lo = eval(f, *s.doLo);
+          Value hi = eval(f, *s.doHi);
+          Value st = s.doStep ? eval(f, *s.doStep) : Value::ofInt(1);
+          ls.realIv = (lo.kind != Value::Kind::Int ||
+                       hi.kind != Value::Kind::Int ||
+                       st.kind != Value::Kind::Int);
+          if (ls.realIv) {
+            ls.rlo = lo.asReal();
+            ls.rstep = st.asReal();
+            if (ls.rstep == 0.0) {
+              throw RuntimeError{"zero DO step", s.loc};
+            }
+            ls.trip = static_cast<long long>(
+                std::floor((hi.asReal() - ls.rlo + ls.rstep) / ls.rstep));
+          } else {
+            ls.lo = lo.asInt();
+            ls.step = st.asInt();
+            if (ls.step == 0) throw RuntimeError{"zero DO step", s.loc};
+            ls.trip = (hi.asInt() - ls.lo + ls.step) / ls.step;
+          }
+          if (ls.trip < 0) ls.trip = 0;
+          ls.k = 0;
+          ls.parallel = s.isParallel && opts.checkParallel;
+          ls.perm.clear();
+          if (ls.parallel && ls.trip > 1) {
+            ls.perm.resize(static_cast<std::size_t>(ls.trip));
+            for (long long i = 0; i < ls.trip; ++i) {
+              ls.perm[static_cast<std::size_t>(i)] = i;
+            }
+            std::shuffle(ls.perm.begin(), ls.perm.end(), rng);
+          }
+          if (ls.parallel) {
+            // Drop a stale context for the same loop (GOTO exits).
+            while (!parallelStack.empty() &&
+                   parallelStack.back().loop == &s) {
+              parallelStack.pop_back();
+            }
+            ParallelCtx ctx;
+            ctx.loop = &s;
+            parallelStack.push_back(std::move(ctx));
+          }
+          if (ls.trip == 0) {
+            if (ls.parallel) parallelStack.pop_back();
+            pc = static_cast<std::size_t>(op.a);
+          } else {
+            setLoopVar(f, s, ls, 0);
+            ++pc;
+          }
+          break;
+        }
+        case Op::K::DoStep: {
+          LoopState& ls = slots[static_cast<std::size_t>(op.c)];
+          ++ls.k;
+          if (ls.k < ls.trip) {
+            setLoopVar(f, *op.stmt, ls, ls.k);
+            pc = static_cast<std::size_t>(op.a);
+          } else {
+            // Final induction value (Fortran leaves lo + trip*step).
+            fortran::Expr var;
+            var.kind = ExprKind::VarRef;
+            var.name = op.stmt->doVar;
+            if (ls.realIv) {
+              store(f, var,
+                    Value::ofReal(ls.rlo + static_cast<double>(ls.trip) *
+                                               ls.rstep));
+            } else {
+              store(f, var, Value::ofInt(ls.lo + ls.trip * ls.step));
+            }
+            if (ls.parallel && !parallelStack.empty() &&
+                parallelStack.back().loop == op.stmt) {
+              parallelStack.back().finish(result.races);
+              parallelStack.pop_back();
+            }
+            ++pc;
+          }
+          break;
+        }
+        case Op::K::Ret:
+          return;
+        case Op::K::Stop:
+          throw RuntimeError{"", {}};  // unwinds to run(); empty = STOP
+      }
+    }
+  }
+};
+
+bool RunResult::outputEquals(const RunResult& other, double tol) const {
+  if (output.size() != other.output.size()) return false;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    double a = output[i], b = other.output[i];
+    double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+    if (std::fabs(a - b) > tol * scale) return false;
+  }
+  return true;
+}
+
+Machine::Machine(const Program& program) : program_(program) {}
+
+RunResult Machine::run(const RunOptions& opts) {
+  Impl impl(program_, opts);
+  const Procedure* main = nullptr;
+  for (const auto& u : program_.units) {
+    if (u->kind == fortran::ProcKind::Program) main = u.get();
+  }
+  if (!main) {
+    impl.result.error = "no PROGRAM unit";
+    return std::move(impl.result);
+  }
+  Impl::Frame frame;
+  frame.proc = main;
+  try {
+    impl.execute(frame);
+    impl.result.ok = true;
+  } catch (const RuntimeError& e) {
+    if (e.message.empty()) {
+      impl.result.ok = true;  // STOP
+    } else {
+      impl.result.ok = false;
+      impl.result.error = e.message;
+      impl.result.errorLoc = e.loc;
+    }
+  }
+  return std::move(impl.result);
+}
+
+}  // namespace ps::interp

@@ -1,0 +1,78 @@
+#ifndef PS_INTERP_MACHINE_H
+#define PS_INTERP_MACHINE_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fortran/ast.h"
+#include "interp/value.h"
+
+namespace ps::interp {
+
+/// A data race observed while executing a PARALLEL DO loop: two different
+/// iterations touched the same storage cell and at least one access was a
+/// write that conflicts (flow/anti: one iteration's exposed read against
+/// another's write; output: two writes).
+struct Race {
+  fortran::StmtId loop = fortran::kInvalidStmt;
+  std::string variable;
+  long long iterationA = 0;
+  long long iterationB = 0;
+  bool outputOnly = false;  // write-write only (no exposed read involved)
+};
+
+/// Result of executing a program.
+struct RunResult {
+  bool ok = false;
+  std::string error;
+  ps::SourceLoc errorLoc;
+  /// Values printed by WRITE/PRINT statements, in order.
+  std::vector<double> output;
+  /// Total statements executed.
+  long long steps = 0;
+  /// Execution count per statement id — the "program execution profile"
+  /// workshop users relied on to find hot loops.
+  std::map<fortran::StmtId, long long> stmtCounts;
+  /// Races detected in PARALLEL DO loops (empty when none or when race
+  /// checking is off).
+  std::vector<Race> races;
+
+  [[nodiscard]] bool outputEquals(const RunResult& other,
+                                  double tol = 1e-9) const;
+};
+
+/// Options controlling one execution.
+struct RunOptions {
+  /// Values served to READ statements, in order (recycled when exhausted).
+  std::vector<double> input;
+  /// Abort after this many executed statements (runaway guard).
+  long long maxSteps = 100'000'000;
+  /// Execute PARALLEL DO loops with a shuffled iteration order and the
+  /// cross-iteration conflict detector armed.
+  bool checkParallel = true;
+  /// Deterministic seed for the iteration shuffle.
+  unsigned shuffleSeed = 12345;
+};
+
+/// A tree-walking interpreter for the supported Fortran dialect: the
+/// execution substrate that stands in for the paper's Cray/Sun runs. It
+/// validates transformation safety (original vs transformed must agree) and
+/// provides the execution profiles PED's work model starts from.
+class Machine {
+ public:
+  explicit Machine(const fortran::Program& program);
+
+  /// Execute the main program unit.
+  [[nodiscard]] RunResult run(const RunOptions& opts = {});
+
+ private:
+  struct Impl;
+  const fortran::Program& program_;
+};
+
+}  // namespace ps::interp
+
+#endif  // PS_INTERP_MACHINE_H

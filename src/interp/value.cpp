@@ -1,0 +1,20 @@
+#include "interp/value.h"
+
+#include <sstream>
+
+namespace ps::interp {
+
+std::string Value::str() const {
+  switch (kind) {
+    case Kind::Int: return std::to_string(i);
+    case Kind::Logical: return b ? ".TRUE." : ".FALSE.";
+    case Kind::Real: {
+      std::ostringstream os;
+      os << r;
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace ps::interp

@@ -1,0 +1,99 @@
+#include "interproc/callgraph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/refs.h"
+
+namespace ps::interproc {
+
+using fortran::Procedure;
+using fortran::Program;
+using fortran::Stmt;
+
+CallGraph CallGraph::build(const Program& program) {
+  CallGraph g;
+  std::set<std::string> defined;
+  for (const auto& u : program.units) defined.insert(u->name);
+
+  std::map<std::string, std::set<std::string>> callees;
+  for (const auto& u : program.units) {
+    callees[u->name];  // ensure every unit has a node
+    u->forEachStmt([&](const Stmt& s) {
+      for (const std::string& callee : ir::calledFunctions(s)) {
+        g.sites_.push_back({u->name, callee, &s});
+        callees[u->name].insert(callee);
+        if (!defined.count(callee)) {
+          if (std::find(g.unresolved_.begin(), g.unresolved_.end(),
+                        callee) == g.unresolved_.end()) {
+            g.unresolved_.push_back(callee);
+          }
+        }
+      }
+    });
+  }
+
+  // Iterative Kahn-style peeling: emit procedures whose defined callees are
+  // all already emitted; anything left is on a cycle.
+  std::set<std::string> emitted;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const auto& u : program.units) {
+      if (emitted.count(u->name)) continue;
+      bool ready = true;
+      for (const auto& c : callees[u->name]) {
+        if (defined.count(c) && !emitted.count(c) && c != u->name) {
+          ready = false;
+          break;
+        }
+      }
+      if (callees[u->name].count(u->name)) ready = false;  // self-recursion
+      if (ready) {
+        g.bottomUp_.push_back(u->name);
+        emitted.insert(u->name);
+        progress = true;
+      }
+    }
+  }
+  for (const auto& u : program.units) {
+    if (!emitted.count(u->name)) g.recursive_.push_back(u->name);
+  }
+  return g;
+}
+
+std::vector<const CallSite*> CallGraph::callsFrom(
+    const std::string& caller) const {
+  std::vector<const CallSite*> out;
+  for (const auto& s : sites_) {
+    if (s.caller == caller) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const CallSite*> CallGraph::callsTo(
+    const std::string& callee) const {
+  std::vector<const CallSite*> out;
+  for (const auto& s : sites_) {
+    if (s.callee == callee) out.push_back(&s);
+  }
+  return out;
+}
+
+std::string CallGraph::textual() const {
+  std::string out;
+  std::set<std::string> callers;
+  for (const auto& s : sites_) callers.insert(s.caller);
+  for (const auto& c : callers) {
+    out += c + ":";
+    for (const auto& s : sites_) {
+      if (s.caller == c) {
+        out += " " + s.callee;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ps::interproc

@@ -1,0 +1,61 @@
+#ifndef PS_INTERPROC_CALLGRAPH_H
+#define PS_INTERPROC_CALLGRAPH_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fortran/ast.h"
+
+namespace ps::interproc {
+
+/// One call site: the calling statement and the callee name. Covers CALL
+/// statements and user-function invocations in expressions.
+struct CallSite {
+  std::string caller;
+  std::string callee;
+  const fortran::Stmt* stmt = nullptr;
+};
+
+/// The program call graph (the ParaScope Composition Editor's "big picture"
+/// the users asked to see graphically).
+class CallGraph {
+ public:
+  static CallGraph build(const fortran::Program& program);
+
+  [[nodiscard]] const std::vector<CallSite>& callSites() const {
+    return sites_;
+  }
+  [[nodiscard]] std::vector<const CallSite*> callsFrom(
+      const std::string& caller) const;
+  [[nodiscard]] std::vector<const CallSite*> callsTo(
+      const std::string& callee) const;
+
+  /// Procedure names in reverse topological (callee-first) order, suitable
+  /// for bottom-up summary propagation. Procedures on cycles (recursion)
+  /// are reported in `recursive()` and excluded from the order.
+  [[nodiscard]] const std::vector<std::string>& bottomUpOrder() const {
+    return bottomUp_;
+  }
+  [[nodiscard]] const std::vector<std::string>& recursive() const {
+    return recursive_;
+  }
+
+  /// Callees referenced but not defined in the program (library routines).
+  [[nodiscard]] const std::vector<std::string>& unresolved() const {
+    return unresolved_;
+  }
+
+  /// Render the textual call-graph listing PED's interface exposes.
+  [[nodiscard]] std::string textual() const;
+
+ private:
+  std::vector<CallSite> sites_;
+  std::vector<std::string> bottomUp_;
+  std::vector<std::string> recursive_;
+  std::vector<std::string> unresolved_;
+};
+
+}  // namespace ps::interproc
+
+#endif  // PS_INTERPROC_CALLGRAPH_H

@@ -1,0 +1,108 @@
+#ifndef PS_INTERPROC_SUMMARIES_H
+#define PS_INTERPROC_SUMMARIES_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/symbolic.h"
+#include "dependence/section.h"
+#include "fortran/ast.h"
+#include "interproc/callgraph.h"
+#include "ir/refs.h"
+
+namespace ps::interproc {
+
+/// Summary of one procedure's effect on one externally visible variable
+/// (a formal parameter or COMMON member), in the procedure's own scope.
+struct VarEffect {
+  bool isArray = false;
+  bool mayRead = false;   // REF: read on some path
+  bool mayWrite = false;  // MOD: written on some path
+  bool kills = false;     // KILL: definitely (re)written on every path
+  /// Read before any kill on some path from entry (upward-exposed use).
+  bool exposedRead = false;
+
+  /// Union of accessed subscript ranges when expressible as a bounded
+  /// regular section over stable symbols; disengaged = "unknown/whole".
+  std::optional<dep::Section> readSection;
+  std::optional<dep::Section> writeSection;
+};
+
+/// Interprocedural summary of one procedure: flow-insensitive MOD/REF
+/// [Banning 79], flow-sensitive KILL [Callahan 88], and bounded regular
+/// sections [Havlak–Kennedy 91] — the suite the paper credits as "one of
+/// the distinguishing features of PED's dependence information".
+struct ProcSummary {
+  std::string name;
+  std::vector<std::string> formals;
+  std::map<std::string, VarEffect> effects;
+
+  [[nodiscard]] const VarEffect* effectOn(const std::string& var) const {
+    auto it = effects.find(var);
+    return it == effects.end() ? nullptr : &it->second;
+  }
+};
+
+/// Builds summaries bottom-up over the call graph. Procedures on recursive
+/// cycles and calls to unresolved (library) routines get worst-case
+/// summaries.
+class SummaryBuilder {
+ public:
+  explicit SummaryBuilder(fortran::Program& program);
+
+  [[nodiscard]] const ProcSummary* summaryOf(const std::string& name) const;
+  [[nodiscard]] const CallGraph& callGraph() const { return callGraph_; }
+
+  /// Constants inherited by each procedure from its call sites: a formal
+  /// receives a constant when every call site passes the same literal.
+  /// COMMON variables receive one when the whole program assigns them a
+  /// single literal before any use. (Interprocedural constant propagation.)
+  [[nodiscard]] std::map<std::string, long long> inheritedConstantsFor(
+      const std::string& procName) const;
+
+  /// Symbolic relations valid on entry to a procedure: V = <linear form>
+  /// where V is a COMMON variable assigned exactly once in the whole
+  /// program and the operands are similarly stable (interprocedural
+  /// symbolic propagation — the arc3d JM = JMAX - 1 case).
+  [[nodiscard]] std::vector<dataflow::Relation> inheritedRelationsFor(
+      const std::string& procName) const;
+
+ private:
+  void summarize(fortran::Procedure& proc);
+  void computeGlobalFacts();
+  /// True when a CallActual reference may actually be written, per the
+  /// callee summaries (conservative for unknown callees).
+  [[nodiscard]] bool refMayWrite(const fortran::Stmt& s,
+                                 const ir::Ref& r) const;
+
+  fortran::Program& program_;
+  CallGraph callGraph_;
+  std::map<std::string, ProcSummary> summaries_;
+  std::map<std::string, long long> globalConstants_;       // COMMON var -> value
+  std::vector<dataflow::Relation> globalRelations_;        // COMMON relations
+  std::map<std::string, std::map<std::string, long long>> formalConstants_;
+};
+
+/// Adapts SummaryBuilder into the dependence builder's oracle interface,
+/// translating callee-scope sections into the caller's scope at each call
+/// site (actuals substituted for formals).
+class InterproceduralOracle : public dep::SideEffectOracle {
+ public:
+  InterproceduralOracle(const SummaryBuilder& summaries,
+                        const fortran::Procedure& caller);
+
+  [[nodiscard]] bool knowsCallee(const std::string& name) const override;
+  [[nodiscard]] std::vector<dep::CallEffect> effectsOfCall(
+      const fortran::Stmt& stmt, const std::string& callee) const override;
+
+ private:
+  const SummaryBuilder& summaries_;
+  const fortran::Procedure& caller_;
+};
+
+}  // namespace ps::interproc
+
+#endif  // PS_INTERPROC_SUMMARIES_H

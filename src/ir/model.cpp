@@ -1,0 +1,102 @@
+#include "ir/model.h"
+
+#include <algorithm>
+
+namespace ps::ir {
+
+using fortran::Stmt;
+using fortran::StmtId;
+using fortran::StmtKind;
+using fortran::StmtPtr;
+
+bool Loop::contains(StmtId id) const {
+  if (stmt->id == id) return true;
+  for (const Stmt* s : bodyStmts) {
+    if (s->id == id) return true;
+  }
+  return false;
+}
+
+std::vector<const Loop*> Loop::nestPath() const {
+  std::vector<const Loop*> path;
+  for (const Loop* l = this; l; l = l->parent) path.push_back(l);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ProcedureModel::ProcedureModel(fortran::Procedure& proc) : proc_(proc) {
+  index(proc.body, nullptr, nullptr);
+}
+
+void ProcedureModel::index(std::vector<StmtPtr>& stmts, Stmt* parent,
+                           Loop* loop) {
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    Stmt* s = stmts[i].get();
+    byId_[s->id] = s;
+    if (parent) parent_[s->id] = parent;
+    enclosing_[s->id] = loop;
+    container_[s->id] = {&stmts, i};
+    if (s->label != 0) labels_[s->label] = s;
+    allStmts_.push_back(s);
+    // Register this statement in every enclosing loop body.
+    for (Loop* l = loop; l; l = l->parent) l->bodyStmts.push_back(s);
+
+    if (s->kind == StmtKind::Do) {
+      auto newLoop = std::make_unique<Loop>();
+      newLoop->stmt = s;
+      newLoop->parent = loop;
+      newLoop->level = loop ? loop->level + 1 : 1;
+      Loop* lp = newLoop.get();
+      if (loop) loop->children.push_back(lp);
+      loops_.push_back(std::move(newLoop));
+      index(s->body, s, lp);
+    } else if (s->kind == StmtKind::If) {
+      for (auto& arm : s->arms) index(arm.body, s, loop);
+    }
+  }
+}
+
+std::vector<Loop*> ProcedureModel::topLevelLoops() const {
+  std::vector<Loop*> out;
+  for (const auto& l : loops_) {
+    if (!l->parent) out.push_back(l.get());
+  }
+  return out;
+}
+
+Loop* ProcedureModel::loopByDoStmt(StmtId id) const {
+  for (const auto& l : loops_) {
+    if (l->stmt->id == id) return l.get();
+  }
+  return nullptr;
+}
+
+Loop* ProcedureModel::enclosingLoop(StmtId id) const {
+  auto it = enclosing_.find(id);
+  return it == enclosing_.end() ? nullptr : it->second;
+}
+
+Stmt* ProcedureModel::stmt(StmtId id) const {
+  auto it = byId_.find(id);
+  return it == byId_.end() ? nullptr : it->second;
+}
+
+Stmt* ProcedureModel::parentStmt(StmtId id) const {
+  auto it = parent_.find(id);
+  return it == parent_.end() ? nullptr : it->second;
+}
+
+Stmt* ProcedureModel::labelTarget(int label) const {
+  auto it = labels_.find(label);
+  return it == labels_.end() ? nullptr : it->second;
+}
+
+std::vector<StmtPtr>* ProcedureModel::containerOf(StmtId id,
+                                                  std::size_t* indexOut) const {
+  auto it = container_.find(id);
+  if (it == container_.end()) return nullptr;
+  if (indexOut) *indexOut = it->second.second;
+  return it->second.first;
+}
+
+}  // namespace ps::ir

@@ -1,0 +1,92 @@
+#ifndef PS_IR_MODEL_H
+#define PS_IR_MODEL_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fortran/ast.h"
+
+namespace ps::ir {
+
+/// One loop in a procedure's loop tree.
+struct Loop {
+  fortran::Stmt* stmt = nullptr;  // the DO statement
+  Loop* parent = nullptr;
+  std::vector<Loop*> children;
+  int level = 1;  // nesting depth, 1 = outermost
+
+  /// Every statement lexically inside the loop body, including statements of
+  /// nested loops, in program order. Excludes the DO statement itself.
+  std::vector<fortran::Stmt*> bodyStmts;
+
+  [[nodiscard]] const std::string& inductionVar() const {
+    return stmt->doVar;
+  }
+  /// True if `id` is the DO statement or any statement in the body.
+  [[nodiscard]] bool contains(fortran::StmtId id) const;
+  /// The chain of loops from the outermost ancestor down to this loop.
+  [[nodiscard]] std::vector<const Loop*> nestPath() const;
+};
+
+/// A navigable model of one procedure: loop tree, statement index, parent
+/// links and label map. The model holds raw pointers into the procedure's
+/// AST; rebuild it after any structural edit (PED re-analyzes the enclosing
+/// procedure after each edit, so models are short-lived by design).
+class ProcedureModel {
+ public:
+  explicit ProcedureModel(fortran::Procedure& proc);
+
+  [[nodiscard]] fortran::Procedure& procedure() const { return proc_; }
+
+  /// All loops, in program (pre-)order.
+  [[nodiscard]] const std::vector<std::unique_ptr<Loop>>& loops() const {
+    return loops_;
+  }
+  [[nodiscard]] std::vector<Loop*> topLevelLoops() const;
+
+  /// The loop whose DO statement has this id, or null.
+  [[nodiscard]] Loop* loopByDoStmt(fortran::StmtId id) const;
+  /// The innermost loop containing this statement (the statement may be a DO
+  /// statement, in which case the *enclosing* loop is returned), or null.
+  [[nodiscard]] Loop* enclosingLoop(fortran::StmtId id) const;
+
+  [[nodiscard]] fortran::Stmt* stmt(fortran::StmtId id) const;
+  [[nodiscard]] fortran::Stmt* parentStmt(fortran::StmtId id) const;
+  [[nodiscard]] fortran::Stmt* labelTarget(int label) const;
+
+  /// The list of sibling statements that contains `id` (the procedure body,
+  /// a DO body, or an IF arm), plus the index within it. Returns nullptr if
+  /// the id is unknown.
+  std::vector<fortran::StmtPtr>* containerOf(fortran::StmtId id,
+                                             std::size_t* indexOut) const;
+
+  /// All statements in the procedure, pre-order.
+  [[nodiscard]] const std::vector<fortran::Stmt*>& allStmts() const {
+    return allStmts_;
+  }
+
+  /// Count of executable statements (used for Table 1's "lines" flavor of
+  /// accounting in tests).
+  [[nodiscard]] std::size_t stmtCount() const { return allStmts_.size(); }
+
+ private:
+  void index(std::vector<fortran::StmtPtr>& stmts, fortran::Stmt* parent,
+             Loop* loop);
+
+  fortran::Procedure& proc_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::map<fortran::StmtId, fortran::Stmt*> byId_;
+  std::map<fortran::StmtId, fortran::Stmt*> parent_;
+  std::map<fortran::StmtId, Loop*> enclosing_;
+  std::map<fortran::StmtId, std::pair<std::vector<fortran::StmtPtr>*,
+                                      std::size_t>>
+      container_;
+  std::map<int, fortran::Stmt*> labels_;
+  std::vector<fortran::Stmt*> allStmts_;
+};
+
+}  // namespace ps::ir
+
+#endif  // PS_IR_MODEL_H

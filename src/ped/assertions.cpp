@@ -1,0 +1,212 @@
+#include "ped/assertions.h"
+
+#include "fortran/parser.h"
+#include "support/text.h"
+
+namespace ps::ped {
+
+using dataflow::LinearExpr;
+using fortran::BinOp;
+using fortran::Expr;
+using fortran::ExprKind;
+
+namespace {
+
+/// Parse a Fortran expression from a text fragment by wrapping it in a tiny
+/// subroutine and reusing the real parser.
+fortran::ExprPtr parseExprText(const std::string& text,
+                               DiagnosticEngine& diags) {
+  std::string src = "      SUBROUTINE ASRTWRAP\n      ASRTLHS = " + text +
+                    "\n      END\n";
+  DiagnosticEngine local;
+  auto prog = fortran::parseSource(src, local);
+  if (local.hasErrors() || prog->units.empty() ||
+      prog->units[0]->body.empty() ||
+      prog->units[0]->body[0]->kind != fortran::StmtKind::Assign) {
+    diags.error({}, "cannot parse assertion expression: " + text);
+    return nullptr;
+  }
+  return std::move(prog->units[0]->body[0]->rhs);
+}
+
+/// Split a parenthesized argument list at top-level commas.
+std::vector<std::string> splitArgs(std::string_view inner) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::string cur;
+  for (char c : inner) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(std::string(ps::text::trim(cur)));
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  if (!ps::text::trim(cur).empty()) {
+    parts.push_back(std::string(ps::text::trim(cur)));
+  }
+  return parts;
+}
+
+/// Turn a relational expression into facts (lhs - rhs with the right
+/// strictness), using the subscript linearizer so symbol names match what
+/// the dependence tester sees.
+bool relationToFacts(const Expr& rel, std::vector<dep::Fact>* facts) {
+  if (rel.kind != ExprKind::Binary) return false;
+  dep::OpaqueTable opaques;
+  LinearExpr l = dep::linearizeSubscript(*rel.lhs, {}, opaques);
+  LinearExpr r = dep::linearizeSubscript(*rel.rhs, {}, opaques);
+  LinearExpr diff;  // lhs - rhs
+  diff.add(l, 1);
+  diff.add(r, -1);
+  switch (rel.binOp) {
+    case BinOp::Gt:
+      facts->push_back({diff, /*strict=*/true});
+      return true;
+    case BinOp::Ge:
+      facts->push_back({diff, false});
+      return true;
+    case BinOp::Lt: {
+      LinearExpr neg;
+      neg.add(diff, -1);
+      facts->push_back({neg, true});
+      return true;
+    }
+    case BinOp::Le: {
+      LinearExpr neg;
+      neg.add(diff, -1);
+      facts->push_back({neg, false});
+      return true;
+    }
+    case BinOp::Eq: {
+      facts->push_back({diff, false});
+      LinearExpr neg;
+      neg.add(diff, -1);
+      facts->push_back({neg, false});
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<Assertion> parseAssertion(const std::string& payload,
+                                        DiagnosticEngine& diags) {
+  std::string up = ps::text::upper(ps::text::trim(payload));
+  if (!ps::text::startsWith(up, "ASSERT")) {
+    diags.error({}, "directive is not an ASSERT: " + payload);
+    return std::nullopt;
+  }
+  std::string rest(ps::text::trim(std::string_view(up).substr(6)));
+  auto open = rest.find('(');
+  auto close = rest.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    diags.error({}, "malformed ASSERT: " + payload);
+    return std::nullopt;
+  }
+  std::string keyword(ps::text::trim(rest.substr(0, open)));
+  std::string inner = rest.substr(open + 1, close - open - 1);
+
+  Assertion a;
+  a.text = up;
+
+  if (keyword == "RELATION") {
+    a.kind = AssertionKind::Relation;
+    a.relationExpr = parseExprText(inner, diags);
+    if (!a.relationExpr) return std::nullopt;
+    if (!relationToFacts(*a.relationExpr, &a.facts)) {
+      diags.error({}, "RELATION must be a linear comparison: " + payload);
+      return std::nullopt;
+    }
+    return a;
+  }
+  if (keyword == "RANGE") {
+    a.kind = AssertionKind::Range;
+    auto parts = splitArgs(inner);
+    if (parts.size() != 3) {
+      diags.error({}, "RANGE needs (var, lo, hi): " + payload);
+      return std::nullopt;
+    }
+    auto var = parseExprText(parts[0], diags);
+    auto lo = parseExprText(parts[1], diags);
+    auto hi = parseExprText(parts[2], diags);
+    if (!var || !lo || !hi) return std::nullopt;
+    dep::OpaqueTable opaques;
+    LinearExpr v = dep::linearizeSubscript(*var, {}, opaques);
+    LinearExpr lf = dep::linearizeSubscript(*lo, {}, opaques);
+    LinearExpr hf = dep::linearizeSubscript(*hi, {}, opaques);
+    LinearExpr lower = v;   // v - lo >= 0
+    lower.add(lf, -1);
+    a.facts.push_back({lower, false});
+    LinearExpr upper = hf;  // hi - v >= 0
+    upper.add(v, -1);
+    a.facts.push_back({upper, false});
+    return a;
+  }
+  if (keyword == "PERMUTATION") {
+    a.kind = AssertionKind::Permutation;
+    a.array = std::string(ps::text::trim(inner));
+    if (a.array.empty()) {
+      diags.error({}, "PERMUTATION needs an array name: " + payload);
+      return std::nullopt;
+    }
+    return a;
+  }
+  if (keyword == "STRIDED") {
+    a.kind = AssertionKind::Strided;
+    auto parts = splitArgs(inner);
+    if (parts.size() != 2) {
+      diags.error({}, "STRIDED needs (array, gap): " + payload);
+      return std::nullopt;
+    }
+    a.array = parts[0];
+    a.gap = std::atoll(parts[1].c_str());
+    if (a.gap <= 0) {
+      diags.error({}, "STRIDED gap must be positive: " + payload);
+      return std::nullopt;
+    }
+    return a;
+  }
+  if (keyword == "SEPARATED") {
+    a.kind = AssertionKind::Separated;
+    auto parts = splitArgs(inner);
+    if (parts.size() != 3) {
+      diags.error({}, "SEPARATED needs (A, B, gap): " + payload);
+      return std::nullopt;
+    }
+    a.array = parts[0];
+    a.array2 = parts[1];
+    a.gap = std::atoll(parts[2].c_str());
+    return a;
+  }
+  diags.error({}, "unknown assertion keyword: " + keyword);
+  return std::nullopt;
+}
+
+void applyAssertions(const std::vector<Assertion>& assertions,
+                     dep::AnalysisContext* ctx) {
+  for (const auto& a : assertions) {
+    switch (a.kind) {
+      case AssertionKind::Relation:
+      case AssertionKind::Range:
+        for (const auto& f : a.facts) ctx->facts.push_back(f);
+        break;
+      case AssertionKind::Permutation:
+        ctx->indexFacts.permutation.insert(a.array);
+        break;
+      case AssertionKind::Strided:
+        ctx->indexFacts.strided[a.array] = a.gap;
+        break;
+      case AssertionKind::Separated:
+        ctx->indexFacts.separated[{a.array, a.array2}] = a.gap;
+        break;
+    }
+  }
+}
+
+}  // namespace ps::ped

@@ -1,0 +1,54 @@
+#ifndef PS_PED_ASSERTIONS_H
+#define PS_PED_ASSERTIONS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dependence/graph.h"
+#include "dependence/testsuite.h"
+#include "support/diagnostics.h"
+
+namespace ps::ped {
+
+/// The user assertion language of §3.3, designed around the paper's three
+/// requirements: assertions express properties natural to the user, they
+/// feed dependence elimination, and they are run-time checkable (the
+/// interpreter validates them — see Session::checkAssertions).
+///
+/// Grammar (directive text after "CPED$" / "!PED$", case-insensitive):
+///   ASSERT RELATION (expr relop expr)      e.g. (MCN .GT. IENDV(IR) - ISTRT(IR))
+///   ASSERT RANGE (var, lo, hi)             lo <= var <= hi
+///   ASSERT PERMUTATION (A)                 A maps distinct args to distinct values
+///   ASSERT STRIDED (A, k)                  A(i+1) >= A(i) + k (monotone)
+///   ASSERT SEPARATED (A, B, k)             min(B) - max(A) >= k
+enum class AssertionKind { Relation, Range, Permutation, Strided, Separated };
+
+struct Assertion {
+  AssertionKind kind = AssertionKind::Relation;
+  std::string text;  // original directive payload
+
+  // Relation / Range.
+  std::vector<dep::Fact> facts;
+  // Permutation / Strided / Separated.
+  std::string array;
+  std::string array2;
+  long long gap = 0;
+
+  /// The original relation expression (Relation kind), kept for run-time
+  /// verification.
+  fortran::ExprPtr relationExpr;
+};
+
+/// Parse one directive payload ("ASSERT ..."). Returns nullopt and reports
+/// a diagnostic on malformed input.
+[[nodiscard]] std::optional<Assertion> parseAssertion(
+    const std::string& payload, DiagnosticEngine& diags);
+
+/// Fold a batch of assertions into the dependence analysis context.
+void applyAssertions(const std::vector<Assertion>& assertions,
+                     dep::AnalysisContext* ctx);
+
+}  // namespace ps::ped
+
+#endif  // PS_PED_ASSERTIONS_H

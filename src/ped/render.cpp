@@ -1,0 +1,103 @@
+#include "ped/render.h"
+
+#include "support/text.h"
+
+namespace ps::ped {
+
+using ps::text::padLeft;
+using ps::text::padRight;
+
+std::string renderWindow(Session& session, int sourceRows, int depRows,
+                         int varRows) {
+  constexpr int kWidth = 96;
+  std::string out;
+  auto rule = [&] { out += std::string(kWidth, '-') + "\n"; };
+
+  rule();
+  out += padRight("  ParaScope Editor — " + session.currentProcedure(),
+                  kWidth) +
+         "\n";
+  out += padRight(
+             "  file  edit  view  search  dependence  variable  transform",
+             kWidth) +
+         "\n";
+  rule();
+
+  // ---- source pane ----
+  auto src = session.sourcePane();
+  int shown = 0;
+  // Center the window on the current loop when one is selected.
+  std::size_t begin = 0;
+  if (session.currentLoop() != fortran::kInvalidStmt) {
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      if (src[i].stmt == session.currentLoop()) {
+        begin = i > 2 ? i - 2 : 0;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = begin; i < src.size() && shown < sourceRows;
+       ++i, ++shown) {
+    const auto& row = src[i];
+    std::string line;
+    line += row.loopStart ? "*" : " ";
+    line += row.inCurrentLoop ? ">" : " ";
+    line += padLeft(std::to_string(row.ordinal), 4) + "  ";
+    line += std::string(static_cast<std::size_t>(row.depth) * 2, ' ');
+    line += row.text;
+    out += padRight(line, kWidth).substr(0, kWidth) + "\n";
+  }
+  while (shown++ < sourceRows) out += "\n";
+  rule();
+
+  // ---- dependence pane ----
+  out += padRight(std::string("  TYPE    SOURCE") +
+                      std::string(14, ' ') + "SINK" + std::string(16, ' ') +
+                      "VECTOR    LVL  BLOCK  MARK      REASON",
+                  kWidth) +
+         "\n";
+  auto deps = session.dependencePane();
+  int dshown = 0;
+  for (const auto& d : deps) {
+    if (dshown >= depRows) break;
+    std::string line = "  ";
+    line += padRight(d.type, 8);
+    line += padRight(d.source, 20);
+    line += padRight(d.sink, 20);
+    line += padRight(d.vector, 10);
+    line += padLeft(std::to_string(d.level), 3) + "  ";
+    line += padRight(d.block, 7);
+    line += padRight(d.mark, 10);
+    line += d.reason;
+    out += padRight(line, kWidth).substr(0, kWidth) + "\n";
+    ++dshown;
+  }
+  while (dshown++ < depRows) out += "\n";
+  rule();
+
+  // ---- variable pane ----
+  out += padRight("  NAME      DIM  BLOCK   DEF<      USE>      KIND"
+                  "            REASON",
+                  kWidth) +
+         "\n";
+  auto vars = session.variablePane();
+  int vshown = 0;
+  for (const auto& v : vars) {
+    if (vshown >= varRows) break;
+    std::string line = "  ";
+    line += padRight(v.name, 10);
+    line += padLeft(std::to_string(v.dim), 3) + "  ";
+    line += padRight(v.block, 8);
+    line += padRight(v.defs, 10);
+    line += padRight(v.uses, 10);
+    line += padRight(v.kind, 16);
+    line += v.reason;
+    out += padRight(line, kWidth).substr(0, kWidth) + "\n";
+    ++vshown;
+  }
+  while (vshown++ < varRows) out += "\n";
+  rule();
+  return out;
+}
+
+}  // namespace ps::ped

@@ -1,0 +1,19 @@
+#ifndef PS_PED_RENDER_H
+#define PS_PED_RENDER_H
+
+#include <string>
+
+#include "ped/session.h"
+
+namespace ps::ped {
+
+/// Render the PED window (Figure 1): menu bar, source pane with ordinal
+/// line numbers and '*' loop markers, the dependence pane footnote and the
+/// variable pane footnote, all reflecting the session's current loop
+/// selection and filters.
+[[nodiscard]] std::string renderWindow(Session& session, int sourceRows = 18,
+                                       int depRows = 10, int varRows = 6);
+
+}  // namespace ps::ped
+
+#endif  // PS_PED_RENDER_H

@@ -1,0 +1,873 @@
+#include "ped/session.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "cfg/flow_graph.h"
+#include "dataflow/liveness.h"
+#include "dataflow/privatize.h"
+#include "fortran/lexer.h"
+#include "fortran/parser.h"
+#include "fortran/pretty.h"
+#include "ir/refs.h"
+
+namespace ps::ped {
+
+using fortran::Expr;
+using fortran::ExprKind;
+using fortran::Procedure;
+using fortran::Stmt;
+using fortran::StmtId;
+using fortran::StmtKind;
+using ir::Loop;
+
+std::unique_ptr<Session> Session::load(std::string_view source,
+                                       DiagnosticEngine& diags) {
+  auto session = std::unique_ptr<Session>(new Session());
+  session->program_ = fortran::parseSource(source, session->diags_);
+  for (const auto& d : session->diags_.all()) {
+    if (d.severity == Severity::Error) diags.error(d.loc, d.message);
+  }
+  if (session->program_->units.empty()) {
+    diags.error({}, "no program units");
+    return nullptr;
+  }
+  session->summaries_ =
+      std::make_unique<interproc::SummaryBuilder>(*session->program_);
+  session->current_ = session->program_->units[0]->name;
+
+  // Assertions embedded in the source as directives.
+  std::vector<std::string> payloads;
+  for (const auto& unit : session->program_->units) {
+    unit->forEachStmt([&](const Stmt& s) {
+      if (s.kind == StmtKind::Assertion) {
+        payloads.push_back(s.assertionText);
+      }
+    });
+  }
+  for (const auto& p : payloads) session->addAssertion(p);
+  return session;
+}
+
+// ---------------------------------------------------------------------------
+// Workspaces & analysis context
+// ---------------------------------------------------------------------------
+
+dep::AnalysisContext Session::contextFor(const std::string& name) {
+  dep::AnalysisContext ctx;
+  auto itOracle = oracles_.find(name);
+  if (itOracle == oracles_.end()) {
+    Procedure* proc = program_->findUnit(name);
+    oracles_[name] = std::make_unique<interproc::InterproceduralOracle>(
+        *summaries_, *proc);
+  }
+  ctx.oracle = oracles_[name].get();
+  applyAssertions(assertions_, &ctx);
+  auto itOv = overrides_.find(name);
+  if (itOv != overrides_.end()) ctx.classificationOverrides = itOv->second;
+  ctx.inheritedConstants = summaries_->inheritedConstantsFor(name);
+  ctx.inheritedRelations = summaries_->inheritedRelationsFor(name);
+  return ctx;
+}
+
+transform::Workspace& Session::wsFor(const std::string& name) {
+  auto it = workspaces_.find(name);
+  if (it != workspaces_.end()) return *it->second;
+  Procedure* proc = program_->findUnit(name);
+  auto ws = std::make_unique<transform::Workspace>(*program_, *proc,
+                                                   contextFor(name));
+  reapplyMarks(*ws->graph);
+  ++reanalyses_;
+  return *workspaces_.emplace(name, std::move(ws)).first->second;
+}
+
+void Session::invalidate(const std::string& name) {
+  workspaces_.erase(name);
+  oracles_.erase(name);
+}
+
+transform::Workspace& Session::workspace() { return wsFor(current_); }
+
+void Session::fullReanalysis() {
+  workspaces_.clear();
+  oracles_.clear();
+  summaries_ = std::make_unique<interproc::SummaryBuilder>(*program_);
+  for (const auto& u : program_->units) {
+    (void)wsFor(u->name);
+  }
+}
+
+int Session::reanalysisCount() const {
+  int n = reanalyses_;
+  for (const auto& [name, ws] : workspaces_) {
+    (void)name;
+    n += ws->reanalyses - 1;  // the constructor's build is counted above
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Dependence marks (survive reanalysis by signature)
+// ---------------------------------------------------------------------------
+
+std::string Session::depSignature(const dep::Dependence& d) const {
+  return std::string(dep::depTypeName(d.type)) + "|" + d.variable + "|" +
+         std::to_string(d.srcStmt) + "|" + std::to_string(d.dstStmt) + "|" +
+         std::to_string(d.level);
+}
+
+void Session::reapplyMarks(dep::DependenceGraph& g) const {
+  for (auto& d : g.allMutable()) {
+    auto it = marks_.find(depSignature(d));
+    if (it != marks_.end()) {
+      d.mark = it->second.mark;
+      d.reason = it->second.reason;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Navigation
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Session::procedureNames() const {
+  std::vector<std::string> out;
+  for (const auto& u : program_->units) out.push_back(u->name);
+  return out;
+}
+
+bool Session::selectProcedure(const std::string& name) {
+  if (!program_->findUnit(name)) return false;
+  current_ = name;
+  currentLoop_ = fortran::kInvalidStmt;
+  ++counters_.programNavigations;
+  return true;
+}
+
+std::vector<Session::LoopRow> Session::loops() {
+  transform::Workspace& ws = wsFor(current_);
+  std::vector<LoopRow> out;
+  for (const auto& l : ws.model->loops()) {
+    LoopRow row;
+    row.id = l->stmt->id;
+    row.headline = fortran::stmtHeadline(*l->stmt);
+    row.level = l->level;
+    row.parallelizable = ws.graph->parallelizable(*l);
+    row.parallel = l->stmt->isParallel;
+    for (const auto* d : ws.graph->forLoop(*l)) {
+      if (d->mark == dep::DepMark::Pending) ++row.pendingDeps;
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+bool Session::selectLoop(StmtId loop) {
+  transform::Workspace& ws = wsFor(current_);
+  if (!ws.loopOf(loop)) return false;
+  currentLoop_ = loop;
+  ++counters_.programNavigations;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Panes
+// ---------------------------------------------------------------------------
+
+std::vector<Session::SourceRow> Session::sourcePane() {
+  transform::Workspace& ws = wsFor(current_);
+  Loop* cur = currentLoop_ != fortran::kInvalidStmt
+                  ? ws.loopOf(currentLoop_)
+                  : nullptr;
+  std::vector<SourceRow> rows;
+  int ordinal = 0;
+  for (const Stmt* s : ws.model->allStmts()) {
+    SourceRow row;
+    row.ordinal = ++ordinal;
+    row.stmt = s->id;
+    row.text = fortran::stmtHeadline(*s);
+    if (s->label != 0) {
+      row.text = std::to_string(s->label) + " " + row.text;
+    }
+    row.loopStart = (s->kind == StmtKind::Do);
+    const Loop* encl = ws.model->enclosingLoop(s->id);
+    row.depth = encl ? encl->level : 0;
+    row.inCurrentLoop = cur && (cur->contains(s->id));
+    if (srcFilter_) {
+      if (srcFilter_->loopHeadersOnly && !row.loopStart) continue;
+      if (!srcFilter_->contains.empty() &&
+          row.text.find(srcFilter_->contains) == std::string::npos) {
+        continue;
+      }
+      if (srcFilter_->withLabel != 0 && s->label != srcFilter_->withLabel) {
+        continue;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+std::string refDisplay(const dep::Dependence& d, bool src,
+                       const ir::ProcedureModel& model) {
+  const Expr* e = src ? d.srcRef : d.dstRef;
+  if (e) return fortran::printExpr(*e);
+  const Stmt* s = model.stmt(src ? d.srcStmt : d.dstStmt);
+  if (!s) return "?";
+  if (d.type == dep::DepType::Control) {
+    return "line " + std::to_string(s->loc.line);
+  }
+  return "call@" + std::to_string(s->loc.line);
+}
+}  // namespace
+
+std::vector<Session::DependenceRow> Session::dependencePane() {
+  transform::Workspace& ws = wsFor(current_);
+  std::vector<DependenceRow> rows;
+  Loop* cur = currentLoop_ != fortran::kInvalidStmt
+                  ? ws.loopOf(currentLoop_)
+                  : nullptr;
+  for (const auto& d : ws.graph->all()) {
+    if (cur &&
+        !(cur->contains(d.srcStmt) && cur->contains(d.dstStmt))) {
+      continue;  // progressive disclosure: current loop only
+    }
+    if (depFilter_) {
+      if (depFilter_->type && d.type != *depFilter_->type) continue;
+      if (!depFilter_->variable.empty() &&
+          d.variable != depFilter_->variable) {
+        continue;
+      }
+      if (depFilter_->mark && d.mark != *depFilter_->mark) continue;
+      if (depFilter_->carriedOnly &&
+          d.loopCarried() != *depFilter_->carriedOnly) {
+        continue;
+      }
+    }
+    DependenceRow row;
+    row.id = d.id;
+    row.type = dep::depTypeName(d.type);
+    row.source = refDisplay(d, true, *ws.model);
+    row.sink = refDisplay(d, false, *ws.model);
+    row.vector = d.vector.str();
+    row.level = d.level;
+    const fortran::VarDecl* decl =
+        ws.proc.findDecl(d.variable);
+    row.block = decl ? decl->commonBlock : "";
+    row.mark = dep::depMarkName(d.mark);
+    row.reason = d.reason;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Session::VariableRow> Session::variablePane() {
+  transform::Workspace& ws = wsFor(current_);
+  Loop* cur = currentLoop_ != fortran::kInvalidStmt
+                  ? ws.loopOf(currentLoop_)
+                  : nullptr;
+  std::vector<VariableRow> rows;
+  if (!cur) return rows;
+
+  cfg::FlowGraph fg = cfg::FlowGraph::build(*ws.model);
+  auto lv = dataflow::Liveness::build(fg, *ws.model);
+  auto priv = dataflow::PrivatizationAnalysis::build(*ws.model, fg, lv);
+
+  // All variables referenced in the loop.
+  std::set<std::string> names;
+  for (const Stmt* s : cur->bodyStmts) {
+    for (const ir::Ref& r : ir::collectRefs(*s)) names.insert(r.name);
+  }
+  for (const std::string& name : names) {
+    VariableRow row;
+    row.name = name;
+    const fortran::VarDecl* decl = ws.proc.findDecl(name);
+    row.dim = decl ? static_cast<int>(decl->dims.size()) : 0;
+    row.block = decl ? decl->commonBlock : "";
+    // Defs and uses outside the current loop (line numbers).
+    std::set<int> defLines, useLines;
+    ws.proc.forEachStmt([&](const Stmt& s) {
+      if (cur->contains(s.id)) return;
+      for (const ir::Ref& r : ir::collectRefs(s)) {
+        if (r.name != name) continue;
+        if (r.isWrite()) defLines.insert(s.loc.line);
+        if (r.isRead()) useLines.insert(s.loc.line);
+      }
+    });
+    auto fmtLines = [](const std::set<int>& lines) {
+      std::string out;
+      int count = 0;
+      for (int l : lines) {
+        if (count++) out += ",";
+        if (count > 3) {
+          out += "...";
+          break;
+        }
+        out += std::to_string(l);
+      }
+      return out;
+    };
+    row.defs = fmtLines(defLines);
+    row.uses = fmtLines(useLines);
+
+    // Classification: overrides first, then analysis; arrays default
+    // shared.
+    std::string kind;
+    auto itOv = overrides_.find(current_);
+    if (itOv != overrides_.end()) {
+      auto itL = itOv->second.find(cur->stmt->id);
+      if (itL != itOv->second.end()) {
+        auto itV = itL->second.find(name);
+        if (itV != itL->second.end()) {
+          kind = itV->second ? "private" : "shared";
+        }
+      }
+    }
+    if (kind.empty()) {
+      if (decl && decl->isArray()) {
+        kind = "shared";
+      } else if (name == cur->inductionVar()) {
+        kind = "private";
+      } else {
+        kind = dataflow::privatizationStatusName(
+            priv.statusOf(*cur, name));
+        if (kind == "unused") kind = "shared";
+      }
+    }
+    row.kind = kind;
+    auto itR = classificationReasons_.find(current_);
+    if (itR != classificationReasons_.end()) {
+      auto itN = itR->second.find(name);
+      if (itN != itR->second.end()) row.reason = itN->second;
+    }
+    if (varFilter_) {
+      if (!varFilter_->kind.empty() &&
+          row.kind.find(varFilter_->kind) == std::string::npos) {
+        continue;
+      }
+      if (varFilter_->arraysOnly && row.dim == 0) continue;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Filters
+// ---------------------------------------------------------------------------
+
+void Session::setDependenceFilter(DependenceFilter f) {
+  depFilter_ = std::move(f);
+  ++counters_.viewFilterUses;
+}
+void Session::clearDependenceFilter() { depFilter_.reset(); }
+void Session::setSourceFilter(SourceFilter f) {
+  srcFilter_ = std::move(f);
+  ++counters_.viewFilterUses;
+}
+void Session::clearSourceFilter() { srcFilter_.reset(); }
+void Session::setVariableFilter(VariableFilter f) {
+  varFilter_ = std::move(f);
+  ++counters_.viewFilterUses;
+}
+void Session::clearVariableFilter() { varFilter_.reset(); }
+
+// ---------------------------------------------------------------------------
+// Marking & classification
+// ---------------------------------------------------------------------------
+
+bool Session::markDependence(std::uint32_t id, dep::DepMark mark,
+                             const std::string& reason) {
+  transform::Workspace& ws = wsFor(current_);
+  dep::Dependence* d = ws.graph->byId(id);
+  if (!d) return false;
+  if (d->mark == dep::DepMark::Proven && mark == dep::DepMark::Rejected) {
+    // PED only lets users reject *pending* dependences; proven ones exist.
+    return false;
+  }
+  d->mark = mark;
+  d->reason = reason;
+  marks_[depSignature(*d)] = {mark, reason};
+  if (mark == dep::DepMark::Rejected) ++counters_.dependenceDeletions;
+  return true;
+}
+
+int Session::markAllMatching(const DependenceFilter& f, dep::DepMark mark,
+                             const std::string& reason) {
+  transform::Workspace& ws = wsFor(current_);
+  Loop* cur = currentLoop_ != fortran::kInvalidStmt
+                  ? ws.loopOf(currentLoop_)
+                  : nullptr;
+  int n = 0;
+  for (auto& d : ws.graph->allMutable()) {
+    if (cur && !(cur->contains(d.srcStmt) && cur->contains(d.dstStmt))) {
+      continue;
+    }
+    if (f.type && d.type != *f.type) continue;
+    if (!f.variable.empty() && d.variable != f.variable) continue;
+    if (f.mark && d.mark != *f.mark) continue;
+    if (f.carriedOnly && d.loopCarried() != *f.carriedOnly) continue;
+    if (d.mark == dep::DepMark::Proven && mark == dep::DepMark::Rejected) {
+      continue;
+    }
+    d.mark = mark;
+    d.reason = reason;
+    marks_[depSignature(d)] = {mark, reason};
+    ++n;
+    if (mark == dep::DepMark::Rejected) ++counters_.dependenceDeletions;
+  }
+  return n;
+}
+
+bool Session::classifyVariable(const std::string& name, bool asPrivate,
+                               const std::string& reason) {
+  if (currentLoop_ == fortran::kInvalidStmt) return false;
+  transform::Workspace& ws = wsFor(current_);
+  if (!ws.loopOf(currentLoop_)) return false;
+  overrides_[current_][currentLoop_][name] = asPrivate;
+  classificationReasons_[current_][name] = reason;
+  ws.actx.classificationOverrides = overrides_[current_];
+  ws.reanalyze();
+  reapplyMarks(*ws.graph);
+  ++counters_.variableClassifications;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Assertions
+// ---------------------------------------------------------------------------
+
+bool Session::addAssertion(const std::string& payload) {
+  auto a = parseAssertion(payload, diags_);
+  if (!a) return false;
+  assertions_.push_back(std::move(*a));
+  // Incremental: rebuild only materialized workspaces with the new facts.
+  for (auto& [name, ws] : workspaces_) {
+    ws->actx = contextFor(name);
+    ws->reanalyze();
+    reapplyMarks(*ws->graph);
+  }
+  ++counters_.assertionsAdded;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Access to analysis & guidance
+// ---------------------------------------------------------------------------
+
+std::string Session::explainLoop(StmtId loopId) {
+  transform::Workspace& ws = wsFor(current_);
+  Loop* loop = ws.loopOf(loopId);
+  if (!loop) return "not a loop";
+  ++counters_.analysisQueries;
+  std::ostringstream out;
+  out << "loop " << fortran::stmtHeadline(*loop->stmt) << ":\n";
+  auto inhibitors = ws.graph->parallelismInhibitors(*loop);
+  if (inhibitors.empty()) {
+    out << "  parallelizable (no active loop-carried dependences)\n";
+  } else {
+    for (const auto* d : inhibitors) {
+      out << "  " << dep::depTypeName(d->type) << " dependence on "
+          << d->variable << " " << d->vector.str() << " ["
+          << dep::depMarkName(d->mark) << "]";
+      if (d->interprocedural) out << " (interprocedural)";
+      out << "\n";
+    }
+  }
+  // Which of Table 3's "needed" analyses would help here?
+  auto kills = interproc::findArrayKills(*ws.model, *ws.graph, &ws.actx);
+  for (const auto& k : kills) {
+    if (k.loop == loopId) {
+      out << "  array kill analysis: " << k.array
+          << " is killed every iteration (privatizable"
+          << (k.interprocedural ? ", interprocedural" : "") << ")\n";
+    }
+  }
+  const auto* red =
+      transform::Registry::instance().byName("Reduction Recognition");
+  transform::Target t;
+  t.loop = loopId;
+  auto ra = red->advise(ws, t);
+  if (ra.applicable && ra.safe) {
+    out << "  reduction: " << ra.explanation << "\n";
+  }
+  for (const auto* d : inhibitors) {
+    if (!d->srcRef && !d->dstRef) continue;
+    auto hasIndexArray = [](const Expr* e) {
+      if (!e) return false;
+      bool found = false;
+      for (const auto& sub : e->args) {
+        sub->forEach([&](const Expr& inner) {
+          if (inner.kind == ExprKind::ArrayRef) found = true;
+        });
+      }
+      return found;
+    };
+    if (hasIndexArray(d->srcRef) || hasIndexArray(d->dstRef)) {
+      out << "  index array in subscripts of " << d->variable
+          << ": consider ASSERT PERMUTATION / STRIDED / SEPARATED\n";
+      break;
+    }
+  }
+  return out.str();
+}
+
+std::string Session::showSummary(const std::string& procName) {
+  ++counters_.analysisQueries;
+  const interproc::ProcSummary* s = summaries_->summaryOf(procName);
+  if (!s) return "no summary for " + procName;
+  std::ostringstream out;
+  out << "summary of " << procName << ":\n";
+  for (const auto& [var, eff] : s->effects) {
+    out << "  " << var << ":";
+    if (eff.mayRead) out << " REF";
+    if (eff.mayWrite) out << " MOD";
+    if (eff.kills) out << " KILL";
+    if (eff.readSection) out << " read " << eff.readSection->str();
+    if (eff.writeSection) out << " write " << eff.writeSection->str();
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<Session::GuidanceEntry> Session::guidance(StmtId loopId,
+                                                      bool safeOnly) {
+  transform::Workspace& ws = wsFor(current_);
+  Loop* loop = ws.loopOf(loopId);
+  std::vector<GuidanceEntry> out;
+  if (!loop) return out;
+
+  // Candidate targets per transformation shape.
+  std::set<std::string> scalars, arrays;
+  for (const Stmt* s : loop->bodyStmts) {
+    for (const ir::Ref& r : ir::collectRefs(*s)) {
+      const fortran::VarDecl* d = ws.proc.findDecl(r.name);
+      if (d && d->isArray()) {
+        arrays.insert(r.name);
+      } else if (r.name != loop->inductionVar()) {
+        scalars.insert(r.name);
+      }
+    }
+  }
+  // Adjacent sibling loop (fusion candidate).
+  StmtId sibling = fortran::kInvalidStmt;
+  {
+    std::size_t idx = 0;
+    auto* container = ws.model->containerOf(loopId, &idx);
+    if (container && idx + 1 < container->size() &&
+        (*container)[idx + 1]->kind == StmtKind::Do) {
+      sibling = (*container)[idx + 1]->id;
+    }
+  }
+
+  auto consider = [&](const std::string& name, transform::Target t) {
+    const auto* tr = transform::Registry::instance().byName(name);
+    if (!tr) return;
+    transform::Advice a = tr->advise(ws, t);
+    if (!a.applicable) return;
+    if (safeOnly && !(a.safe && a.profitable)) return;
+    out.push_back({name, std::move(t), std::move(a)});
+  };
+
+  for (const auto* tr : transform::Registry::instance().all()) {
+    const std::string name = tr->name();
+    if (name == "Loop Fusion") {
+      if (sibling != fortran::kInvalidStmt) {
+        transform::Target t;
+        t.loop = loopId;
+        t.secondLoop = sibling;
+        consider(name, std::move(t));
+      }
+      continue;
+    }
+    if (name == "Privatization" || name == "Scalar Expansion") {
+      for (const auto& v : scalars) {
+        transform::Target t;
+        t.loop = loopId;
+        t.variable = v;
+        consider(name, std::move(t));
+      }
+      continue;
+    }
+    if (name == "Array Renaming" || name == "Scalar Replacement") {
+      for (const auto& v : arrays) {
+        transform::Target t;
+        t.loop = loopId;
+        t.variable = v;
+        consider(name, std::move(t));
+      }
+      continue;
+    }
+    if (name == "Arithmetic IF Removal" ||
+        name == "Control Flow Structuring") {
+      for (const Stmt* s : loop->bodyStmts) {
+        if (s->kind == StmtKind::ArithmeticIf ||
+            (s->kind == StmtKind::If && s->isLogicalIf)) {
+          transform::Target t;
+          t.stmt = s->id;
+          consider(name, std::move(t));
+        }
+      }
+      continue;
+    }
+    if (name == "Loop Extraction") {
+      for (const Stmt* s : loop->bodyStmts) {
+        if (s->kind == StmtKind::Call) {
+          transform::Target t;
+          t.stmt = s->id;
+          consider(name, std::move(t));
+        }
+      }
+      continue;
+    }
+    if (name == "Statement Deletion" || name == "Statement Addition" ||
+        name == "Statement Interchange" ||
+        name == "Loop Bounds Adjusting") {
+      continue;  // editor-level; not part of loop guidance
+    }
+    transform::Target t;
+    t.loop = loopId;
+    consider(name, std::move(t));
+  }
+
+  // Profitable and safe first.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const GuidanceEntry& a, const GuidanceEntry& b) {
+                     auto rank = [](const transform::Advice& ad) {
+                       return (ad.safe ? 2 : 0) + (ad.profitable ? 1 : 0);
+                     };
+                     return rank(a.advice) > rank(b.advice);
+                   });
+  return out;
+}
+
+bool Session::applyTransformation(const std::string& name,
+                                  const transform::Target& target,
+                                  std::string* error) {
+  transform::Workspace& ws = wsFor(current_);
+  const auto* tr = transform::Registry::instance().byName(name);
+  if (!tr) {
+    if (error) *error = "unknown transformation " + name;
+    return false;
+  }
+  if (!tr->apply(ws, target, error)) return false;
+  reapplyMarks(*ws.graph);
+  ++counters_.transformationsApplied;
+  // Interprocedural transformations add units: refresh summaries so other
+  // procedures see them.
+  if (name == "Loop Extraction" || name == "Loop Embedding") {
+    summaries_ = std::make_unique<interproc::SummaryBuilder>(*program_);
+    oracles_.clear();
+    for (auto& [n, w] : workspaces_) {
+      w->actx = contextFor(n);
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Editing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parse one statement in the declaration context of `proc`: the incremental
+/// parser of the source pane. Synthesizes a scratch unit carrying the
+/// procedure's declarations so array references parse as ArrayRefs.
+fortran::StmtPtr parseStatementInContext(const Procedure& proc,
+                                         const std::string& text,
+                                         DiagnosticEngine& diags) {
+  std::string src = "      SUBROUTINE EDITCTX\n";
+  fortran::PrettyOptions opts;
+  // Reuse the pretty-printer's declaration section.
+  std::string full = fortran::printProcedure(proc, opts);
+  // Extract declaration lines (between the header and the first executable
+  // statement) — simpler: rebuild decls directly.
+  for (const auto& d : proc.decls) {
+    if (d.isParameter) continue;
+    src += "      ";
+    src += fortran::typeName(d.type);
+    src += ' ' + d.name;
+    if (d.isArray()) {
+      src += '(';
+      for (std::size_t i = 0; i < d.dims.size(); ++i) {
+        if (i) src += ", ";
+        src += d.dims[i].upper ? fortran::printExpr(*d.dims[i].upper) : "*";
+      }
+      src += ')';
+    }
+    src += '\n';
+  }
+  (void)full;
+  src += "      " + text + "\n      END\n";
+  DiagnosticEngine local;
+  auto prog = fortran::parseSource(src, local);
+  if (local.hasErrors() || prog->units.empty() ||
+      prog->units[0]->body.empty()) {
+    diags.error({}, "statement does not parse: " + text + "\n" +
+                        local.dump());
+    return nullptr;
+  }
+  fortran::StmtPtr out = std::move(prog->units[0]->body.front());
+  // The scratch program minted its own ids; clear them so the real
+  // program's assignIds() issues fresh, non-colliding ones.
+  out->forEachMutable(
+      [](fortran::Stmt& s) { s.id = fortran::kInvalidStmt; });
+  return out;
+}
+
+}  // namespace
+
+bool Session::editStatement(StmtId id, const std::string& newText) {
+  transform::Workspace& ws = wsFor(current_);
+  std::size_t index = 0;
+  auto* container = ws.model->containerOf(id, &index);
+  if (!container) return false;
+  fortran::StmtPtr fresh =
+      parseStatementInContext(ws.proc, newText, diags_);
+  if (!fresh) return false;
+  fresh->label = (*container)[index]->label;  // labels survive edits
+  (*container)[index] = std::move(fresh);
+  ws.reanalyze();
+  reapplyMarks(*ws.graph);
+  return true;
+}
+
+bool Session::insertStatementAfter(StmtId id, const std::string& text) {
+  transform::Workspace& ws = wsFor(current_);
+  std::size_t index = 0;
+  auto* container = ws.model->containerOf(id, &index);
+  if (!container) return false;
+  fortran::StmtPtr fresh = parseStatementInContext(ws.proc, text, diags_);
+  if (!fresh) return false;
+  container->insert(container->begin() + static_cast<long>(index + 1),
+                    std::move(fresh));
+  ws.reanalyze();
+  reapplyMarks(*ws.graph);
+  return true;
+}
+
+bool Session::deleteStatement(StmtId id) {
+  transform::Workspace& ws = wsFor(current_);
+  std::size_t index = 0;
+  auto* container = ws.model->containerOf(id, &index);
+  if (!container) return false;
+  container->erase(container->begin() + static_cast<long>(index));
+  ws.reanalyze();
+  reapplyMarks(*ws.graph);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Performance
+// ---------------------------------------------------------------------------
+
+std::vector<LoopEstimate> Session::hotLoops() {
+  ++counters_.programNavigations;
+  // Bottom-up procedure costs so call sites charge realistic amounts.
+  std::map<std::string, double> procCosts;
+  for (const std::string& name : summaries_->callGraph().bottomUpOrder()) {
+    transform::Workspace& ws = wsFor(name);
+    PerformanceEstimator est(*ws.model, {}, &procCosts);
+    procCosts[name] = est.procedureCost();
+  }
+  std::vector<LoopEstimate> all;
+  double grand = 0.0;
+  for (const auto& u : program_->units) {
+    transform::Workspace& ws = wsFor(u->name);
+    PerformanceEstimator est(*ws.model, {}, &procCosts);
+    grand += est.procedureCost();
+    for (const auto& e : est.loops()) all.push_back(e);
+  }
+  for (auto& e : all) e.fraction = grand > 0 ? e.cost / grand : 0;
+  std::sort(all.begin(), all.end(),
+            [](const LoopEstimate& a, const LoopEstimate& b) {
+              return a.cost > b.cost;
+            });
+  return all;
+}
+
+interp::RunResult Session::profile(const interp::RunOptions& opts) {
+  interp::Machine m(*program_);
+  return m.run(opts);
+}
+
+// ---------------------------------------------------------------------------
+// Interface checking (Composition Editor)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Session::checkInterfaces() {
+  ++counters_.interfaceErrorChecks;
+  std::vector<std::string> problems;
+  // Call-site vs declaration.
+  for (const auto& site : summaries_->callGraph().callSites()) {
+    const Procedure* callee = program_->findUnit(site.callee);
+    if (!callee) continue;  // library routine
+    const Stmt* s = site.stmt;
+    if (s->kind != StmtKind::Call) continue;
+    if (s->args.size() != callee->params.size()) {
+      problems.push_back(site.caller + " line " +
+                         std::to_string(s->loc.line) + ": call to " +
+                         site.callee + " passes " +
+                         std::to_string(s->args.size()) + " args, " +
+                         site.callee + " declares " +
+                         std::to_string(callee->params.size()));
+      continue;
+    }
+    const Procedure* caller = program_->findUnit(site.caller);
+    for (std::size_t i = 0; i < s->args.size(); ++i) {
+      const Expr& a = *s->args[i];
+      const fortran::VarDecl* formal = callee->findDecl(callee->params[i]);
+      if (!formal) continue;
+      fortran::TypeKind actualType = fortran::TypeKind::Unknown;
+      if (a.kind == ExprKind::VarRef || a.kind == ExprKind::ArrayRef) {
+        const fortran::VarDecl* d =
+            caller ? caller->findDecl(a.name) : nullptr;
+        actualType = d ? d->type : fortran::implicitType(a.name);
+      } else if (a.kind == ExprKind::IntConst) {
+        actualType = fortran::TypeKind::Integer;
+      } else if (a.kind == ExprKind::RealConst) {
+        actualType = fortran::TypeKind::Real;
+      }
+      auto norm = [](fortran::TypeKind t) {
+        return t == fortran::TypeKind::DoublePrecision
+                   ? fortran::TypeKind::Real
+                   : t;
+      };
+      if (actualType != fortran::TypeKind::Unknown &&
+          norm(actualType) != norm(formal->type)) {
+        problems.push_back(
+            site.caller + " line " + std::to_string(s->loc.line) +
+            ": argument " + std::to_string(i + 1) + " of " + site.callee +
+            " is " + fortran::typeName(actualType) + ", formal " +
+            callee->params[i] + " is " + fortran::typeName(formal->type));
+      }
+    }
+  }
+  // COMMON shape agreement across units.
+  std::map<std::string, std::pair<std::string, std::vector<std::string>>>
+      firstSeen;  // block -> (unit, member names)
+  for (const auto& u : program_->units) {
+    std::map<std::string, std::vector<std::string>> blocks;
+    for (const auto& d : u->decls) {
+      if (!d.commonBlock.empty()) blocks[d.commonBlock].push_back(d.name);
+    }
+    for (const auto& [block, members] : blocks) {
+      auto it = firstSeen.find(block);
+      if (it == firstSeen.end()) {
+        firstSeen[block] = {u->name, members};
+      } else if (it->second.second.size() != members.size()) {
+        problems.push_back("COMMON /" + block + "/ has " +
+                           std::to_string(it->second.second.size()) +
+                           " members in " + it->second.first + " but " +
+                           std::to_string(members.size()) + " in " +
+                           u->name);
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace ps::ped

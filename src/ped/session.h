@@ -1,0 +1,281 @@
+#ifndef PS_PED_SESSION_H
+#define PS_PED_SESSION_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dependence/graph.h"
+#include "interp/machine.h"
+#include "interproc/array_kill.h"
+#include "interproc/summaries.h"
+#include "ped/assertions.h"
+#include "ped/perfest.h"
+#include "support/diagnostics.h"
+#include "transform/transform.h"
+
+namespace ps::ped {
+
+/// Feature-usage counters, mirroring the rows of the paper's Table 2 so the
+/// scripted work-model sessions can report what they exercised.
+struct UsageCounters {
+  int dependenceDeletions = 0;       // "dependence deletion"
+  int variableClassifications = 0;   // "variable classification"
+  int analysisQueries = 0;           // "access to analysis"
+  int programNavigations = 0;        // "navigation: program"
+  int dependenceNavigations = 0;     // "navigation: dependence"
+  int viewFilterUses = 0;            // "view filtering"
+  int interfaceErrorChecks = 0;      // "detect interface error"
+  int transformationsApplied = 0;
+  int assertionsAdded = 0;
+};
+
+/// The ParaScope Editor session: an electronic book over one Fortran
+/// program with three panes, progressive disclosure by loop selection,
+/// user-editable dependence marks and variable classifications, assertions,
+/// power-steered transformations and navigation guidance.
+class Session {
+ public:
+  /// Parse and fully analyze a program. Assertion directives (CPED$/!PED$)
+  /// found in the source are applied immediately.
+  static std::unique_ptr<Session> load(std::string_view source,
+                                       DiagnosticEngine& diags);
+
+  [[nodiscard]] fortran::Program& program() { return *program_; }
+  [[nodiscard]] const DiagnosticEngine& diagnostics() const { return diags_; }
+
+  // ---------------------------------------------------------------------
+  // Book navigation (progressive disclosure)
+  // ---------------------------------------------------------------------
+
+  [[nodiscard]] std::vector<std::string> procedureNames() const;
+  bool selectProcedure(const std::string& name);
+  [[nodiscard]] const std::string& currentProcedure() const {
+    return current_;
+  }
+
+  struct LoopRow {
+    fortran::StmtId id = fortran::kInvalidStmt;
+    std::string headline;
+    int level = 1;
+    bool parallelizable = false;
+    bool parallel = false;  // currently marked PARALLEL DO
+    int pendingDeps = 0;
+  };
+  /// The loops of the current procedure, pre-order (the source pane's '*'
+  /// markers).
+  [[nodiscard]] std::vector<LoopRow> loops();
+
+  bool selectLoop(fortran::StmtId loop);
+  [[nodiscard]] fortran::StmtId currentLoop() const { return currentLoop_; }
+
+  // ---------------------------------------------------------------------
+  // Panes
+  // ---------------------------------------------------------------------
+
+  struct SourceRow {
+    int ordinal = 0;
+    fortran::StmtId stmt = fortran::kInvalidStmt;
+    std::string text;
+    bool loopStart = false;
+    int depth = 0;
+    bool inCurrentLoop = false;
+  };
+  [[nodiscard]] std::vector<SourceRow> sourcePane();
+
+  struct DependenceRow {
+    std::uint32_t id = 0;
+    std::string type;
+    std::string source;
+    std::string sink;
+    std::string vector;
+    int level = 0;
+    std::string block;   // COMMON block of the variable, if any
+    std::string mark;
+    std::string reason;
+  };
+  [[nodiscard]] std::vector<DependenceRow> dependencePane();
+
+  struct VariableRow {
+    std::string name;
+    int dim = 0;
+    std::string block;
+    std::string defs;  // line numbers of defs outside the loop
+    std::string uses;  // line numbers of uses outside the loop
+    std::string kind;  // shared / private / private(last)
+    std::string reason;
+  };
+  [[nodiscard]] std::vector<VariableRow> variablePane();
+
+  // ---------------------------------------------------------------------
+  // View filtering
+  // ---------------------------------------------------------------------
+
+  struct DependenceFilter {
+    std::optional<dep::DepType> type;
+    std::string variable;               // empty = any
+    std::optional<dep::DepMark> mark;
+    std::optional<bool> carriedOnly;
+  };
+  void setDependenceFilter(DependenceFilter f);
+  void clearDependenceFilter();
+
+  struct SourceFilter {
+    std::string contains;        // substring of the pretty-printed text
+    bool loopHeadersOnly = false;
+    int withLabel = 0;           // non-zero: only statements with this label
+  };
+  void setSourceFilter(SourceFilter f);
+  void clearSourceFilter();
+
+  struct VariableFilter {
+    std::string kind;      // "shared"/"private"/"" = any
+    bool arraysOnly = false;
+  };
+  void setVariableFilter(VariableFilter f);
+  void clearVariableFilter();
+
+  // ---------------------------------------------------------------------
+  // Dependence marking (and the Mark Dependences power-steering dialog)
+  // ---------------------------------------------------------------------
+
+  bool markDependence(std::uint32_t id, dep::DepMark mark,
+                      const std::string& reason);
+  /// Classify every dependence matching the filter in one step; returns the
+  /// number marked.
+  int markAllMatching(const DependenceFilter& f, dep::DepMark mark,
+                      const std::string& reason);
+
+  // ---------------------------------------------------------------------
+  // Variable classification (and Classify Variables dialog)
+  // ---------------------------------------------------------------------
+
+  bool classifyVariable(const std::string& name, bool asPrivate,
+                        const std::string& reason);
+
+  // ---------------------------------------------------------------------
+  // Assertions
+  // ---------------------------------------------------------------------
+
+  bool addAssertion(const std::string& payload);
+  [[nodiscard]] const std::vector<Assertion>& assertions() const {
+    return assertions_;
+  }
+
+  // ---------------------------------------------------------------------
+  // Access to analysis (§3.2) and guidance (§5.3)
+  // ---------------------------------------------------------------------
+
+  /// Human-readable impediment report for a loop: which dependences block
+  /// parallelization and why, plus what additional analysis would help
+  /// (array kills, reductions, index arrays — the Table 3 "needed" rows).
+  [[nodiscard]] std::string explainLoop(fortran::StmtId loop);
+
+  /// The interprocedural summary of a procedure (MOD/REF/KILL/sections).
+  [[nodiscard]] std::string showSummary(const std::string& procName);
+
+  struct GuidanceEntry {
+    std::string transformation;
+    transform::Target target;
+    transform::Advice advice;
+  };
+  /// Evaluate the whole catalog against a loop; with `safeOnly` the menu
+  /// shows "only those which are safe and profitable for the currently
+  /// selected loop" — the §5.3 request. The A5 ablation compares menu
+  /// sizes.
+  [[nodiscard]] std::vector<GuidanceEntry> guidance(fortran::StmtId loop,
+                                                    bool safeOnly);
+
+  bool applyTransformation(const std::string& name,
+                           const transform::Target& target,
+                           std::string* error);
+
+  // ---------------------------------------------------------------------
+  // Editing (the source pane "allows arbitrary editing of the program
+  // using mixed text and structure editing techniques"; edits trigger
+  // incremental re-parse + reanalysis of the enclosing procedure)
+  // ---------------------------------------------------------------------
+
+  /// Replace one simple statement with new Fortran text (parsed in the
+  /// current procedure's declaration context). Returns false with a
+  /// diagnostic recorded when the text does not parse.
+  bool editStatement(fortran::StmtId id, const std::string& newText);
+  /// Insert a new statement (parsed from text) after the given statement.
+  bool insertStatementAfter(fortran::StmtId id, const std::string& text);
+  /// Delete a statement outright (the unchecked editor operation; the
+  /// checked one is the "Statement Deletion" transformation).
+  bool deleteStatement(fortran::StmtId id);
+
+  // ---------------------------------------------------------------------
+  // Performance estimation & dynamic profile
+  // ---------------------------------------------------------------------
+
+  /// Static estimates for every loop in the program, hottest first.
+  [[nodiscard]] std::vector<LoopEstimate> hotLoops();
+  /// Execute the program with the interpreter, yielding the profile the
+  /// workshop users got from gprof.
+  [[nodiscard]] interp::RunResult profile(const interp::RunOptions& opts = {});
+
+  // ---------------------------------------------------------------------
+  // Interface checking (the Composition Editor)
+  // ---------------------------------------------------------------------
+
+  [[nodiscard]] std::vector<std::string> checkInterfaces();
+
+  // ---------------------------------------------------------------------
+  // Internals exposed for benches/tests
+  // ---------------------------------------------------------------------
+
+  [[nodiscard]] transform::Workspace& workspace();
+  [[nodiscard]] const UsageCounters& usage() const { return counters_; }
+  [[nodiscard]] const interproc::SummaryBuilder& summaries() const {
+    return *summaries_;
+  }
+  /// Rebuild summaries + all workspaces (the non-incremental A2 baseline);
+  /// incremental updates only touch the edited procedure.
+  void fullReanalysis();
+  [[nodiscard]] int reanalysisCount() const;
+
+ private:
+  Session() = default;
+  transform::Workspace& wsFor(const std::string& name);
+  void invalidate(const std::string& name);
+  dep::AnalysisContext contextFor(const std::string& name);
+
+  std::unique_ptr<fortran::Program> program_;
+  DiagnosticEngine diags_;
+  std::unique_ptr<interproc::SummaryBuilder> summaries_;
+  std::map<std::string, std::unique_ptr<interproc::InterproceduralOracle>>
+      oracles_;
+  std::map<std::string, std::unique_ptr<transform::Workspace>> workspaces_;
+  /// User classification overrides per procedure.
+  std::map<std::string,
+           std::map<fortran::StmtId, std::map<std::string, bool>>>
+      overrides_;
+  std::map<std::string, std::map<std::string, std::string>>
+      classificationReasons_;
+  std::vector<Assertion> assertions_;
+  /// Dependence marks survive reanalysis keyed by a stable signature.
+  struct MarkRecord {
+    dep::DepMark mark;
+    std::string reason;
+  };
+  std::map<std::string, MarkRecord> marks_;  // key: dep signature
+
+  std::string current_;
+  fortran::StmtId currentLoop_ = fortran::kInvalidStmt;
+  std::optional<DependenceFilter> depFilter_;
+  std::optional<SourceFilter> srcFilter_;
+  std::optional<VariableFilter> varFilter_;
+  UsageCounters counters_;
+  int reanalyses_ = 0;
+
+  [[nodiscard]] std::string depSignature(const dep::Dependence& d) const;
+  void reapplyMarks(dep::DependenceGraph& g) const;
+};
+
+}  // namespace ps::ped
+
+#endif  // PS_PED_SESSION_H

@@ -1,0 +1,72 @@
+#ifndef PS_SUPPORT_BITSET_H
+#define PS_SUPPORT_BITSET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ps {
+
+/// A dense, dynamically sized bit set for data-flow fixpoints.
+class DenseBitSet {
+ public:
+  DenseBitSet() = default;
+  explicit DenseBitSet(std::size_t size) : size_(size),
+        words_((size + 63) / 64, 0) {}
+
+  void set(std::size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// this |= other; returns true if this changed.
+  bool unionWith(const DenseBitSet& other) {
+    bool changed = false;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t next = words_[w] | other.words_[w];
+      if (next != words_[w]) {
+        words_[w] = next;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// this &= ~other.
+  void subtract(const DenseBitSet& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] &= ~other.words_[w];
+    }
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] bool operator==(const DenseBitSet& other) const {
+    return words_ == other.words_;
+  }
+
+  /// Invoke fn(i) for every set bit.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits) {
+        unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+        fn(w * 64 + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ps
+
+#endif  // PS_SUPPORT_BITSET_H

@@ -1,0 +1,47 @@
+#include "support/diagnostics.h"
+
+namespace ps {
+
+namespace {
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Diagnostic::str() const {
+  return loc.str() + ": " + severityName(severity) + ": " + message;
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Note, loc, std::move(msg)});
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Warning, loc, std::move(msg)});
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Error, loc, std::move(msg)});
+  ++errorCount_;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  errorCount_ = 0;
+}
+
+std::string DiagnosticEngine::dump() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ps

@@ -1,0 +1,46 @@
+#ifndef PS_SUPPORT_DIAGNOSTICS_H
+#define PS_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+#include "support/source_loc.h"
+
+namespace ps {
+
+enum class Severity { Note, Warning, Error };
+
+/// One diagnostic message produced by the front end or an analysis.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics. The front end never throws on bad input; it records
+/// an error here and recovers, mirroring PED's incremental-parse model where
+/// the user is "immediately informed of any syntactic or semantic errors".
+class DiagnosticEngine {
+ public:
+  void note(SourceLoc loc, std::string msg);
+  void warning(SourceLoc loc, std::string msg);
+  void error(SourceLoc loc, std::string msg);
+
+  [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
+  [[nodiscard]] int errorCount() const { return errorCount_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+  void clear();
+
+  /// All diagnostics joined by newlines — convenient for test failure output.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int errorCount_ = 0;
+};
+
+}  // namespace ps
+
+#endif  // PS_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,26 @@
+#ifndef PS_SUPPORT_SOURCE_LOC_H
+#define PS_SUPPORT_SOURCE_LOC_H
+
+#include <compare>
+#include <string>
+
+namespace ps {
+
+/// A position in a Fortran source text. Lines and columns are 1-based;
+/// line 0 means "unknown" (e.g. synthesized statements).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool valid() const { return line > 0; }
+  auto operator<=>(const SourceLoc&) const = default;
+
+  [[nodiscard]] std::string str() const {
+    if (!valid()) return "<synth>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+}  // namespace ps
+
+#endif  // PS_SUPPORT_SOURCE_LOC_H

@@ -1,0 +1,32 @@
+#ifndef PS_SUPPORT_TEXT_H
+#define PS_SUPPORT_TEXT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps::text {
+
+/// ASCII upper-casing; Fortran identifiers and keywords are case-insensitive,
+/// so the front end canonicalizes everything to upper case.
+[[nodiscard]] std::string upper(std::string_view s);
+[[nodiscard]] std::string lower(std::string_view s);
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::vector<std::string> splitLines(std::string_view s);
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// Left-pad / right-pad to a fixed width (for the pane renderer's columns).
+[[nodiscard]] std::string padRight(std::string_view s, std::size_t width);
+[[nodiscard]] std::string padLeft(std::string_view s, std::size_t width);
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace ps::text
+
+#endif  // PS_SUPPORT_TEXT_H

@@ -1,0 +1,28 @@
+#ifndef PS_TRANSFORM_CATALOG_H
+#define PS_TRANSFORM_CATALOG_H
+
+#include <memory>
+#include <vector>
+
+#include "transform/transform.h"
+
+namespace ps::transform {
+
+// Each catalog section registers its transformations (internal linkage
+// between registry.cpp and the per-category implementation files).
+void addReorderingTransforms(
+    std::vector<std::unique_ptr<Transformation>>& out);
+void addDependenceBreakingTransforms(
+    std::vector<std::unique_ptr<Transformation>>& out);
+void addMemoryTransforms(std::vector<std::unique_ptr<Transformation>>& out);
+void addMiscTransforms(std::vector<std::unique_ptr<Transformation>>& out);
+void addControlFlowTransforms(
+    std::vector<std::unique_ptr<Transformation>>& out);
+void addReductionTransforms(
+    std::vector<std::unique_ptr<Transformation>>& out);
+void addInterproceduralTransforms(
+    std::vector<std::unique_ptr<Transformation>>& out);
+
+}  // namespace ps::transform
+
+#endif  // PS_TRANSFORM_CATALOG_H

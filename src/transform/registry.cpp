@@ -1,0 +1,56 @@
+#include "transform/catalog.h"
+
+namespace ps::transform {
+
+Registry::Registry() {
+  addReorderingTransforms(transforms_);
+  addDependenceBreakingTransforms(transforms_);
+  addMemoryTransforms(transforms_);
+  addMiscTransforms(transforms_);
+  addControlFlowTransforms(transforms_);
+  addReductionTransforms(transforms_);
+  addInterproceduralTransforms(transforms_);
+}
+
+const Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+const Transformation* Registry::byName(const std::string& name) const {
+  for (const auto& t : transforms_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Transformation*> Registry::all() const {
+  std::vector<const Transformation*> out;
+  for (const auto& t : transforms_) out.push_back(t.get());
+  return out;
+}
+
+std::vector<const Transformation*> Registry::inCategory(Category c) const {
+  std::vector<const Transformation*> out;
+  for (const auto& t : transforms_) {
+    if (t->category() == c) out.push_back(t.get());
+  }
+  return out;
+}
+
+std::string Registry::taxonomy() const {
+  std::string out;
+  for (Category c : {Category::Reordering, Category::DependenceBreaking,
+                     Category::MemoryOptimizing, Category::Miscellaneous}) {
+    out += categoryName(c);
+    out += "\n";
+    for (const auto* t : inCategory(c)) {
+      out += "  ";
+      out += t->name();
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ps::transform

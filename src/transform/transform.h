@@ -1,0 +1,150 @@
+#ifndef PS_TRANSFORM_TRANSFORM_H
+#define PS_TRANSFORM_TRANSFORM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dependence/graph.h"
+#include "fortran/ast.h"
+#include "ir/model.h"
+
+namespace ps::transform {
+
+/// The power-steering verdict triple (§5.1): "the system advises whether
+/// the transformation is applicable (is syntactically correct), safe
+/// (preserves the semantics of the program) and profitable (contributes to
+/// parallelization)."
+struct Advice {
+  bool applicable = false;
+  bool safe = false;
+  bool profitable = false;
+  std::string explanation;
+
+  static Advice no(std::string why) {
+    return {false, false, false, std::move(why)};
+  }
+  static Advice unsafe(std::string why) {
+    return {true, false, false, std::move(why)};
+  }
+  static Advice ok(bool profitable, std::string why = {}) {
+    return {true, true, profitable, std::move(why)};
+  }
+};
+
+/// Figure 2's taxonomy.
+enum class Category {
+  Reordering,
+  DependenceBreaking,
+  MemoryOptimizing,
+  Miscellaneous,
+};
+
+const char* categoryName(Category c);
+
+/// What a transformation operates on. Loop transforms name the DO
+/// statement; fusion names two; statement transforms name a statement;
+/// variable transforms carry a name; parameterized transforms carry a
+/// factor / split point.
+struct Target {
+  fortran::StmtId loop = fortran::kInvalidStmt;
+  fortran::StmtId secondLoop = fortran::kInvalidStmt;
+  fortran::StmtId stmt = fortran::kInvalidStmt;
+  std::string variable;
+  long long factor = 2;
+  long long splitPoint = 0;
+  std::string callee;  // interprocedural transforms
+};
+
+/// The per-procedure analysis workspace a transformation runs against.
+/// After a successful apply, `reanalyze()` re-derives the model and the
+/// dependence graph for this procedure only — PED's incremental update.
+struct Workspace {
+  Workspace(fortran::Program& program, fortran::Procedure& proc,
+            dep::AnalysisContext actx = {});
+
+  fortran::Program& program;
+  fortran::Procedure& proc;
+  dep::AnalysisContext actx;
+  std::unique_ptr<ir::ProcedureModel> model;
+  std::unique_ptr<dep::DependenceGraph> graph;
+  /// Number of reanalyses performed (the A2 ablation counts these).
+  int reanalyses = 0;
+
+  void reanalyze();
+  [[nodiscard]] ir::Loop* loopOf(fortran::StmtId id) const {
+    return model->loopByDoStmt(id);
+  }
+};
+
+/// Base class for every transformation in the catalog.
+class Transformation {
+ public:
+  virtual ~Transformation() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Category category() const = 0;
+  /// Evaluate the power-steering triple without modifying anything.
+  [[nodiscard]] virtual Advice advise(Workspace& ws,
+                                      const Target& t) const = 0;
+  /// Perform the mechanics. Returns false (with `error`) when the
+  /// precondition checks fail; on success the workspace is reanalyzed.
+  virtual bool apply(Workspace& ws, const Target& t,
+                     std::string* error) const = 0;
+};
+
+/// The transformation catalog (Figure 2). Lookup is by the display name
+/// used throughout the paper ("Loop Distribution", "Scalar Expansion", ...).
+class Registry {
+ public:
+  static const Registry& instance();
+
+  [[nodiscard]] const Transformation* byName(const std::string& name) const;
+  [[nodiscard]] std::vector<const Transformation*> all() const;
+  [[nodiscard]] std::vector<const Transformation*> inCategory(
+      Category c) const;
+
+  /// Render Figure 2's taxonomy listing.
+  [[nodiscard]] std::string taxonomy() const;
+
+ private:
+  Registry();
+  std::vector<std::unique_ptr<Transformation>> transforms_;
+};
+
+// -------------------------------------------------------------------------
+// Shared helpers for transformation implementations.
+// -------------------------------------------------------------------------
+
+/// Replace every occurrence of variable `name` in the statement subtree by a
+/// clone of `replacement`.
+void substituteVar(fortran::Stmt& stmt, const std::string& name,
+                   const fortran::Expr& replacement);
+
+/// Find the statement list containing `id` plus its index; null when absent.
+std::vector<fortran::StmtPtr>* containerOf(Workspace& ws, fortran::StmtId id,
+                                           std::size_t* index);
+
+/// A fresh variable name derived from `base` that is unused in the
+/// procedure.
+std::string freshName(const fortran::Procedure& proc,
+                      const std::string& base);
+
+/// A scratch clone of the workspace's procedure for trial application:
+/// fusion safety, for instance, is decided by fusing in the sandbox and
+/// inspecting the resulting dependence graph.
+class Trial {
+ public:
+  explicit Trial(const Workspace& ws);
+  [[nodiscard]] Workspace& workspace() { return *ws_; }
+  /// The sandbox id corresponding to an original statement id.
+  [[nodiscard]] fortran::StmtId mapped(fortran::StmtId original) const;
+
+ private:
+  fortran::Program program_;
+  std::unique_ptr<Workspace> ws_;
+  std::map<fortran::StmtId, fortran::StmtId> idMap_;
+};
+
+}  // namespace ps::transform
+
+#endif  // PS_TRANSFORM_TRANSFORM_H

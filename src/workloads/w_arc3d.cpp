@@ -1,0 +1,95 @@
+// arc3d: 3-D hydrodynamics. Two signature obstacles: the FILTER3D work
+// array WR1, killed every outer iteration but only provably so through the
+// interprocedurally-propagated relation JM = JMAX - 1 established in the
+// initialization routine; and a temporary array killed inside a procedure
+// called from a loop (interprocedural array kill).
+namespace ps::workloads {
+
+const char* kArc3dSource = R"FTN(
+      PROGRAM ARC3D
+      COMMON /DIMS/ JM, JMAX, KM
+      REAL Q(26, 12, 5)
+      JMAX = 26
+      KM = 12
+      JM = JMAX - 1
+      CALL QINIT(Q)
+      CALL FILT3D(Q)
+      CALL SMOOTH(Q)
+      CALL RESID(Q)
+      END
+
+      SUBROUTINE QINIT(Q)
+      COMMON /DIMS/ JM, JMAX, KM
+      REAL Q(26, 12, 5)
+      DO 10 N = 1, 5
+        DO 11 K = 1, KM
+          DO 12 J = 1, JMAX
+            TQ = FLOAT(J) + FLOAT(K)*0.1
+            Q(J, K, N) = TQ + FLOAT(N)*0.01
+   12     CONTINUE
+   11   CONTINUE
+   10 CONTINUE
+      END
+
+      SUBROUTINE FILT3D(Q)
+      COMMON /DIMS/ JM, JMAX, KM
+      REAL Q(26, 12, 5)
+      REAL WR1(26, 12)
+C The paper's filter3d fragment: WR1 is assigned over (1:JM, 2:KM), its
+C boundary row JMAX copied from row JM (= JMAX - 1, by the init relation),
+C then consumed. With the relation + array kill analysis the DO 15 loop is
+C parallelizable by privatizing WR1.
+      DO 15 N = 1, 5
+        DO 16 J = 1, JM
+          DO 16 K = 2, KM
+            WR1(J, K) = Q(J + 1, K, N) - Q(J, K, N)
+   16   CONTINUE
+        DO 76 K = 2, KM
+          WR1(JMAX, K) = WR1(JM, K)
+   76   CONTINUE
+        DO 17 J = 1, JMAX
+          DO 17 K = 2, KM
+            Q(J, K, N) = Q(J, K, N) + WR1(J, K)*0.125
+   17   CONTINUE
+   15 CONTINUE
+      END
+
+      SUBROUTINE SMOOTH(Q)
+      COMMON /DIMS/ JM, JMAX, KM
+      REAL Q(26, 12, 5)
+C A work array killed inside the callee: interprocedural array kill.
+      DO 20 N = 1, 5
+        CALL SMROW(Q, N)
+   20 CONTINUE
+      END
+
+      SUBROUTINE SMROW(Q, N)
+      COMMON /DIMS/ JM, JMAX, KM
+      REAL Q(26, 12, 5)
+      REAL WRK(26)
+      DO 30 K = 2, KM - 1
+        DO 31 J = 1, JMAX
+          WRK(J) = Q(J, K, N)
+   31   CONTINUE
+        DO 32 J = 2, JM
+          Q(J, K, N) = (WRK(J - 1) + WRK(J + 1))*0.5
+   32   CONTINUE
+   30 CONTINUE
+      END
+
+      SUBROUTINE RESID(Q)
+      COMMON /DIMS/ JM, JMAX, KM
+      REAL Q(26, 12, 5)
+      S = 0.0
+      DO 40 N = 1, 5
+        DO 41 K = 1, KM
+          DO 42 J = 1, JMAX
+            S = S + Q(J, K, N)*Q(J, K, N)
+   42     CONTINUE
+   41   CONTINUE
+   40 CONTINUE
+      WRITE(6, *) S
+      END
+)FTN";
+
+}  // namespace ps::workloads

@@ -1,0 +1,77 @@
+// dpmin: molecular mechanics and dynamics (energy minimization). The force
+// accumulation loop scatters through the bond tables IT/JT/KT exactly as in
+// the paper's §4.3 fragment; only the user's knowledge that the tables are
+// strided and separated can eliminate the dependences.
+namespace ps::workloads {
+
+const char* kDpminSource = R"FTN(
+      PROGRAM DPMIN
+      REAL F(400), X(400), G(400)
+      INTEGER IT(30), JT(30), KT(30)
+      NBA = 30
+      N3 = 300
+      DO 5 I = 1, 400
+        F(I) = 0.0
+        X(I) = FLOAT(I)*0.01
+        G(I) = 0.0
+    5 CONTINUE
+C Bond tables: atom I3 blocks of 3 coordinates, constructed strided so
+C IT(I)+3 <= IT(I+1), IT(NBA)+3 <= JT(1), JT(NBA)+3 <= KT(1).
+      DO 6 I = 1, 30
+        IT(I) = 3*I - 2
+        JT(I) = 100 + 3*I - 2
+        KT(I) = 200 + 3*I - 2
+    6 CONTINUE
+CPED$ ASSERT STRIDED (IT, 3)
+CPED$ ASSERT STRIDED (JT, 3)
+CPED$ ASSERT STRIDED (KT, 3)
+CPED$ ASSERT SEPARATED (IT, JT, 3)
+CPED$ ASSERT SEPARATED (JT, KT, 3)
+CPED$ ASSERT SEPARATED (IT, KT, 3)
+      CALL BONDED(F, X, IT, JT, KT, NBA)
+      CALL GRAD(F, G, N3)
+      CALL ENERGY(F, G, N3)
+      END
+
+      SUBROUTINE BONDED(F, X, IT, JT, KT, NBA)
+      REAL F(400), X(400)
+      INTEGER IT(NBA), JT(NBA), KT(NBA)
+C The paper's force-scatter loop, shape-for-shape.
+      DO 300 N = 1, NBA
+        I3 = IT(N)
+        J3 = JT(N)
+        K3 = KT(N)
+        DT1 = X(I3)*0.1
+        DT4 = X(J3)*0.2
+        DT7 = X(K3)*0.3
+        F(I3 + 1) = F(I3 + 1) - DT1
+        F(I3 + 2) = F(I3 + 2) - DT1
+        F(J3 + 1) = F(J3 + 1) - DT4
+        F(J3 + 2) = F(J3 + 2) - DT4
+        F(K3 + 1) = F(K3 + 1) - DT7
+        F(K3 + 2) = F(K3 + 2) - DT7
+  300 CONTINUE
+      END
+
+      SUBROUTINE GRAD(F, G, N3)
+      REAL F(400), G(400)
+C Distribution opportunity plus old-dialect GOTO guard (control flow N).
+      G(1) = F(1)
+      DO 400 I = 2, N3
+        IF (F(I) .EQ. 0.0) GOTO 401
+        G(I) = G(I - 1)*0.5 + F(I)
+  401   F(I) = F(I)*0.99
+  400 CONTINUE
+      END
+
+      SUBROUTINE ENERGY(F, G, N3)
+      REAL F(400), G(400)
+      E = 0.0
+      DO 500 I = 1, N3
+        E = E + F(I)*F(I) + G(I)*G(I)
+  500 CONTINUE
+      WRITE(6, *) E
+      END
+)FTN";
+
+}  // namespace ps::workloads

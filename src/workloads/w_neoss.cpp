@@ -1,0 +1,80 @@
+// neoss: thermodynamics. Fortran-66 style control flow — arithmetic IFs and
+// GOTO-built conditionals inside the hot loops (the paper's §5.3 example is
+// lifted verbatim into NSTATE). Control-flow structuring is needed before
+// the loops can be transformed; distribution opportunities exist.
+namespace ps::workloads {
+
+const char* kNeossSource = R"FTN(
+      PROGRAM NEOSS
+      COMMON /TABL/ NR
+      REAL DENV(48), RES(50), EOS(48), PRES(48)
+      NR = 24
+      DO 5 I = 1, 48
+        DENV(I) = FLOAT(I)*0.4 - 9.0
+        EOS(I) = 0.0
+        PRES(I) = 0.0
+    5 CONTINUE
+      DO 6 I = 1, 50
+        RES(I) = FLOAT(I)*0.1
+    6 CONTINUE
+      CALL NSTATE(DENV, RES, 48)
+      CALL PTABLE(DENV, EOS, 48)
+      CALL PFORCE(EOS, PRES, 48)
+      CALL REPORT(RES, PRES, 48)
+      END
+
+      SUBROUTINE NSTATE(DENV, RES, N)
+      COMMON /TABL/ NR
+      REAL DENV(N), RES(50)
+C The paper's fragment: an arithmetic IF plus GOTOs forming an
+C if-then-else by hand. PED must structure this before transforming.
+      DO 50 K = 1, N
+        IF (DENV(K) - RES(NR + 1)) 100, 10, 10
+   10   CONTINUE
+        DENV(K) = DENV(K)*2.0
+        GOTO 101
+  100   DENV(K) = 0.0
+  101   RES(K) = DENV(K)
+   50 CONTINUE
+      END
+
+      SUBROUTINE PTABLE(DENV, EOS, N)
+      REAL DENV(N), EOS(N)
+C A second unstructured loop: bail-out GOTO guarding a log evaluation.
+      DO 60 K = 1, N
+        IF (DENV(K) .LE. 0.0) GOTO 61
+        EOS(K) = LOG(DENV(K) + 1.0)
+        GOTO 62
+   61   EOS(K) = 0.0
+   62   CONTINUE
+   60 CONTINUE
+      END
+
+      SUBROUTINE PFORCE(EOS, PRES, N)
+      REAL EOS(N), PRES(N)
+C Distribution opportunity: a recurrence tangled with independent work.
+      PRES(1) = EOS(1)
+      DO 70 K = 2, N
+        PRES(K) = PRES(K - 1)*0.9 + EOS(K)
+        EOS(K) = EOS(K)*0.5
+   70 CONTINUE
+C A killed scalar temporary: parallel once privatized (scalar kills).
+      DO 75 K = 1, N
+        TCLMP = EOS(K)*1.5 + 0.25
+        EOS(K) = TCLMP*TCLMP
+   75 CONTINUE
+      END
+
+      SUBROUTINE REPORT(RES, PRES, N)
+      REAL RES(50), PRES(N)
+      S1 = 0.0
+      S2 = 0.0
+      DO 80 K = 1, N
+        S1 = S1 + RES(K)
+        S2 = S2 + PRES(K)
+   80 CONTINUE
+      WRITE(6, *) S1, S2
+      END
+)FTN";
+
+}  // namespace ps::workloads

@@ -1,0 +1,61 @@
+// nxsns: quantum mechanics (neutron cross sections). The signature obstacle
+// is a scalar killed inside a procedure invoked from a loop — only
+// interprocedural scalar KILL analysis exposes the privatization. Index
+// arrays (level lookup tables) block the remaining loops.
+namespace ps::workloads {
+
+const char* kNxsnsSource = R"FTN(
+      PROGRAM NXSNS
+      REAL SIG(40), EGRID(40), FLUX(40), RATE(40)
+      INTEGER LVL(40)
+      DO 5 I = 1, 40
+        EGRID(I) = FLOAT(I)*0.05
+        FLUX(I) = 1.0/(1.0 + EGRID(I))
+        SIG(I) = 0.0
+        RATE(I) = 0.0
+        LVL(I) = MOD(I*7, 40) + 1
+    5 CONTINUE
+      CALL XSECT(SIG, EGRID, 40)
+      CALL COLLAPSE(SIG, FLUX, RATE, LVL, 40)
+      CALL TOTAL(RATE, 40)
+      END
+
+      SUBROUTINE XSECT(SIG, EGRID, N)
+      REAL SIG(N), EGRID(N)
+C T is killed inside RESON on every call: the loop is parallel once
+C interprocedural KILL analysis proves the scalar private.
+      DO 10 I = 1, N
+        CALL RESON(EGRID(I), T)
+        SIG(I) = T + 0.1
+   10 CONTINUE
+      END
+
+      SUBROUTINE RESON(E, T)
+      T = 1.0/(0.01 + (E - 0.75)*(E - 0.75))
+      IF (T .GT. 50.0) T = 50.0
+      END
+
+      SUBROUTINE COLLAPSE(SIG, FLUX, RATE, LVL, N)
+      REAL SIG(N), FLUX(N), RATE(N)
+      INTEGER LVL(N)
+C Index-array scatter: LVL is a permutation read from a table; without an
+C assertion the system must assume all RATE elements collide.
+      DO 20 I = 1, N
+        RATE(LVL(I)) = SIG(I)*FLUX(I)
+   20 CONTINUE
+      END
+
+      SUBROUTINE TOTAL(RATE, N)
+      REAL RATE(N)
+C Old-dialect guard: GOTO skipping negative rates (control flow N).
+      S = 0.0
+      DO 30 I = 1, N
+        IF (RATE(I) .LT. 0.0) GOTO 31
+        S = S + RATE(I)
+   31   CONTINUE
+   30 CONTINUE
+      WRITE(6, *) S
+      END
+)FTN";
+
+}  // namespace ps::workloads

@@ -1,0 +1,75 @@
+// pueblo3d: hydrodynamics benchmark on an unstructured/linearized 3-D mesh.
+// Arrays are addressed as UF(I + MCN, ...) where MCN ("my current
+// neighbor") jumps between mesh planes; the assertion
+// MCN > IENDV(IR) - ISTRT(IR) is what eliminates the assumed carried
+// dependences (§3.3). Sum reductions close the timestep.
+namespace ps::workloads {
+
+const char* kPueblo3dSource = R"FTN(
+      PROGRAM PUEBLO
+      REAL UF(600, 5), RF(600)
+      INTEGER ISTRT(8), IENDV(8)
+      NPAT = 8
+      MCN = 60
+CPED$ ASSERT RELATION (MCN .GT. IENDV(IR) - ISTRT(IR))
+      DO 5 I = 1, 600
+        RF(I) = 0.0
+        DO 6 M = 1, 5
+          UF(I, M) = FLOAT(I)*0.01 + FLOAT(M)
+    6   CONTINUE
+    5 CONTINUE
+      DO 7 IR = 1, NPAT
+        ISTRT(IR) = (IR - 1)*50 + 1
+        IENDV(IR) = (IR - 1)*50 + 40
+    7 CONTINUE
+      DO 8 IR = 1, NPAT
+        CALL SWEEPX(UF, ISTRT, IENDV, MCN, IR, 2)
+        CALL SWEEPY(UF, ISTRT, IENDV, MCN, IR, 4)
+    8 CONTINUE
+      CALL ACCUM(UF, RF, 600)
+      CALL TSTEP(RF, 600)
+      END
+
+      SUBROUTINE SWEEPX(UF, ISTRT, IENDV, MCN, IR, M)
+      REAL UF(600, 5)
+      INTEGER ISTRT(8), IENDV(8)
+C The paper's loop nest, one of "10 loop nests in pueblo3d ... several of
+C these consume the majority of the total execution time".
+      DO 100 I = ISTRT(IR), IENDV(IR)
+        UF(I, M) = UF(I + MCN, M)*0.9 + 0.1
+  100 CONTINUE
+      END
+
+      SUBROUTINE SWEEPY(UF, ISTRT, IENDV, MCN, IR, M)
+      REAL UF(600, 5)
+      INTEGER ISTRT(8), IENDV(8)
+      DO 200 I = ISTRT(IR), IENDV(IR)
+        UF(I, M) = (UF(I + MCN, M) + UF(I + MCN, 1))*0.5
+  200 CONTINUE
+      END
+
+      SUBROUTINE ACCUM(UF, RF, N)
+      REAL UF(600, 5), RF(600)
+C Fusion / interchange opportunities: two conformable sweeps over planes.
+C TAVG is a killed scalar temporary (scalar kills row of Table 3).
+      DO 300 I = 1, N
+        TAVG = UF(I, 1) + UF(I, 2)
+        RF(I) = TAVG*0.5
+  300 CONTINUE
+      DO 310 I = 1, N
+        RF(I) = RF(I) + UF(I, 4)*0.25
+  310 CONTINUE
+      END
+
+      SUBROUTINE TSTEP(RF, N)
+      REAL RF(600)
+C Sum reduction (unrecognized by PED per Table 3).
+      DT = 0.0
+      DO 400 I = 1, N
+        DT = DT + RF(I)*RF(I)
+  400 CONTINUE
+      WRITE(6, *) DT
+      END
+)FTN";
+
+}  // namespace ps::workloads

@@ -1,0 +1,75 @@
+// slab2d: 2-D severe-storm fluid-flow prototype. Work arrays are assigned
+// and consumed within each sweep of the outer time/row loop — the values
+// never cross iterations, but only array kill analysis can prove it
+// ("automatic privatization of one or more killed arrays is sufficient").
+namespace ps::workloads {
+
+const char* kSlab2dSource = R"FTN(
+      PROGRAM SLAB2D
+      REAL U(34, 20), V(34, 20), P(34, 20)
+      NX = 34
+      NY = 20
+      DO 5 J = 1, NY
+        DO 6 I = 1, NX
+          U(I, J) = SIN(FLOAT(I)*0.1) + FLOAT(J)*0.01
+          V(I, J) = COS(FLOAT(J)*0.1)
+          P(I, J) = 1000.0
+    6   CONTINUE
+    5 CONTINUE
+      CALL STEP(U, V, P, NX, NY)
+      CALL BNDRY(U, V, NX, NY)
+      CALL STEP(U, V, P, NX, NY)
+      CALL BNDRY(U, V, NX, NY)
+      CALL NORM(U, V, P, NX, NY)
+      END
+
+      SUBROUTINE BNDRY(U, V, NX, NY)
+      REAL U(34, 20), V(34, 20)
+      DO 400 J = 1, NY
+        U(1, J) = 0.0
+        U(NX, J) = 0.0
+        V(1, J) = V(2, J)
+        V(NX, J) = V(NX - 1, J)
+  400 CONTINUE
+      END
+
+      SUBROUTINE STEP(U, V, P, NX, NY)
+      REAL U(34, 20), V(34, 20), P(34, 20)
+      REAL WFLX(34), WADV(34)
+C The row sweep: WFLX and WADV are temporaries killed at the top of every
+C J iteration. Privatizing them (array kill analysis) makes the J loop
+C parallel; a compiler without it sees carried anti/flow dependences.
+      DO 100 J = 2, NY - 1
+        DO 110 I = 1, NX
+          WFLX(I) = U(I, J)*V(I, J)
+  110   CONTINUE
+        DO 120 I = 1, NX
+          WADV(I) = WFLX(I)*0.5 + P(I, J)*0.001
+  120   CONTINUE
+        DO 130 I = 2, NX - 1
+          U(I, J) = U(I, J) + (WADV(I + 1) - WADV(I - 1))*0.25
+  130   CONTINUE
+  100 CONTINUE
+C Pressure relaxation: T is a scalar temporary (scalar expansion was the
+C workshop's most-used transformation).
+      DO 200 J = 2, NY - 1
+        DO 210 I = 2, NX - 1
+          T = (P(I - 1, J) + P(I + 1, J))*0.5
+          P(I, J) = T*0.98 + 20.0
+  210   CONTINUE
+  200 CONTINUE
+      END
+
+      SUBROUTINE NORM(U, V, P, NX, NY)
+      REAL U(34, 20), V(34, 20), P(34, 20)
+      S = 0.0
+      DO 300 J = 1, NY
+        DO 310 I = 1, NX
+          S = S + U(I, J)*U(I, J) + V(I, J)*V(I, J) + P(I, J)*0.0001
+  310   CONTINUE
+  300 CONTINUE
+      WRITE(6, *) S
+      END
+)FTN";
+
+}  // namespace ps::workloads

@@ -1,0 +1,75 @@
+// slalom: benchmark program. Its core is the dense factorization nest shown
+// in the paper's Figure 1 window (coeff/diag/result), with triangular
+// loops, plus a back-substitution and a checksum reduction. Loop unrolling
+// and interchange are the transformations the workshop applied here.
+namespace ps::workloads {
+
+const char* kSlalomSource = R"FTN(
+      PROGRAM SLALOM
+      REAL COEFF(24, 24), DIAG(24), RHS(24), RESULT(24)
+      NPATCH = 24
+      NON0 = 4
+      CALL SETUP(COEFF, DIAG, RHS, NPATCH)
+      CALL FACTOR(COEFF, DIAG, RHS, RESULT, NON0, NPATCH)
+      CALL BACKSUB(COEFF, RESULT, NON0, NPATCH)
+      CALL CHECKS(RESULT, NPATCH)
+      END
+
+      SUBROUTINE SETUP(COEFF, DIAG, RHS, NPATCH)
+      REAL COEFF(24, 24), DIAG(24), RHS(24)
+      DO 10 J = 1, NPATCH
+        DO 11 I = 1, NPATCH
+          TSC = 1.0/FLOAT(I + J)
+          COEFF(I, J) = TSC + TSC*TSC*0.01
+   11   CONTINUE
+        DIAG(J) = 2.0 + FLOAT(J)
+        RHS(J) = 1.0
+   10 CONTINUE
+      END
+
+      SUBROUTINE FACTOR(COEFF, DIAG, RHS, RESULT, NON0, NPATCH)
+      REAL COEFF(24, 24), DIAG(24), RHS(24), RESULT(24)
+C The Figure 1 loops: transpose-copy (DO 682), scaling (DO 683), and the
+C triangular factorization sweep (DO 607/605/604).
+      DO 682 I = NON0 - 1, NPATCH - 1
+        COEFF(I, I) = DIAG(I)
+        RESULT(I) = RHS(I)
+        DO 681 J = 1, I - 1
+          COEFF(J, I) = COEFF(I, J)
+  681   CONTINUE
+  682 CONTINUE
+      DO 683 J = 1, NON0 - 2
+        COEFF(J, J) = 1.0/DIAG(J)
+        RESULT(J) = RHS(J)
+  683 CONTINUE
+      DO 607 J = NON0 - 1, NPATCH - 1
+        DO 605 K = NON0 - 1, J - 1
+          DO 604 I = 1, K - 1
+            COEFF(K, J) = COEFF(K, J) - COEFF(I, K)*COEFF(I, J)
+  604     CONTINUE
+  605   CONTINUE
+  607 CONTINUE
+      END
+
+      SUBROUTINE BACKSUB(COEFF, RESULT, NON0, NPATCH)
+      REAL COEFF(24, 24), RESULT(24)
+      DO 700 J = NPATCH - 1, NON0 - 1, -1
+        T = RESULT(J)
+        DO 710 I = J + 1, NPATCH - 1
+          T = T - COEFF(J, I)*RESULT(I)
+  710   CONTINUE
+        RESULT(J) = T/COEFF(J, J)
+  700 CONTINUE
+      END
+
+      SUBROUTINE CHECKS(RESULT, NPATCH)
+      REAL RESULT(24)
+      S = 0.0
+      DO 800 I = 1, NPATCH
+        S = S + RESULT(I)*RESULT(I)
+  800 CONTINUE
+      WRITE(6, *) S
+      END
+)FTN";
+
+}  // namespace ps::workloads

@@ -1,0 +1,92 @@
+// spec77: weather simulation. The key structure is GLOOP — a small-trip
+// loop over latitudes whose body is procedure calls; each callee sweeps many
+// grid points. Interprocedural section analysis proves the latitude loop
+// parallel; the useful parallelism, however, sits inside the callees, which
+// is why the paper's §5.3 asks for loop embedding/extraction.
+namespace ps::workloads {
+
+const char* kSpec77Source = R"FTN(
+      PROGRAM SPEC77
+      COMMON /GRID/ NPTS, NLAT
+      REAL FLN(64, 12), QLN(64, 12), WGT(12)
+      REAL PS(64), TS(64)
+      NPTS = 64
+      NLAT = 12
+      DO 10 L = 1, NLAT
+        WGT(L) = 1.0/FLOAT(L + 1)
+   10 CONTINUE
+      DO 20 I = 1, NPTS
+        PS(I) = 100.0 + FLOAT(I)*0.25
+        TS(I) = 273.0 + FLOAT(MOD(I, 7))
+   20 CONTINUE
+      CALL INITF(FLN, QLN, NPTS, NLAT)
+      CALL GLOOP(FLN, QLN, WGT, NPTS, NLAT)
+      CALL GWATER(PS, TS, NPTS)
+      CALL DIAGNO(FLN, PS, NPTS, NLAT)
+      END
+
+      SUBROUTINE INITF(FLN, QLN, NPTS, NLAT)
+      REAL FLN(64, 12), QLN(64, 12)
+      DO 30 L = 1, NLAT
+        DO 31 I = 1, NPTS
+          FLN(I, L) = FLOAT(I)*0.01 + FLOAT(L)
+          QLN(I, L) = 0.0
+   31   CONTINUE
+   30 CONTINUE
+      END
+
+      SUBROUTINE GLOOP(FLN, QLN, WGT, NPTS, NLAT)
+      REAL FLN(64, 12), QLN(64, 12), WGT(12)
+C The latitude loop: at most NLAT (12) iterations, limiting thread
+C granularity. Each call touches exactly its own latitude column, so
+C interprocedural regular sections prove the loop parallel. The callees
+C hold the long loops (NPTS iterations) -- the spec77 situation.
+      DO 100 L = 1, NLAT
+        CALL FL22(FLN, QLN, WGT(L), NPTS, L)
+        CALL FILTLAT(FLN, NPTS, L)
+  100 CONTINUE
+      END
+
+      SUBROUTINE FL22(FLN, QLN, W, NPTS, L)
+      REAL FLN(64, 12), QLN(64, 12)
+      DO 110 I = 1, NPTS
+        QLN(I, L) = FLN(I, L)*W
+  110 CONTINUE
+      DO 120 I = 2, NPTS
+        FLN(I, L) = FLN(I, L) + QLN(I - 1, L)*0.5
+  120 CONTINUE
+      END
+
+      SUBROUTINE FILTLAT(FLN, NPTS, L)
+      REAL FLN(64, 12)
+      DO 130 I = 2, NPTS - 1
+        T = FLN(I, L)
+        FLN(I, L) = T*0.5 + (FLN(I - 1, L) + FLN(I + 1, L))*0.25
+  130 CONTINUE
+      END
+
+      SUBROUTINE GWATER(PS, TS, NPTS)
+      REAL PS(64), TS(64)
+      DO 200 I = 1, NPTS
+        E = 6.11*EXP(0.067*(TS(I) - 273.0))
+        PS(I) = PS(I) + E*0.01
+  200 CONTINUE
+      END
+
+      SUBROUTINE DIAGNO(FLN, PS, NPTS, NLAT)
+      REAL FLN(64, 12), PS(64)
+      SUM1 = 0.0
+      DO 300 L = 1, NLAT
+        DO 301 I = 1, NPTS
+          SUM1 = SUM1 + FLN(I, L)
+  301   CONTINUE
+  300 CONTINUE
+      SUM2 = 0.0
+      DO 310 I = 1, NPTS
+        SUM2 = SUM2 + PS(I)
+  310 CONTINUE
+      WRITE(6, *) SUM1, SUM2
+      END
+)FTN";
+
+}  // namespace ps::workloads

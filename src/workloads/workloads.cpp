@@ -1,0 +1,56 @@
+#include "workloads/workloads.h"
+
+namespace ps::workloads {
+
+extern const char* kSpec77Source;
+extern const char* kNeossSource;
+extern const char* kNxsnsSource;
+extern const char* kDpminSource;
+extern const char* kSlab2dSource;
+extern const char* kSlalomSource;
+extern const char* kPueblo3dSource;
+extern const char* kArc3dSource;
+
+const std::vector<Workload>& all() {
+  static const std::vector<Workload> kAll = [] {
+    std::vector<Workload> w;
+    w.push_back({"spec77", "weather simulation code",
+                 "after Steve Poole (IBM Kingston) & Lo Hsieh (IBM Palo Alto)",
+                 kSpec77Source,
+                 /*arrayKills=*/false, /*reductions=*/true,
+                 /*indexArrays=*/false, /*controlFlow=*/false,
+                 /*interproc=*/true});
+    w.push_back({"neoss", "thermodynamics code",
+                 "after Mary Zosel (Lawrence Livermore National Laboratory)",
+                 kNeossSource, false, true, false, true, false});
+    w.push_back({"nxsns", "quantum mechanics code",
+                 "after John Engle (Lawrence Livermore National Laboratory)",
+                 kNxsnsSource, false, true, true, false, false});
+    w.push_back({"dpmin", "molecular mechanics and dynamics program",
+                 "after Marcia Pottle (Cornell Theory Center)", kDpminSource,
+                 false, true, true, false, false});
+    w.push_back({"slab2d", "2-D severe storm fluid flow prototype",
+                 "after Roy Heimbach (NCSA)", kSlab2dSource, true, true,
+                 false, false, false});
+    w.push_back({"slalom", "benchmark program",
+                 "after Roy Heimbach (NCSA)", kSlalomSource, false, true,
+                 false, false, false});
+    w.push_back({"pueblo3d", "hydrodynamics benchmark program",
+                 "after Ralph Brickner (Los Alamos National Laboratory)",
+                 kPueblo3dSource, false, true, false, false, false});
+    w.push_back({"arc3d", "3-D hydrodynamics code",
+                 "after Doreen Cheng (NASA Ames Research Center)",
+                 kArc3dSource, true, true, false, false, false});
+    return w;
+  }();
+  return kAll;
+}
+
+const Workload* byName(const std::string& name) {
+  for (const auto& w : all()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace ps::workloads

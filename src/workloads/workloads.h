@@ -1,0 +1,37 @@
+#ifndef PS_WORKLOADS_WORKLOADS_H
+#define PS_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace ps::workloads {
+
+/// One of the eight workshop programs (Table 1), rebuilt synthetically: the
+/// same domain, the same parallelization obstacles, and the exact code
+/// patterns the paper quotes. Absolute line counts differ from the
+/// originals (which were proprietary); the obstacle structure is what the
+/// evaluation tables depend on.
+struct Workload {
+  std::string name;
+  std::string description;
+  std::string contributorNote;  // the Table 1 provenance line, paraphrased
+  const char* source = nullptr;
+
+  // Expected Table 3 "N" rows for this program.
+  bool needsArrayKills = false;
+  bool needsReductions = false;
+  bool needsIndexArrays = false;
+  // Expected Table 4 "N" rows.
+  bool needsControlFlow = false;
+  bool needsInterprocedural = false;
+};
+
+/// All eight programs, in Table 1 order.
+[[nodiscard]] const std::vector<Workload>& all();
+
+/// Lookup by name; null when unknown.
+[[nodiscard]] const Workload* byName(const std::string& name);
+
+}  // namespace ps::workloads
+
+#endif  // PS_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "interproc/array_kill.h"
+#include "fortran/parser.h"
+#include "ped/perfest.h"
+#include "ped/session.h"
+#include "support/diagnostics.h"
+
+namespace ps {
+namespace {
+
+struct Built {
+  std::unique_ptr<fortran::Program> prog;
+  std::unique_ptr<ir::ProcedureModel> model;
+  dep::DependenceGraph graph;
+};
+
+Built build(std::string_view src, const dep::AnalysisContext& ctx = {}) {
+  DiagnosticEngine diags;
+  Built b;
+  b.prog = fortran::parseSource(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  b.model = std::make_unique<ir::ProcedureModel>(*b.prog->units[0]);
+  b.graph = dep::DependenceGraph::build(*b.model, ctx);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Array kill analysis
+// ---------------------------------------------------------------------------
+
+TEST(ArrayKill, TemporaryKilledEveryIteration) {
+  auto b = build(
+      "      SUBROUTINE S(A, N, M)\n"
+      "      REAL A(64, 8), W(64)\n"
+      "      DO J = 1, M\n"
+      "        DO I = 1, N\n"
+      "          W(I) = A(I, J)*2.0\n"
+      "        ENDDO\n"
+      "        DO I = 1, N\n"
+      "          A(I, J) = W(I) + 1.0\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto kills = interproc::findArrayKills(*b.model, b.graph);
+  ASSERT_EQ(kills.size(), 1u);
+  EXPECT_EQ(kills[0].array, "W");
+  EXPECT_FALSE(kills[0].interprocedural);
+}
+
+TEST(ArrayKill, PartialWriteIsNotAKill) {
+  // The write covers [2, N] but a read touches W(1): value crosses
+  // iterations.
+  auto b = build(
+      "      SUBROUTINE S(A, N, M)\n"
+      "      REAL A(64, 8), W(64)\n"
+      "      DO J = 1, M\n"
+      "        DO I = 2, N\n"
+      "          W(I) = A(I, J)\n"
+      "        ENDDO\n"
+      "        DO I = 2, N\n"
+      "          A(I, J) = W(I - 1)\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto kills = interproc::findArrayKills(*b.model, b.graph);
+  EXPECT_TRUE(kills.empty());
+}
+
+TEST(ArrayKill, ReadBeforeWriteIsNotAKill) {
+  auto b = build(
+      "      SUBROUTINE S(A, N, M)\n"
+      "      REAL A(64, 8), W(64)\n"
+      "      DO J = 1, M\n"
+      "        DO I = 1, N\n"
+      "          A(I, J) = W(I)\n"
+      "        ENDDO\n"
+      "        DO I = 1, N\n"
+      "          W(I) = A(I, J)*0.5\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto kills = interproc::findArrayKills(*b.model, b.graph);
+  EXPECT_TRUE(kills.empty());
+}
+
+TEST(ArrayKill, BoundaryExtensionWithRelation) {
+  // The arc3d shape: section [1, JM] extended by the boundary write at
+  // JMAX, provable only through JM = JMAX - 1.
+  const char* src =
+      "      SUBROUTINE FILT(Q, JM, JMAX, KM)\n"
+      "      REAL Q(30, 12), WR1(30, 12)\n"
+      "      DO 15 N = 1, 5\n"
+      "        DO 16 K = 2, KM\n"
+      "          DO 16 J = 1, JM\n"
+      "            WR1(J, K) = Q(J, K)*FLOAT(N)\n"
+      "   16   CONTINUE\n"
+      "        DO 76 K = 2, KM\n"
+      "          WR1(JMAX, K) = WR1(JM, K)\n"
+      "   76   CONTINUE\n"
+      "        DO 17 K = 2, KM\n"
+      "          DO 17 J = 1, JMAX\n"
+      "            Q(J, K) = Q(J, K) + WR1(J, K)\n"
+      "   17   CONTINUE\n"
+      "   15 CONTINUE\n"
+      "      END\n";
+  // Without the relation: no kill (the JMAX row is not provably adjacent).
+  auto bare = build(src);
+  bool bareKill = false;
+  for (const auto& k : interproc::findArrayKills(*bare.model, bare.graph)) {
+    if (k.array == "WR1") bareKill = true;
+  }
+  EXPECT_FALSE(bareKill);
+  // With JM = JMAX - 1: the kill is proved.
+  dep::AnalysisContext ctx;
+  dataflow::Relation rel;
+  rel.name = "JM";
+  rel.value.coef["JMAX"] = 1;
+  rel.value.constant = -1;
+  ctx.inheritedRelations.push_back(rel);
+  auto b = build(src, ctx);
+  bool found = false;
+  for (const auto& k : interproc::findArrayKills(*b.model, b.graph, &ctx)) {
+    if (k.array == "WR1") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ArrayKill, OnlyReportedForSerializedArrays) {
+  // W is killed but the loop has no carried deps on it (each iteration
+  // uses a distinct column): nothing to report.
+  auto b = build(
+      "      SUBROUTINE S(A, N, M)\n"
+      "      REAL A(64, 8)\n"
+      "      DO J = 1, M\n"
+      "        DO I = 1, N\n"
+      "          A(I, J) = FLOAT(I + J)\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      END\n");
+  EXPECT_TRUE(interproc::findArrayKills(*b.model, b.graph).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Performance estimator
+// ---------------------------------------------------------------------------
+
+TEST(PerfEst, ConstantTripCountsMultiply) {
+  DiagnosticEngine diags;
+  auto prog = fortran::parseSource(
+      "      SUBROUTINE S(A)\n"
+      "      REAL A(100, 100)\n"
+      "      DO J = 1, 100\n"
+      "        DO I = 1, 100\n"
+      "          A(I, J) = 1.0\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      END\n",
+      diags);
+  ir::ProcedureModel model(*prog->units[0]);
+  ped::PerformanceEstimator est(model);
+  ASSERT_EQ(est.loops().size(), 2u);
+  // The outer loop's cost is ~100x the inner body and dominates.
+  EXPECT_GT(est.loops()[0].cost, est.loops()[1].cost * 50);
+  EXPECT_DOUBLE_EQ(est.loops()[0].trips, 100.0);
+}
+
+TEST(PerfEst, SymbolicBoundsUseDefaultTrip) {
+  DiagnosticEngine diags;
+  auto prog = fortran::parseSource(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        A(I) = 1.0\n"
+      "      ENDDO\n"
+      "      END\n",
+      diags);
+  ir::ProcedureModel model(*prog->units[0]);
+  ped::EstimatorOptions opts;
+  opts.defaultTripCount = 10.0;
+  ped::PerformanceEstimator est(model, opts);
+  EXPECT_DOUBLE_EQ(est.loops()[0].trips, 10.0);
+}
+
+TEST(PerfEst, CalleeCostsCharged) {
+  DiagnosticEngine diags;
+  auto prog = fortran::parseSource(
+      "      SUBROUTINE TOP(A)\n"
+      "      REAL A(50)\n"
+      "      DO I = 1, 50\n"
+      "        CALL LEAF(A)\n"
+      "      ENDDO\n"
+      "      END\n",
+      diags);
+  ir::ProcedureModel model(*prog->units[0]);
+  std::map<std::string, double> costs;
+  costs["LEAF"] = 1000.0;
+  ped::PerformanceEstimator est(model, {}, &costs);
+  // 50 iterations x ~1000 per call.
+  EXPECT_GT(est.procedureCost(), 50000.0);
+}
+
+TEST(PerfEst, ParallelSpeedupAmdahl) {
+  DiagnosticEngine diags;
+  auto prog = fortran::parseSource(
+      "      SUBROUTINE S(A)\n"
+      "      REAL A(1000)\n"
+      "      DO I = 1, 1000\n"
+      "        A(I) = FLOAT(I)*2.0\n"
+      "      ENDDO\n"
+      "      X = A(1)\n"
+      "      END\n",
+      diags);
+  ir::ProcedureModel model(*prog->units[0]);
+  ped::EstimatorOptions opts;
+  opts.processors = 8.0;
+  ped::PerformanceEstimator est(model, opts);
+  double speedup = est.parallelSpeedup(est.loops()[0].loop);
+  // The loop is nearly all of the procedure: speedup approaches 8.
+  EXPECT_GT(speedup, 6.0);
+  EXPECT_LE(speedup, 8.0);
+}
+
+TEST(PerfEst, ZeroTripLoopCostsNothing) {
+  DiagnosticEngine diags;
+  auto prog = fortran::parseSource(
+      "      SUBROUTINE S(A)\n"
+      "      REAL A(10)\n"
+      "      DO I = 5, 1\n"
+      "        A(I) = 1.0\n"
+      "      ENDDO\n"
+      "      END\n",
+      diags);
+  ir::ProcedureModel model(*prog->units[0]);
+  ped::PerformanceEstimator est(model);
+  EXPECT_DOUBLE_EQ(est.loops()[0].cost, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Assertion corner cases
+// ---------------------------------------------------------------------------
+
+TEST(AssertionsEdge, RangeDisprovesDependence) {
+  // A(I) vs A(I + K): RANGE(K, 50, 99) puts K beyond the trip count.
+  const char* src =
+      "      SUBROUTINE S(A, N, K)\n"
+      "      REAL A(200)\n"
+      "      DO I = 1, 40\n"
+      "        A(I) = A(I + K)\n"
+      "      ENDDO\n"
+      "      END\n";
+  DiagnosticEngine diags;
+  auto s = ped::Session::load(src, diags);
+  EXPECT_FALSE(s->loops()[0].parallelizable);
+  ASSERT_TRUE(s->addAssertion("ASSERT RANGE (K, 50, 99)"));
+  EXPECT_TRUE(s->loops()[0].parallelizable);
+}
+
+TEST(AssertionsEdge, EqualityRelation) {
+  // ASSERT RELATION (K .EQ. 0) turns A(I+K) into A(I): same-element only.
+  const char* src =
+      "      SUBROUTINE S(A, N, K)\n"
+      "      REAL A(200)\n"
+      "      DO I = 1, 40\n"
+      "        A(I) = A(I + K) + 1.0\n"
+      "      ENDDO\n"
+      "      END\n";
+  DiagnosticEngine diags;
+  auto s = ped::Session::load(src, diags);
+  EXPECT_FALSE(s->loops()[0].parallelizable);
+  ASSERT_TRUE(s->addAssertion("ASSERT RELATION (K .EQ. 0)"));
+  EXPECT_TRUE(s->loops()[0].parallelizable);
+}
+
+TEST(AssertionsEdge, LowercaseAndSpacing) {
+  DiagnosticEngine diags;
+  auto a = ped::parseAssertion("assert strided ( IT , 3 )", diags);
+  ASSERT_TRUE(a.has_value()) << diags.dump();
+  EXPECT_EQ(a->array, "IT");
+  EXPECT_EQ(a->gap, 3);
+}
+
+TEST(AssertionsEdge, SeparatedIsDirectional) {
+  // SEPARATED(A, B, k) means B's values exceed A's; the reverse pair must
+  // not be affected.
+  dep::AnalysisContext ctx;
+  std::vector<ped::Assertion> as;
+  DiagnosticEngine diags;
+  auto a = ped::parseAssertion("ASSERT SEPARATED (IT, JT, 3)", diags);
+  ASSERT_TRUE(a.has_value());
+  as.push_back(std::move(*a));
+  ped::applyAssertions(as, &ctx);
+  EXPECT_TRUE((ctx.indexFacts.separated.count({"IT", "JT"})));
+  EXPECT_FALSE((ctx.indexFacts.separated.count({"JT", "IT"})));
+}
+
+}  // namespace
+}  // namespace ps

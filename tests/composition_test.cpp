@@ -1,0 +1,274 @@
+// Composition tests: sequences of transformations the 1990s literature
+// treats as idioms — tiling (strip-mine + interchange), wavefront
+// parallelization (skew + interchange), and the workshop pipelines
+// (distribute then parallelize; expand then parallelize) — each checked
+// for semantic preservation by the interpreter.
+#include <gtest/gtest.h>
+
+#include "fortran/parser.h"
+#include "fortran/pretty.h"
+#include "interp/machine.h"
+#include "support/diagnostics.h"
+#include "transform/transform.h"
+
+namespace ps::transform {
+namespace {
+
+using fortran::Program;
+using fortran::StmtId;
+using fortran::StmtKind;
+
+struct Fixture {
+  std::unique_ptr<Program> prog;
+  std::unique_ptr<Workspace> ws;
+  interp::RunResult baseline;
+};
+
+Fixture make(std::string_view src) {
+  DiagnosticEngine diags;
+  Fixture f;
+  f.prog = fortran::parseSource(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  interp::Machine m(*f.prog);
+  f.baseline = m.run();
+  EXPECT_TRUE(f.baseline.ok) << f.baseline.error;
+  f.ws = std::make_unique<Workspace>(*f.prog, *f.prog->units[0]);
+  return f;
+}
+
+StmtId nthLoop(const Workspace& ws, std::size_t n) {
+  return ws.model->loops().at(n)->stmt->id;
+}
+
+void apply(Fixture& f, const std::string& name, Target t) {
+  const auto* tr = Registry::instance().byName(name);
+  ASSERT_NE(tr, nullptr) << name;
+  std::string error;
+  ASSERT_TRUE(tr->apply(*f.ws, t, &error))
+      << name << ": " << error << "\n"
+      << fortran::printProgram(*f.prog);
+}
+
+void checkSemantics(Fixture& f, double tol = 1e-9) {
+  interp::Machine m(*f.prog);
+  auto r = m.run();
+  ASSERT_TRUE(r.ok) << r.error << "\n" << fortran::printProgram(*f.prog);
+  EXPECT_TRUE(f.baseline.outputEquals(r, tol))
+      << fortran::printProgram(*f.prog);
+}
+
+TEST(Composition, TilingIsStripMinePlusInterchange) {
+  Fixture f = make(
+      "      PROGRAM MAIN\n"
+      "      REAL A(32, 32)\n"
+      "      DO J = 1, 32\n"
+      "        DO I = 1, 32\n"
+      "          A(I, J) = FLOAT(I)*0.5 + FLOAT(J)\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      WRITE(6, *) A(32, 32), A(7, 19)\n"
+      "      END\n");
+  // Strip-mine the inner I loop, then interchange the strip loop outward:
+  // classic 1-D tiling.
+  Target strip;
+  strip.loop = nthLoop(*f.ws, 1);
+  strip.factor = 8;
+  apply(f, "Strip Mining", strip);
+  // The nest is now J / I-strip / I; interchange J with the strip loop.
+  Target inter;
+  inter.loop = nthLoop(*f.ws, 0);
+  apply(f, "Loop Interchange", inter);
+  checkSemantics(f);
+  // Resulting outermost loop runs over strips.
+  auto tops = f.ws->model->topLevelLoops();
+  ASSERT_EQ(tops.size(), 1u);
+  EXPECT_NE(tops[0]->inductionVar().find("$S"), std::string::npos);
+}
+
+TEST(Composition, WavefrontBySkewAndInterchange) {
+  // A(I,J) depends on A(I-1,J) and A(I,J-1): neither loop is parallel, but
+  // skewing the inner loop then interchanging exposes wavefront
+  // parallelism in the (new) inner loop.
+  Fixture f = make(
+      "      PROGRAM MAIN\n"
+      "      REAL A(18, 34)\n"
+      "      DO J = 1, 18\n"
+      "        A(J, 1) = FLOAT(J)\n"
+      "        A(1, J) = FLOAT(J)*2.0\n"
+      "      ENDDO\n"
+      "      DO 20 J = 2, 16\n"
+      "        A(1, J) = FLOAT(J)\n"
+      "   20 CONTINUE\n"
+      "      DO I = 2, 16\n"
+      "        DO J = 2, 16\n"
+      "          A(I, J) = A(I - 1, J) + A(I, J - 1)\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      WRITE(6, *) A(16, 16)\n"
+      "      END\n");
+  auto tops = f.ws->model->topLevelLoops();
+  StmtId nest = tops.back()->stmt->id;
+  Target skew;
+  skew.loop = nest;
+  skew.factor = 1;
+  apply(f, "Loop Skewing", skew);
+  checkSemantics(f);
+  // After skewing, dependences are (<,<=)-shaped; interchange becomes a
+  // candidate (legality depends on the refined directions — we at least
+  // require the advisor to answer without crashing, and the mechanics to
+  // preserve semantics when legal).
+  Target inter;
+  inter.loop = f.ws->model->topLevelLoops().back()->stmt->id;
+  const auto* tr = Registry::instance().byName("Loop Interchange");
+  Advice a = tr->advise(*f.ws, inter);
+  if (a.safe) {
+    std::string error;
+    ASSERT_TRUE(tr->apply(*f.ws, inter, &error)) << error;
+    checkSemantics(f);
+  }
+}
+
+TEST(Composition, DistributeThenParallelize) {
+  // The neoss/dpmin pipeline: distribution peels the independent work off
+  // a recurrence; the independent loop is then converted to PARALLEL DO
+  // and validated by the race detector.
+  Fixture f = make(
+      "      PROGRAM MAIN\n"
+      "      REAL P(40), E(40)\n"
+      "      DO I = 1, 40\n"
+      "        E(I) = FLOAT(I)*0.25\n"
+      "      ENDDO\n"
+      "      P(1) = E(1)\n"
+      "      DO K = 2, 40\n"
+      "        P(K) = P(K - 1)*0.9 + E(K)\n"
+      "        E(K) = E(K)*0.5\n"
+      "      ENDDO\n"
+      "      WRITE(6, *) P(40), E(40)\n"
+      "      END\n");
+  Target dist;
+  dist.loop = f.ws->model->topLevelLoops()[1]->stmt->id;
+  apply(f, "Loop Distribution", dist);
+  checkSemantics(f);
+
+  // Collect ids first: applying a transformation reanalyzes the workspace
+  // and invalidates loop pointers.
+  std::vector<StmtId> candidates;
+  for (auto* l : f.ws->model->topLevelLoops()) {
+    if (f.ws->graph->parallelizable(*l) && !l->stmt->isParallel) {
+      candidates.push_back(l->stmt->id);
+    }
+  }
+  int parallelized = 0;
+  for (StmtId id : candidates) {
+    Target t;
+    t.loop = id;
+    std::string error;
+    const auto* tr = Registry::instance().byName("Sequential to Parallel");
+    if (tr->apply(*f.ws, t, &error)) ++parallelized;
+  }
+  EXPECT_GE(parallelized, 2);  // init loop + the E-update piece
+  interp::Machine m(*f.prog);
+  auto r = m.run();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(f.baseline.outputEquals(r));
+  for (const auto& race : r.races) {
+    EXPECT_TRUE(race.outputOnly) << race.variable;
+  }
+}
+
+TEST(Composition, ExpandThenParallelizeWithLastValue) {
+  // Scalar expansion unlocks parallelization even when the temporary is
+  // live after the loop.
+  Fixture f = make(
+      "      PROGRAM MAIN\n"
+      "      REAL A(30)\n"
+      "      DO I = 1, 30\n"
+      "        A(I) = FLOAT(I)\n"
+      "      ENDDO\n"
+      "      DO I = 1, 30\n"
+      "        T = A(I)*3.0\n"
+      "        A(I) = T - 1.0\n"
+      "      ENDDO\n"
+      "      WRITE(6, *) A(30), T\n"
+      "      END\n");
+  f.ws->actx.usePrivatization = false;  // make T's deps visible
+  f.ws->reanalyze();
+  Target exp;
+  exp.loop = nthLoop(*f.ws, 1);
+  exp.variable = "T";
+  apply(f, "Scalar Expansion", exp);
+  Target par;
+  par.loop = nthLoop(*f.ws, 1);
+  apply(f, "Sequential to Parallel", par);
+  checkSemantics(f);
+  interp::Machine m(*f.prog);
+  auto r = m.run();
+  EXPECT_TRUE(r.races.empty());
+}
+
+TEST(Composition, PeelThenFuse) {
+  // Peeling aligns trip counts so two loops become fusable.
+  Fixture f = make(
+      "      PROGRAM MAIN\n"
+      "      REAL A(41), B(41)\n"
+      "      DO I = 1, 41\n"
+      "        A(I) = FLOAT(I)\n"
+      "      ENDDO\n"
+      "      DO I = 2, 41\n"
+      "        B(I) = A(I)*2.0\n"
+      "      ENDDO\n"
+      "      WRITE(6, *) A(41), B(41)\n"
+      "      END\n");
+  // Peel the first loop's first iteration: both loops then run [2, 41].
+  Target peel;
+  peel.loop = nthLoop(*f.ws, 0);
+  apply(f, "Loop Peeling", peel);
+  checkSemantics(f);
+  auto tops = f.ws->model->topLevelLoops();
+  ASSERT_EQ(tops.size(), 2u);
+  Target fuse;
+  fuse.loop = tops[0]->stmt->id;
+  fuse.secondLoop = tops[1]->stmt->id;
+  const auto* tr = Registry::instance().byName("Loop Fusion");
+  Advice a = tr->advise(*f.ws, fuse);
+  // Headers now match structurally (1+1..41 vs 2..41 may differ textually;
+  // fusion requires structural equality, so only assert the pipeline keeps
+  // semantics when it fires).
+  if (a.safe) {
+    std::string error;
+    ASSERT_TRUE(tr->apply(*f.ws, fuse, &error)) << error;
+  }
+  checkSemantics(f);
+}
+
+TEST(Composition, ReductionThenDistributionChain) {
+  // Recognize the reduction, then the partial-computation loop is
+  // parallel while the sum loop stays serial — run both to completion.
+  Fixture f = make(
+      "      PROGRAM MAIN\n"
+      "      REAL V(50)\n"
+      "      S = 0.0\n"
+      "      DO I = 1, 50\n"
+      "        V(I) = FLOAT(I)*0.1\n"
+      "      ENDDO\n"
+      "      DO I = 1, 50\n"
+      "        S = S + V(I)*V(I)\n"
+      "      ENDDO\n"
+      "      WRITE(6, *) S\n"
+      "      END\n");
+  Target red;
+  red.loop = nthLoop(*f.ws, 1);
+  apply(f, "Reduction Recognition", red);
+  checkSemantics(f, 1e-6);
+  Target par;
+  par.loop = nthLoop(*f.ws, 1);
+  apply(f, "Sequential to Parallel", par);
+  interp::Machine m(*f.prog);
+  auto r = m.run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(f.baseline.outputEquals(r, 1e-6));
+  EXPECT_TRUE(r.races.empty());
+}
+
+}  // namespace
+}  // namespace ps::transform

@@ -1,0 +1,607 @@
+#include <gtest/gtest.h>
+
+#include "cfg/control_dep.h"
+#include "cfg/flow_graph.h"
+#include "dataflow/constants.h"
+#include "dataflow/linear.h"
+#include "dataflow/liveness.h"
+#include "dataflow/privatize.h"
+#include "dataflow/reaching.h"
+#include "dataflow/symbolic.h"
+#include "fortran/parser.h"
+#include "support/diagnostics.h"
+
+namespace ps::dataflow {
+namespace {
+
+using fortran::Program;
+using fortran::Stmt;
+using fortran::StmtKind;
+
+struct Analyzed {
+  std::unique_ptr<Program> prog;
+  std::unique_ptr<ir::ProcedureModel> model;
+  cfg::FlowGraph graph;
+  ReachingDefs reaching;
+  Liveness liveness;
+  cfg::ControlDependence cdeps;
+};
+
+Analyzed analyze(std::string_view src) {
+  ps::DiagnosticEngine diags;
+  Analyzed a;
+  a.prog = fortran::parseSource(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  a.model = std::make_unique<ir::ProcedureModel>(*a.prog->units[0]);
+  a.graph = cfg::FlowGraph::build(*a.model);
+  a.reaching = ReachingDefs::build(a.graph, *a.model);
+  a.liveness = Liveness::build(a.graph, *a.model);
+  a.cdeps = cfg::ControlDependence::build(a.graph);
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions
+// ---------------------------------------------------------------------------
+
+TEST(Reaching, StraightLineKill) {
+  auto a = analyze(
+      "      SUBROUTINE S(Y)\n"
+      "      X = 1.0\n"
+      "      X = 2.0\n"
+      "      Y = X\n"
+      "      END\n");
+  const auto& body = a.prog->units[0]->body;
+  auto defs = a.reaching.reachingAt(body[2]->id, "X");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(a.reaching.definitions()[defs[0]].stmt, body[1].get());
+}
+
+TEST(Reaching, BothBranchesReach) {
+  auto a = analyze(
+      "      SUBROUTINE S(C, Y)\n"
+      "      IF (C .GT. 0.0) THEN\n"
+      "        X = 1.0\n"
+      "      ELSE\n"
+      "        X = 2.0\n"
+      "      ENDIF\n"
+      "      Y = X\n"
+      "      END\n");
+  const auto& body = a.prog->units[0]->body;
+  auto defs = a.reaching.reachingAt(body[1]->id, "X");
+  EXPECT_EQ(defs.size(), 2u);
+}
+
+TEST(Reaching, LoopCarriedDefReaches) {
+  auto a = analyze(
+      "      SUBROUTINE S(Y, N)\n"
+      "      X = 0.0\n"
+      "      DO I = 1, N\n"
+      "        Y = X\n"
+      "        X = Y + 1.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  const Stmt* use = a.prog->units[0]->body[1]->body[0].get();
+  auto defs = a.reaching.reachingAt(use->id, "X");
+  // Both the pre-loop def and the in-loop def reach the use.
+  EXPECT_EQ(defs.size(), 2u);
+}
+
+TEST(Reaching, ArrayStoreDoesNotKill) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, Y, I)\n"
+      "      REAL A(10)\n"
+      "      A(1) = 1.0\n"
+      "      A(I) = 2.0\n"
+      "      Y = A(1)\n"
+      "      END\n");
+  const auto& body = a.prog->units[0]->body;
+  auto defs = a.reaching.reachingAt(body[2]->id, "A");
+  EXPECT_EQ(defs.size(), 2u);  // both stores reach
+}
+
+TEST(Reaching, UniqueReachingAssignment) {
+  auto a = analyze(
+      "      SUBROUTINE S(JMAX, A, N)\n"
+      "      REAL A(N)\n"
+      "      JM = JMAX - 1\n"
+      "      DO I = 1, N\n"
+      "        A(I) = A(JM)\n"
+      "      ENDDO\n"
+      "      END\n");
+  const Stmt* loop = a.prog->units[0]->body[1].get();
+  const Stmt* def = nullptr;
+  EXPECT_TRUE(a.reaching.uniqueReachingAssignment(loop->id, "JM", &def));
+  EXPECT_EQ(def, a.prog->units[0]->body[0].get());
+}
+
+TEST(Reaching, DefUseChains) {
+  auto a = analyze(
+      "      SUBROUTINE S(Y, Z)\n"
+      "      X = 1.0\n"
+      "      Y = X\n"
+      "      Z = X\n"
+      "      END\n");
+  // The def of X should have two uses.
+  int defIdx = -1;
+  for (std::size_t i = 0; i < a.reaching.definitions().size(); ++i) {
+    if (a.reaching.definitions()[i].name == "X") defIdx = static_cast<int>(i);
+  }
+  ASSERT_GE(defIdx, 0);
+  EXPECT_EQ(a.reaching.defUse()[defIdx].size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Liveness
+// ---------------------------------------------------------------------------
+
+TEST(Liveness, DeadAfterLastUse) {
+  auto a = analyze(
+      "      SUBROUTINE S(Y)\n"
+      "      T = 1.0\n"
+      "      Y = T\n"
+      "      Y = Y + 1.0\n"
+      "      END\n");
+  const auto& body = a.prog->units[0]->body;
+  EXPECT_TRUE(a.liveness.liveIn(body[1]->id).count("T"));
+  EXPECT_FALSE(a.liveness.liveOut(body[1]->id).count("T"));
+}
+
+TEST(Liveness, ParamsLiveAtExit) {
+  auto a = analyze(
+      "      SUBROUTINE S(Y)\n"
+      "      Y = 1.0\n"
+      "      END\n");
+  EXPECT_TRUE(a.liveness.liveOut(a.prog->units[0]->body[0]->id).count("Y"));
+}
+
+TEST(Liveness, TempNotLiveAfterLoop) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        T = A(I)*2.0\n"
+      "        A(I) = T + 1.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto* loop = a.model->topLevelLoops()[0];
+  EXPECT_FALSE(a.liveness.liveAfterLoop(*loop, "T"));
+  EXPECT_TRUE(a.liveness.liveAfterLoop(*loop, "A"));
+}
+
+TEST(Liveness, ScalarLiveAfterLoopWhenUsedLater) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N, OUT)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        T = A(I)\n"
+      "      ENDDO\n"
+      "      OUT = T\n"
+      "      END\n");
+  auto* loop = a.model->topLevelLoops()[0];
+  EXPECT_TRUE(a.liveness.liveAfterLoop(*loop, "T"));
+}
+
+// ---------------------------------------------------------------------------
+// Constant propagation
+// ---------------------------------------------------------------------------
+
+TEST(Constants, ParameterSeedsEntry) {
+  auto a = analyze(
+      "      SUBROUTINE S(A)\n"
+      "      PARAMETER (N = 100)\n"
+      "      REAL A(100)\n"
+      "      A(1) = FLOAT(N)\n"
+      "      END\n");
+  ConstantAnalysis ca =
+      ConstantAnalysis::build(a.graph, *a.model, {});
+  const auto& body = a.prog->units[0]->body;
+  auto v = ca.envAt(body[0]->id).find("N");
+  ASSERT_NE(v, ca.envAt(body[0]->id).end());
+  EXPECT_EQ(v->second.kind, ConstVal::Kind::IntConst);
+  EXPECT_EQ(v->second.i, 100);
+}
+
+TEST(Constants, StraightLinePropagation) {
+  auto a = analyze(
+      "      SUBROUTINE S(A)\n"
+      "      REAL A(100)\n"
+      "      N = 10\n"
+      "      M = N*2 + 1\n"
+      "      A(M) = 0.0\n"
+      "      END\n");
+  ConstantAnalysis ca = ConstantAnalysis::build(a.graph, *a.model, {});
+  const auto& body = a.prog->units[0]->body;
+  auto env = ca.envAt(body[2]->id);
+  EXPECT_EQ(env["M"].i, 21);
+}
+
+TEST(Constants, MergeOfDifferentValuesIsBottom) {
+  auto a = analyze(
+      "      SUBROUTINE S(C, A)\n"
+      "      REAL A(100)\n"
+      "      IF (C .GT. 0.0) THEN\n"
+      "        N = 1\n"
+      "      ELSE\n"
+      "        N = 2\n"
+      "      ENDIF\n"
+      "      A(N) = 0.0\n"
+      "      END\n");
+  ConstantAnalysis ca = ConstantAnalysis::build(a.graph, *a.model, {});
+  const auto& body = a.prog->units[0]->body;
+  auto env = ca.envAt(body[1]->id);
+  EXPECT_EQ(env["N"].kind, ConstVal::Kind::Bottom);
+}
+
+TEST(Constants, ReadMakesBottom) {
+  auto a = analyze(
+      "      SUBROUTINE S(A)\n"
+      "      REAL A(100)\n"
+      "      N = 5\n"
+      "      READ *, N\n"
+      "      A(N) = 0.0\n"
+      "      END\n");
+  ConstantAnalysis ca = ConstantAnalysis::build(a.graph, *a.model, {});
+  const auto& body = a.prog->units[0]->body;
+  { auto env = ca.envAt(body[2]->id); EXPECT_EQ(env["N"].kind, ConstVal::Kind::Bottom); }
+}
+
+TEST(Constants, InheritedInterproceduralConstants) {
+  auto a = analyze(
+      "      SUBROUTINE S(A)\n"
+      "      REAL A(100)\n"
+      "      A(N) = 0.0\n"
+      "      END\n");
+  ConstEnv inherited;
+  inherited["N"] = ConstVal::ofInt(7);
+  ConstantAnalysis ca = ConstantAnalysis::build(a.graph, *a.model, inherited);
+  const auto& body = a.prog->units[0]->body;
+  { auto env = ca.envAt(body[0]->id); EXPECT_EQ(env["N"].i, 7); }
+}
+
+TEST(Constants, EvaluateRelational) {
+  ConstEnv env;
+  env["A"] = ConstVal::ofInt(3);
+  ps::DiagnosticEngine diags;
+  auto prog = fortran::parseSource(
+      "      SUBROUTINE S\n      L = A .LT. 5\n      END\n", diags);
+  auto v = ConstantAnalysis::evaluate(*prog->units[0]->body[0]->rhs, env);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, ConstVal::Kind::LogicalConst);
+  EXPECT_TRUE(v->b);
+}
+
+// ---------------------------------------------------------------------------
+// Linear forms
+// ---------------------------------------------------------------------------
+
+fortran::ExprPtr parseExprFrom(const std::string& rhs) {
+  ps::DiagnosticEngine diags;
+  auto prog =
+      fortran::parseSource("      SUBROUTINE S\n      X = " + rhs +
+                           "\n      END\n", diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  return std::move(prog->units[0]->body[0]->rhs);
+}
+
+TEST(Linear, SimpleAffine) {
+  auto e = parseExprFrom("2*I + J - 3");
+  LinearExpr f = linearize(*e);
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coefOf("I"), 2);
+  EXPECT_EQ(f.coefOf("J"), 1);
+  EXPECT_EQ(f.constant, -3);
+}
+
+TEST(Linear, CancellationInSubtract) {
+  auto e1 = parseExprFrom("I + MCN");
+  auto e2 = parseExprFrom("I");
+  LinearExpr d = subtract(linearize(*e1), linearize(*e2));
+  EXPECT_EQ(d.coefOf("I"), 0);
+  EXPECT_EQ(d.coefOf("MCN"), 1);
+}
+
+TEST(Linear, NonlinearProduct) {
+  auto e = parseExprFrom("I*J");
+  LinearExpr f = linearize(*e);
+  EXPECT_FALSE(f.affine);
+}
+
+TEST(Linear, ConstantFoldsThroughMul) {
+  auto e = parseExprFrom("3*(I + 2)");
+  LinearExpr f = linearize(*e);
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coefOf("I"), 3);
+  EXPECT_EQ(f.constant, 6);
+}
+
+TEST(Linear, IndexArrayDetected) {
+  auto e = parseExprFrom("IT(N) + 1");
+  LinearExpr f = linearize(*e);
+  EXPECT_FALSE(f.affine);
+  EXPECT_TRUE(f.hasIndexArray);
+}
+
+TEST(Linear, SubstitutionApplied) {
+  auto e = parseExprFrom("JM + 1");
+  std::map<std::string, LinearExpr> sub;
+  LinearExpr jm;
+  jm.coef["JMAX"] = 1;
+  jm.constant = -1;
+  sub["JM"] = jm;
+  LinearExpr f = linearize(*e, sub);
+  EXPECT_EQ(f.coefOf("JMAX"), 1);
+  EXPECT_EQ(f.constant, 0);
+  EXPECT_EQ(f.coefOf("JM"), 0);
+}
+
+TEST(Linear, NegationAndNestedParens) {
+  auto e = parseExprFrom("-(I - J)*2");
+  LinearExpr f = linearize(*e);
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coefOf("I"), -2);
+  EXPECT_EQ(f.coefOf("J"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic analysis
+// ---------------------------------------------------------------------------
+
+SymbolicAnalysis buildSym(const Analyzed& a,
+                          const std::vector<Relation>& inherited = {}) {
+  ConstantAnalysis ca = ConstantAnalysis::build(a.graph, *a.model, {});
+  return SymbolicAnalysis::build(*a.model, a.graph, a.reaching, ca, a.cdeps,
+                                 inherited);
+}
+
+TEST(Symbolic, DefinedInLoop) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N, C)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        T = A(I)\n"
+      "        A(I) = T*C\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto sym = buildSym(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  EXPECT_TRUE(sym.definedIn(*loop).count("T"));
+  EXPECT_TRUE(sym.definedIn(*loop).count("I"));
+  EXPECT_FALSE(sym.definedIn(*loop).count("C"));
+}
+
+TEST(Symbolic, LoopInvariance) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, B, N, C)\n"
+      "      REAL A(N), B(N)\n"
+      "      DO I = 1, N\n"
+      "        A(I) = B(2)*C + FLOAT(I)\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto sym = buildSym(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  const Stmt* assign = loop->bodyStmts[0];
+  const fortran::Expr& rhs = *assign->rhs;
+  // B(2)*C is invariant (B not written in loop); FLOAT(I) is not.
+  EXPECT_TRUE(sym.isLoopInvariant(*rhs.lhs, *loop));
+  EXPECT_FALSE(sym.isLoopInvariant(rhs, *loop));
+}
+
+TEST(Symbolic, ArrayWrittenInLoopNotInvariant) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N, C)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        A(I) = A(2)*C\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto sym = buildSym(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  const fortran::Expr& rhs = *loop->bodyStmts[0]->rhs;
+  EXPECT_FALSE(sym.isLoopInvariant(*rhs.lhs, *loop));  // A(2): A is written
+}
+
+TEST(Symbolic, AuxInductionRecognized) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N, K)\n"
+      "      REAL A(2*N)\n"
+      "      K = 0\n"
+      "      DO I = 1, N\n"
+      "        K = K + 2\n"
+      "        A(K) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto sym = buildSym(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  auto aux = sym.auxInductionsOf(*loop);
+  ASSERT_EQ(aux.size(), 1u);
+  EXPECT_EQ(aux[0].name, "K");
+  EXPECT_EQ(aux[0].stride, 2);
+}
+
+TEST(Symbolic, ConditionalIncrementNotAuxIV) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N, K)\n"
+      "      REAL A(2*N)\n"
+      "      DO I = 1, N\n"
+      "        IF (A(I) .GT. 0.0) THEN\n"
+      "          K = K + 1\n"
+      "        ENDIF\n"
+      "        A(I) = FLOAT(K)\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto sym = buildSym(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  EXPECT_TRUE(sym.auxInductionsOf(*loop).empty());
+}
+
+TEST(Symbolic, RelationFromUniqueReachingDef) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, JMAX, N)\n"
+      "      REAL A(N)\n"
+      "      JM = JMAX - 1\n"
+      "      DO I = 1, N\n"
+      "        A(I) = A(JM)\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto sym = buildSym(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  auto rels = sym.relationsAt(*loop);
+  bool found = false;
+  for (const auto& r : rels) {
+    if (r.name == "JM") {
+      found = true;
+      EXPECT_EQ(r.value.coefOf("JMAX"), 1);
+      EXPECT_EQ(r.value.constant, -1);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Symbolic, SubstitutionRewritesAuxIV) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N, K)\n"
+      "      REAL A(2*N)\n"
+      "      K = 0\n"
+      "      DO I = 1, N\n"
+      "        K = K + 2\n"
+      "        A(K) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto sym = buildSym(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  const Stmt* store = loop->bodyStmts[1];
+  auto sub = sym.substitutionFor(*loop, *store);
+  ASSERT_TRUE(sub.count("K"));
+  // K at the store = 2*I + K@pre + ... with coefficient on I equal to the
+  // stride.
+  EXPECT_EQ(sub["K"].coefOf("I"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Privatization (scalar kills)
+// ---------------------------------------------------------------------------
+
+PrivatizationAnalysis buildPriv(const Analyzed& a) {
+  return PrivatizationAnalysis::build(*a.model, a.graph, a.liveness);
+}
+
+TEST(Privatize, KilledTempIsPrivate) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        T = A(I)*2.0\n"
+      "        A(I) = T + 1.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto pa = buildPriv(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  EXPECT_EQ(pa.statusOf(*loop, "T"), PrivatizationStatus::Private);
+}
+
+TEST(Privatize, UpwardExposedIsShared) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      ACC = 0.0\n"
+      "      DO I = 1, N\n"
+      "        ACC = ACC + A(I)\n"
+      "      ENDDO\n"
+      "      A(1) = ACC\n"
+      "      END\n");
+  auto pa = buildPriv(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  EXPECT_EQ(pa.statusOf(*loop, "ACC"), PrivatizationStatus::Shared);
+}
+
+TEST(Privatize, ConditionallyKilledIsShared) {
+  // T is written only on one branch, read unconditionally afterwards: the
+  // read is upward exposed along the non-writing path.
+  auto a = analyze(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        IF (A(I) .GT. 0.0) THEN\n"
+      "          T = A(I)\n"
+      "        ENDIF\n"
+      "        A(I) = T\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto pa = buildPriv(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  EXPECT_EQ(pa.statusOf(*loop, "T"), PrivatizationStatus::Shared);
+}
+
+TEST(Privatize, LastValueNeededWhenLiveAfter) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N, OUT)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        T = A(I)\n"
+      "        A(I) = T*2.0\n"
+      "      ENDDO\n"
+      "      OUT = T\n"
+      "      END\n");
+  auto pa = buildPriv(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  EXPECT_EQ(pa.statusOf(*loop, "T"),
+            PrivatizationStatus::PrivateNeedsLastValue);
+}
+
+TEST(Privatize, ReadOnlyIsShared) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N, C)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        A(I) = C\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto pa = buildPriv(a);
+  auto* loop = a.model->topLevelLoops()[0];
+  EXPECT_EQ(pa.statusOf(*loop, "C"), PrivatizationStatus::Shared);
+  auto cls = pa.classesFor(*loop);
+  for (const auto& vc : cls) {
+    if (vc.name == "C") {
+      EXPECT_FALSE(vc.writtenInLoop);
+      EXPECT_TRUE(vc.readInLoop);
+    }
+  }
+}
+
+TEST(Privatize, InnerLoopScalar) {
+  // T killed in the inner loop every outer iteration: private w.r.t. the
+  // outer loop too.
+  auto a = analyze(
+      "      SUBROUTINE S(A, N, M)\n"
+      "      REAL A(N, M)\n"
+      "      DO J = 1, M\n"
+      "        DO I = 1, N\n"
+      "          T = A(I, J)\n"
+      "          A(I, J) = T*T\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto pa = buildPriv(a);
+  auto* outer = a.model->topLevelLoops()[0];
+  EXPECT_EQ(pa.statusOf(*outer, "T"), PrivatizationStatus::Private);
+}
+
+TEST(Privatize, InductionVarOfInnerLoopIsNotShared) {
+  auto a = analyze(
+      "      SUBROUTINE S(A, N, M)\n"
+      "      REAL A(N, M)\n"
+      "      DO J = 1, M\n"
+      "        DO I = 1, N\n"
+      "          A(I, J) = 0.0\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto pa = buildPriv(a);
+  auto* outer = a.model->topLevelLoops()[0];
+  // I is killed by the inner DO header each outer iteration.
+  EXPECT_NE(pa.statusOf(*outer, "I"), PrivatizationStatus::Shared);
+}
+
+}  // namespace
+}  // namespace ps::dataflow

@@ -1,0 +1,190 @@
+#include "fortran/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace ps::fortran {
+namespace {
+
+std::vector<Token> lex(std::string_view src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  auto toks = lexer.run();
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  return toks;
+}
+
+std::vector<Tok> kinds(const std::vector<Token>& toks) {
+  std::vector<Tok> out;
+  for (const auto& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, SimpleAssignment) {
+  auto toks = lex("      X = Y + 1\n");
+  ASSERT_GE(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, Tok::Identifier);
+  EXPECT_EQ(toks[0].text, "X");
+  EXPECT_EQ(toks[1].kind, Tok::Assign);
+  EXPECT_EQ(toks[2].text, "Y");
+  EXPECT_EQ(toks[3].kind, Tok::Plus);
+  EXPECT_EQ(toks[4].kind, Tok::IntLiteral);
+  EXPECT_EQ(toks[4].intValue, 1);
+  EXPECT_EQ(toks[5].kind, Tok::Newline);
+}
+
+TEST(Lexer, LowercaseIsCanonicalizedUpper) {
+  auto toks = lex("      foo = bar\n");
+  EXPECT_EQ(toks[0].text, "FOO");
+  EXPECT_EQ(toks[2].text, "BAR");
+}
+
+TEST(Lexer, LeadingLabel) {
+  auto toks = lex("  100 CONTINUE\n");
+  EXPECT_EQ(toks[0].kind, Tok::Label);
+  EXPECT_EQ(toks[0].intValue, 100);
+  EXPECT_EQ(toks[1].text, "CONTINUE");
+}
+
+TEST(Lexer, CommentLinesSkipped) {
+  auto toks = lex("C this is a comment\n* so is this\n! and this\n      X = 1\n");
+  EXPECT_EQ(toks[0].text, "X");
+  EXPECT_EQ(toks[0].loc.line, 4);
+}
+
+TEST(Lexer, TrailingCommentStripped) {
+  auto toks = lex("      X = 1 ! trailing\n");
+  // X = 1 NL EOF
+  EXPECT_EQ(kinds(toks),
+            (std::vector<Tok>{Tok::Identifier, Tok::Assign, Tok::IntLiteral,
+                              Tok::Newline, Tok::EndOfFile}));
+}
+
+TEST(Lexer, DotOperators) {
+  auto toks = lex("      IF (A .GE. B .AND. C .NE. D) GOTO 10\n");
+  bool sawGe = false, sawAnd = false, sawNe = false;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::Ge) sawGe = true;
+    if (t.kind == Tok::And) sawAnd = true;
+    if (t.kind == Tok::Ne) sawNe = true;
+  }
+  EXPECT_TRUE(sawGe);
+  EXPECT_TRUE(sawAnd);
+  EXPECT_TRUE(sawNe);
+}
+
+TEST(Lexer, SymbolicRelationalOperators) {
+  auto toks = lex("      IF (A >= B) X = 1\n");
+  bool sawGe = false;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::Ge) sawGe = true;
+  }
+  EXPECT_TRUE(sawGe);
+}
+
+TEST(Lexer, RealLiterals) {
+  auto toks = lex("      X = 1.5 + 2.E3 + 1.D0 + .25\n");
+  std::vector<double> reals;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::RealLiteral) reals.push_back(t.realValue);
+  }
+  ASSERT_EQ(reals.size(), 4u);
+  EXPECT_DOUBLE_EQ(reals[0], 1.5);
+  EXPECT_DOUBLE_EQ(reals[1], 2000.0);
+  EXPECT_DOUBLE_EQ(reals[2], 1.0);
+  EXPECT_DOUBLE_EQ(reals[3], 0.25);
+}
+
+TEST(Lexer, RealLiteralDotBeforeOperatorWord) {
+  // "1.EQ." must lex as IntLiteral(1) Eq, not RealLiteral("1.E"...).
+  auto toks = lex("      IF (I.EQ.J) X = 1.E2\n");
+  bool sawEq = false;
+  bool sawReal = false;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::Eq) sawEq = true;
+    if (t.kind == Tok::RealLiteral) {
+      sawReal = true;
+      EXPECT_DOUBLE_EQ(t.realValue, 100.0);
+    }
+  }
+  EXPECT_TRUE(sawEq);
+  EXPECT_TRUE(sawReal);
+}
+
+TEST(Lexer, PowerOperator) {
+  auto toks = lex("      X = Y**2\n");
+  EXPECT_EQ(toks[3].kind, Tok::Power);
+}
+
+TEST(Lexer, FixedFormContinuation) {
+  auto toks = lex("      X = A +\n     $    B\n");
+  // Should be one statement: X = A + B NL EOF
+  EXPECT_EQ(kinds(toks),
+            (std::vector<Tok>{Tok::Identifier, Tok::Assign, Tok::Identifier,
+                              Tok::Plus, Tok::Identifier, Tok::Newline,
+                              Tok::EndOfFile}));
+}
+
+TEST(Lexer, FreeFormAmpersandContinuation) {
+  auto toks = lex("      X = A + &\n      B\n");
+  EXPECT_EQ(kinds(toks),
+            (std::vector<Tok>{Tok::Identifier, Tok::Assign, Tok::Identifier,
+                              Tok::Plus, Tok::Identifier, Tok::Newline,
+                              Tok::EndOfFile}));
+}
+
+TEST(Lexer, Directives) {
+  DiagnosticEngine diags;
+  Lexer lexer("C normal comment\nCPED$ ASSERT PERMUTATION (IT)\n      X = 1\n",
+              diags);
+  auto toks = lexer.run();
+  (void)toks;
+  ASSERT_EQ(lexer.directives().size(), 1u);
+  EXPECT_EQ(lexer.directives()[0].line, 2);
+  EXPECT_EQ(lexer.directives()[0].text, "ASSERT PERMUTATION (IT)");
+}
+
+TEST(Lexer, BangDirective) {
+  DiagnosticEngine diags;
+  Lexer lexer("!PED$ assert relation (MCN .GT. N)\n", diags);
+  (void)lexer.run();
+  ASSERT_EQ(lexer.directives().size(), 1u);
+  EXPECT_EQ(lexer.directives()[0].text, "ASSERT RELATION (MCN .GT. N)");
+}
+
+TEST(Lexer, StringLiterals) {
+  auto toks = lex("      WRITE(6, *) 'it''s fine'\n");
+  bool found = false;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::StringLiteral) {
+      found = true;
+      EXPECT_EQ(t.text, "it's fine");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lexer, LocTracksLinesAndColumns) {
+  auto toks = lex("      X = 1\n      Y = 2\n");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[4].loc.line, 2);  // Y
+  EXPECT_EQ(toks[0].loc.column, 7);
+}
+
+TEST(Lexer, ErrorOnBadCharacter) {
+  DiagnosticEngine diags;
+  Lexer lexer("      X = #\n", diags);
+  (void)lexer.run();
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedString) {
+  DiagnosticEngine diags;
+  Lexer lexer("      WRITE(6, *) 'oops\n", diags);
+  (void)lexer.run();
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+}  // namespace
+}  // namespace ps::fortran

@@ -1,0 +1,437 @@
+#include "fortran/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "fortran/pretty.h"
+#include "support/diagnostics.h"
+
+namespace ps::fortran {
+namespace {
+
+std::unique_ptr<Program> parse(std::string_view src) {
+  DiagnosticEngine diags;
+  auto prog = parseSource(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  return prog;
+}
+
+TEST(Parser, EmptySubroutine) {
+  auto prog = parse("      SUBROUTINE FOO\n      END\n");
+  ASSERT_EQ(prog->units.size(), 1u);
+  EXPECT_EQ(prog->units[0]->name, "FOO");
+  EXPECT_EQ(prog->units[0]->kind, ProcKind::Subroutine);
+  EXPECT_TRUE(prog->units[0]->body.empty());
+}
+
+TEST(Parser, SubroutineWithParams) {
+  auto prog = parse("      SUBROUTINE AXPY(N, A, X, Y)\n      END\n");
+  ASSERT_EQ(prog->units.size(), 1u);
+  EXPECT_EQ(prog->units[0]->params,
+            (std::vector<std::string>{"N", "A", "X", "Y"}));
+}
+
+TEST(Parser, ProgramUnit) {
+  auto prog = parse("      PROGRAM MAIN\n      X = 1\n      END\n");
+  ASSERT_EQ(prog->units.size(), 1u);
+  EXPECT_EQ(prog->units[0]->kind, ProcKind::Program);
+  ASSERT_EQ(prog->units[0]->body.size(), 1u);
+  EXPECT_EQ(prog->units[0]->body[0]->kind, StmtKind::Assign);
+}
+
+TEST(Parser, TypedFunction) {
+  auto prog = parse(
+      "      REAL FUNCTION NORM(X, N)\n"
+      "      REAL X(N)\n"
+      "      NORM = X(1)\n"
+      "      END\n");
+  ASSERT_EQ(prog->units.size(), 1u);
+  EXPECT_EQ(prog->units[0]->kind, ProcKind::Function);
+  EXPECT_EQ(prog->units[0]->returnType, TypeKind::Real);
+}
+
+TEST(Parser, Declarations) {
+  auto prog = parse(
+      "      SUBROUTINE S\n"
+      "      INTEGER N, M\n"
+      "      REAL A(10, 20), B(100)\n"
+      "      DOUBLE PRECISION D\n"
+      "      LOGICAL FLAG\n"
+      "      PARAMETER (N = 10)\n"
+      "      COMMON /BLK/ A, B\n"
+      "      END\n");
+  const Procedure& p = *prog->units[0];
+  const VarDecl* a = p.findDecl("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->type, TypeKind::Real);
+  ASSERT_EQ(a->dims.size(), 2u);
+  EXPECT_EQ(a->commonBlock, "BLK");
+  const VarDecl* n = p.findDecl("N");
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(n->isParameter);
+  ASSERT_NE(n->parameterValue, nullptr);
+  EXPECT_TRUE(n->parameterValue->isIntConst(10));
+  const VarDecl* d = p.findDecl("D");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->type, TypeKind::DoublePrecision);
+  const VarDecl* flag = p.findDecl("FLAG");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_EQ(flag->type, TypeKind::Logical);
+}
+
+TEST(Parser, RealStar8IsDouble) {
+  auto prog = parse("      SUBROUTINE S\n      REAL*8 X\n      END\n");
+  EXPECT_EQ(prog->units[0]->findDecl("X")->type, TypeKind::DoublePrecision);
+}
+
+TEST(Parser, ImplicitTyping) {
+  auto prog = parse(
+      "      SUBROUTINE S\n"
+      "      X = 1\n"
+      "      I = 2\n"
+      "      END\n");
+  const Procedure& p = *prog->units[0];
+  EXPECT_EQ(p.findDecl("X")->type, TypeKind::Real);
+  EXPECT_EQ(p.findDecl("I")->type, TypeKind::Integer);
+}
+
+TEST(Parser, EnddoLoop) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        A(I) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  const Procedure& p = *prog->units[0];
+  ASSERT_EQ(p.body.size(), 1u);
+  const Stmt& s = *p.body[0];
+  EXPECT_EQ(s.kind, StmtKind::Do);
+  EXPECT_EQ(s.doVar, "I");
+  EXPECT_EQ(s.doEndLabel, 0);
+  ASSERT_EQ(s.body.size(), 1u);
+  EXPECT_EQ(s.body[0]->kind, StmtKind::Assign);
+}
+
+TEST(Parser, LabeledDoWithContinue) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO 10 I = 1, N\n"
+      "        A(I) = 0.0\n"
+      "   10 CONTINUE\n"
+      "      END\n");
+  const Stmt& s = *prog->units[0]->body[0];
+  EXPECT_EQ(s.kind, StmtKind::Do);
+  EXPECT_EQ(s.doEndLabel, 10);
+  ASSERT_EQ(s.body.size(), 2u);
+  EXPECT_EQ(s.body[1]->kind, StmtKind::Continue);
+  EXPECT_EQ(s.body[1]->label, 10);
+}
+
+TEST(Parser, SharedDoTermination) {
+  // Two nested DOs ending on the same labeled CONTINUE (as in the paper's
+  // arc3d filter3d fragment: DO 16 J / DO 16 K / 16 CONTINUE).
+  auto prog = parse(
+      "      SUBROUTINE S(A, N, M)\n"
+      "      REAL A(N, M)\n"
+      "      DO 16 J = 1, M\n"
+      "      DO 16 K = 1, N\n"
+      "      A(K, J) = 0.0\n"
+      "   16 CONTINUE\n"
+      "      X = 1\n"
+      "      END\n");
+  const Procedure& p = *prog->units[0];
+  ASSERT_EQ(p.body.size(), 2u);  // the outer DO and the X assignment
+  const Stmt& outer = *p.body[0];
+  EXPECT_EQ(outer.kind, StmtKind::Do);
+  EXPECT_EQ(outer.doVar, "J");
+  ASSERT_EQ(outer.body.size(), 1u);
+  const Stmt& inner = *outer.body[0];
+  EXPECT_EQ(inner.kind, StmtKind::Do);
+  EXPECT_EQ(inner.doVar, "K");
+  ASSERT_EQ(inner.body.size(), 2u);  // assignment + CONTINUE
+  EXPECT_EQ(p.body[1]->kind, StmtKind::Assign);
+}
+
+TEST(Parser, DoWithStep) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = N, 1, -2\n"
+      "        A(I) = 1.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  const Stmt& s = *prog->units[0]->body[0];
+  ASSERT_NE(s.doStep, nullptr);
+  EXPECT_EQ(s.doStep->kind, ExprKind::Unary);
+}
+
+TEST(Parser, BlockIfElse) {
+  auto prog = parse(
+      "      SUBROUTINE S(X)\n"
+      "      IF (X .GT. 0.0) THEN\n"
+      "        X = 1.0\n"
+      "      ELSE IF (X .LT. 0.0) THEN\n"
+      "        X = -1.0\n"
+      "      ELSE\n"
+      "        X = 0.0\n"
+      "      ENDIF\n"
+      "      END\n");
+  const Stmt& s = *prog->units[0]->body[0];
+  EXPECT_EQ(s.kind, StmtKind::If);
+  ASSERT_EQ(s.arms.size(), 3u);
+  EXPECT_NE(s.arms[0].condition, nullptr);
+  EXPECT_NE(s.arms[1].condition, nullptr);
+  EXPECT_EQ(s.arms[2].condition, nullptr);
+  EXPECT_FALSE(s.isLogicalIf);
+}
+
+TEST(Parser, LogicalIf) {
+  auto prog = parse(
+      "      SUBROUTINE S(X)\n"
+      "      IF (X .GT. 0.0) X = 0.0\n"
+      "      END\n");
+  const Stmt& s = *prog->units[0]->body[0];
+  EXPECT_EQ(s.kind, StmtKind::If);
+  EXPECT_TRUE(s.isLogicalIf);
+  ASSERT_EQ(s.arms.size(), 1u);
+  ASSERT_EQ(s.arms[0].body.size(), 1u);
+  EXPECT_EQ(s.arms[0].body[0]->kind, StmtKind::Assign);
+}
+
+TEST(Parser, ArithmeticIf) {
+  auto prog = parse(
+      "      SUBROUTINE S(K)\n"
+      "      IF (K - 5) 100, 10, 10\n"
+      "   10 CONTINUE\n"
+      "  100 CONTINUE\n"
+      "      END\n");
+  const Stmt& s = *prog->units[0]->body[0];
+  EXPECT_EQ(s.kind, StmtKind::ArithmeticIf);
+  EXPECT_EQ(s.aifLabels[0], 100);
+  EXPECT_EQ(s.aifLabels[1], 10);
+  EXPECT_EQ(s.aifLabels[2], 10);
+}
+
+TEST(Parser, GotoForms) {
+  auto prog = parse(
+      "      SUBROUTINE S\n"
+      "      GOTO 10\n"
+      "   10 GO TO 20\n"
+      "   20 CONTINUE\n"
+      "      END\n");
+  const Procedure& p = *prog->units[0];
+  EXPECT_EQ(p.body[0]->kind, StmtKind::Goto);
+  EXPECT_EQ(p.body[0]->gotoTarget, 10);
+  EXPECT_EQ(p.body[1]->kind, StmtKind::Goto);
+  EXPECT_EQ(p.body[1]->gotoTarget, 20);
+}
+
+TEST(Parser, CallStatement) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      CALL SWEEP(A, N, 1)\n"
+      "      CALL NOARG\n"
+      "      END\n");
+  const Procedure& p = *prog->units[0];
+  EXPECT_EQ(p.body[0]->kind, StmtKind::Call);
+  EXPECT_EQ(p.body[0]->callee, "SWEEP");
+  EXPECT_EQ(p.body[0]->args.size(), 3u);
+  EXPECT_EQ(p.body[1]->callee, "NOARG");
+}
+
+TEST(Parser, ArrayRefVsFuncCall) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      A(1) = SQRT(A(2))\n"
+      "      END\n");
+  const Stmt& s = *prog->units[0]->body[0];
+  EXPECT_EQ(s.lhs->kind, ExprKind::ArrayRef);
+  EXPECT_EQ(s.rhs->kind, ExprKind::FuncCall);
+  EXPECT_EQ(s.rhs->name, "SQRT");
+  EXPECT_EQ(s.rhs->args[0]->kind, ExprKind::ArrayRef);
+}
+
+TEST(Parser, MultiDimensionalRef) {
+  auto prog = parse(
+      "      SUBROUTINE S(Q, N)\n"
+      "      REAL Q(N, N, 5, 5)\n"
+      "      Q(1, 2, 3, 4) = 0.0\n"
+      "      END\n");
+  const Stmt& s = *prog->units[0]->body[0];
+  EXPECT_EQ(s.lhs->args.size(), 4u);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto prog = parse(
+      "      SUBROUTINE S\n"
+      "      X = A + B*C**2 - D/E\n"
+      "      END\n");
+  const Expr& e = *prog->units[0]->body[0]->rhs;
+  // ((A + (B * (C ** 2))) - (D / E))
+  ASSERT_EQ(e.kind, ExprKind::Binary);
+  EXPECT_EQ(e.binOp, BinOp::Sub);
+  EXPECT_EQ(e.lhs->binOp, BinOp::Add);
+  EXPECT_EQ(e.lhs->rhs->binOp, BinOp::Mul);
+  EXPECT_EQ(e.lhs->rhs->rhs->binOp, BinOp::Pow);
+  EXPECT_EQ(e.rhs->binOp, BinOp::Div);
+}
+
+TEST(Parser, LogicalPrecedence) {
+  auto prog = parse(
+      "      SUBROUTINE S\n"
+      "      L = A .LT. B .AND. C .GT. D .OR. .NOT. E\n"
+      "      END\n");
+  const Expr& e = *prog->units[0]->body[0]->rhs;
+  EXPECT_EQ(e.binOp, BinOp::Or);
+  EXPECT_EQ(e.lhs->binOp, BinOp::And);
+  EXPECT_EQ(e.rhs->kind, ExprKind::Unary);
+}
+
+TEST(Parser, PowerRightAssociative) {
+  auto prog = parse("      SUBROUTINE S\n      X = A**B**C\n      END\n");
+  const Expr& e = *prog->units[0]->body[0]->rhs;
+  EXPECT_EQ(e.binOp, BinOp::Pow);
+  EXPECT_EQ(e.lhs->kind, ExprKind::VarRef);
+  EXPECT_EQ(e.rhs->binOp, BinOp::Pow);
+}
+
+TEST(Parser, ReadWrite) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      READ(5, *) N, A(1)\n"
+      "      WRITE(6, *) A(1)\n"
+      "      PRINT *, N\n"
+      "      END\n");
+  const Procedure& p = *prog->units[0];
+  EXPECT_EQ(p.body[0]->kind, StmtKind::Read);
+  EXPECT_EQ(p.body[0]->args.size(), 2u);
+  EXPECT_EQ(p.body[1]->kind, StmtKind::Write);
+  EXPECT_EQ(p.body[2]->kind, StmtKind::Write);
+}
+
+TEST(Parser, MultipleUnits) {
+  auto prog = parse(
+      "      PROGRAM MAIN\n"
+      "      CALL S\n"
+      "      END\n"
+      "      SUBROUTINE S\n"
+      "      RETURN\n"
+      "      END\n");
+  ASSERT_EQ(prog->units.size(), 2u);
+  EXPECT_EQ(prog->units[0]->name, "MAIN");
+  EXPECT_EQ(prog->units[1]->name, "S");
+}
+
+TEST(Parser, StatementIdsAreUniqueAndStable) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        A(I) = 0.0\n"
+      "        A(I) = A(I) + 1.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  std::vector<StmtId> ids;
+  prog->units[0]->forEachStmt([&](const Stmt& s) { ids.push_back(s.id); });
+  ASSERT_EQ(ids.size(), 3u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_NE(ids[i], kInvalidStmt);
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_NE(ids[i], ids[j]);
+    }
+  }
+}
+
+TEST(Parser, AssertionDirectivePlacement) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "CPED$ ASSERT PERMUTATION (IT)\n"
+      "        A(I) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  const Stmt& loop = *prog->units[0]->body[0];
+  ASSERT_EQ(loop.body.size(), 2u);
+  EXPECT_EQ(loop.body[0]->kind, StmtKind::Assertion);
+  EXPECT_EQ(loop.body[0]->assertionText, "ASSERT PERMUTATION (IT)");
+}
+
+TEST(Parser, PaperNeossFragment) {
+  // The arithmetic-IF/GOTO control flow from the paper's neoss example.
+  auto prog = parse(
+      "      SUBROUTINE NEOSS(DENV, RES, N, NR)\n"
+      "      REAL DENV(N), RES(N)\n"
+      "      DO 50 K = 1, N\n"
+      "        DENV(K) = DENV(K) + 1.0\n"
+      "        IF (DENV(K) - RES(NR + 1)) 100, 10, 10\n"
+      "   10   CONTINUE\n"
+      "        DENV(K) = DENV(K)*2.0\n"
+      "        GOTO 101\n"
+      "  100   DENV(K) = 0.0\n"
+      "  101   RES(K) = DENV(K)\n"
+      "   50 CONTINUE\n"
+      "      END\n");
+  const Stmt& loop = *prog->units[0]->body[0];
+  EXPECT_EQ(loop.kind, StmtKind::Do);
+  EXPECT_EQ(loop.doEndLabel, 50);
+  ASSERT_GE(loop.body.size(), 6u);
+  EXPECT_EQ(loop.body[1]->kind, StmtKind::ArithmeticIf);
+}
+
+TEST(Parser, ErrorRecoveryKeepsLaterStatements) {
+  DiagnosticEngine diags;
+  auto prog = parseSource(
+      "      SUBROUTINE S\n"
+      "      X = )bad(\n"
+      "      Y = 1\n"
+      "      END\n",
+      diags);
+  EXPECT_TRUE(diags.hasErrors());
+  // Y = 1 must still be parsed despite the bad line.
+  bool foundY = false;
+  prog->units[0]->forEachStmt([&](const Stmt& s) {
+    if (s.kind == StmtKind::Assign && s.lhs->name == "Y") foundY = true;
+  });
+  EXPECT_TRUE(foundY);
+}
+
+TEST(Parser, KeywordNamedVariableAssignment) {
+  // Keywords are not reserved: IF = 3 is an assignment.
+  auto prog = parse("      SUBROUTINE S\n      IF = 3\n      END\n");
+  const Stmt& s = *prog->units[0]->body[0];
+  EXPECT_EQ(s.kind, StmtKind::Assign);
+  EXPECT_EQ(s.lhs->name, "IF");
+}
+
+TEST(Parser, ParallelDoMarker) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      PARALLEL DO I = 1, N\n"
+      "        A(I) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  EXPECT_TRUE(prog->units[0]->body[0]->isParallel);
+}
+
+TEST(Parser, CloneGivesFreshIdsAfterAssign) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      A(1) = 2.0\n"
+      "      END\n");
+  auto clone = prog->units[0]->body[0]->clone();
+  EXPECT_EQ(clone->id, kInvalidStmt);
+  prog->units[0]->body.push_back(std::move(clone));
+  prog->assignIds();
+  EXPECT_NE(prog->units[0]->body[1]->id, kInvalidStmt);
+  EXPECT_NE(prog->units[0]->body[1]->id, prog->units[0]->body[0]->id);
+}
+
+}  // namespace
+}  // namespace ps::fortran

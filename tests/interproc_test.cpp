@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include "dependence/graph.h"
+#include "fortran/parser.h"
+#include "fortran/pretty.h"
+#include "interproc/callgraph.h"
+#include "interproc/summaries.h"
+#include "support/diagnostics.h"
+
+namespace ps::interproc {
+namespace {
+
+using fortran::Program;
+
+std::unique_ptr<Program> parse(std::string_view src) {
+  ps::DiagnosticEngine diags;
+  auto prog = fortran::parseSource(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  return prog;
+}
+
+// ---------------------------------------------------------------------------
+// Call graph
+// ---------------------------------------------------------------------------
+
+const char* kThreeLevel =
+    "      PROGRAM MAIN\n"
+    "      REAL A(100)\n"
+    "      CALL MID(A, 100)\n"
+    "      END\n"
+    "      SUBROUTINE MID(A, N)\n"
+    "      REAL A(N)\n"
+    "      CALL LEAF(A, N)\n"
+    "      X = HELPER(N)\n"
+    "      END\n"
+    "      SUBROUTINE LEAF(A, N)\n"
+    "      REAL A(N)\n"
+    "      DO I = 1, N\n"
+    "        A(I) = 0.0\n"
+    "      ENDDO\n"
+    "      END\n"
+    "      REAL FUNCTION HELPER(N)\n"
+    "      HELPER = FLOAT(N)\n"
+    "      END\n";
+
+TEST(CallGraph, EdgesAndOrder) {
+  auto prog = parse(kThreeLevel);
+  CallGraph cg = CallGraph::build(*prog);
+  EXPECT_EQ(cg.callsFrom("MAIN").size(), 1u);
+  EXPECT_EQ(cg.callsFrom("MID").size(), 2u);
+  EXPECT_EQ(cg.callsTo("LEAF").size(), 1u);
+  EXPECT_TRUE(cg.unresolved().empty());
+  // Bottom-up: LEAF and HELPER before MID before MAIN.
+  auto order = cg.bottomUpOrder();
+  auto pos = [&](const std::string& n) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == n) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  EXPECT_LT(pos("LEAF"), pos("MID"));
+  EXPECT_LT(pos("HELPER"), pos("MID"));
+  EXPECT_LT(pos("MID"), pos("MAIN"));
+  EXPECT_TRUE(cg.recursive().empty());
+}
+
+TEST(CallGraph, RecursionDetected) {
+  auto prog = parse(
+      "      SUBROUTINE REC(N)\n"
+      "      IF (N .GT. 0) THEN\n"
+      "        CALL REC(N - 1)\n"
+      "      ENDIF\n"
+      "      END\n");
+  CallGraph cg = CallGraph::build(*prog);
+  ASSERT_EQ(cg.recursive().size(), 1u);
+  EXPECT_EQ(cg.recursive()[0], "REC");
+}
+
+TEST(CallGraph, UnresolvedLibraryCalls) {
+  auto prog = parse(
+      "      SUBROUTINE S(X)\n"
+      "      CALL LIBFN(X)\n"
+      "      END\n");
+  CallGraph cg = CallGraph::build(*prog);
+  ASSERT_EQ(cg.unresolved().size(), 1u);
+  EXPECT_EQ(cg.unresolved()[0], "LIBFN");
+}
+
+// ---------------------------------------------------------------------------
+// MOD/REF/KILL
+// ---------------------------------------------------------------------------
+
+TEST(Summaries, ModRefBasics) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, B, N, OUT)\n"
+      "      REAL A(N), B(N)\n"
+      "      DO I = 1, N\n"
+      "        A(I) = B(I)\n"
+      "      ENDDO\n"
+      "      OUT = B(1)\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  const ProcSummary* s = sb.summaryOf("S");
+  ASSERT_NE(s, nullptr);
+  const VarEffect* a = s->effectOn("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->mayWrite);
+  EXPECT_FALSE(a->mayRead);
+  const VarEffect* bEff = s->effectOn("B");
+  ASSERT_NE(bEff, nullptr);
+  EXPECT_TRUE(bEff->mayRead);
+  EXPECT_FALSE(bEff->mayWrite);
+  const VarEffect* out = s->effectOn("OUT");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->mayWrite);
+  EXPECT_TRUE(out->kills);  // unconditional assignment
+}
+
+TEST(Summaries, KillIsFlowSensitive) {
+  auto prog = parse(
+      "      SUBROUTINE S(X, C)\n"
+      "      IF (C .GT. 0.0) THEN\n"
+      "        X = 1.0\n"
+      "      ENDIF\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  const VarEffect* x = sb.summaryOf("S")->effectOn("X");
+  ASSERT_NE(x, nullptr);
+  EXPECT_TRUE(x->mayWrite);
+  EXPECT_FALSE(x->kills);  // only written on one path
+}
+
+TEST(Summaries, KillBothBranches) {
+  auto prog = parse(
+      "      SUBROUTINE S(X, C)\n"
+      "      IF (C .GT. 0.0) THEN\n"
+      "        X = 1.0\n"
+      "      ELSE\n"
+      "        X = 2.0\n"
+      "      ENDIF\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  EXPECT_TRUE(sb.summaryOf("S")->effectOn("X")->kills);
+}
+
+TEST(Summaries, InterproceduralScalarKill) {
+  // The nxsns pattern: a scalar killed inside a procedure called in a loop.
+  auto prog = parse(
+      "      SUBROUTINE OUTER(A, N, T)\n"
+      "      REAL A(N)\n"
+      "      CALL SETT(T, A(1))\n"
+      "      END\n"
+      "      SUBROUTINE SETT(T, V)\n"
+      "      T = V*2.0\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  const VarEffect* t = sb.summaryOf("OUTER")->effectOn("T");
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->mayWrite);
+  EXPECT_TRUE(t->kills);  // the call is unconditional and SETT kills T
+}
+
+TEST(Summaries, CommonEffectsPropagate) {
+  auto prog = parse(
+      "      SUBROUTINE TOP\n"
+      "      COMMON /BLK/ Q\n"
+      "      CALL BOT\n"
+      "      END\n"
+      "      SUBROUTINE BOT\n"
+      "      COMMON /BLK/ Q\n"
+      "      Q = 1.0\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  const VarEffect* q = sb.summaryOf("TOP")->effectOn("Q");
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->mayWrite);
+}
+
+// ---------------------------------------------------------------------------
+// Regular sections
+// ---------------------------------------------------------------------------
+
+TEST(Sections, WholeArrayLoop) {
+  auto prog = parse(
+      "      SUBROUTINE FILL(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        A(I) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  const VarEffect* a = sb.summaryOf("FILL")->effectOn("A");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->writeSection.has_value());
+  ASSERT_EQ(a->writeSection->dims.size(), 1u);
+  ASSERT_TRUE(a->writeSection->dims[0].has_value());
+  EXPECT_EQ(a->writeSection->dims[0]->str(), "1:N");
+  EXPECT_TRUE(a->kills);  // covers the declared extent A(N)
+}
+
+TEST(Sections, SingleColumn) {
+  auto prog = parse(
+      "      SUBROUTINE COL(A, N, M, J)\n"
+      "      REAL A(N, M)\n"
+      "      DO I = 1, N\n"
+      "        A(I, J) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  const VarEffect* a = sb.summaryOf("COL")->effectOn("A");
+  ASSERT_TRUE(a->writeSection.has_value());
+  ASSERT_EQ(a->writeSection->dims.size(), 2u);
+  EXPECT_EQ(a->writeSection->dims[0]->str(), "1:N");
+  EXPECT_EQ(a->writeSection->dims[1]->str(), "J");
+  EXPECT_FALSE(a->kills);  // only one column
+}
+
+TEST(Sections, TranslatedThroughCallChain) {
+  // MID calls LEAF(A, N): LEAF writes A(1:N); MID's summary must show the
+  // same section after translation.
+  auto prog = parse(kThreeLevel);
+  SummaryBuilder sb(*prog);
+  const VarEffect* a = sb.summaryOf("MID")->effectOn("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->mayWrite);
+  ASSERT_TRUE(a->writeSection.has_value());
+  ASSERT_TRUE(a->writeSection->dims[0].has_value());
+  EXPECT_EQ(a->writeSection->dims[0]->str(), "1:N");
+}
+
+TEST(Sections, WidenedOverCallersLoop) {
+  // Caller invokes COL(A, N, M, J) inside DO J: the summary of CALLER must
+  // widen the second dimension over J's range.
+  auto prog = parse(
+      "      SUBROUTINE CALLER(A, N, M)\n"
+      "      REAL A(N, M)\n"
+      "      DO J = 1, M\n"
+      "        CALL COL(A, N, M, J)\n"
+      "      ENDDO\n"
+      "      END\n"
+      "      SUBROUTINE COL(A, N, M, J)\n"
+      "      REAL A(N, M)\n"
+      "      DO I = 1, N\n"
+      "        A(I, J) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  const VarEffect* a = sb.summaryOf("CALLER")->effectOn("A");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->writeSection.has_value());
+  ASSERT_TRUE(a->writeSection->dims[1].has_value());
+  EXPECT_EQ(a->writeSection->dims[1]->str(), "1:M");
+  EXPECT_TRUE(a->kills);  // full A(N, M) covered
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural constants and relations
+// ---------------------------------------------------------------------------
+
+TEST(Globals, FormalConstantFromCallSites) {
+  auto prog = parse(
+      "      PROGRAM MAIN\n"
+      "      REAL A(100)\n"
+      "      CALL WORK(A, 64)\n"
+      "      CALL WORK(A, 64)\n"
+      "      END\n"
+      "      SUBROUTINE WORK(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        A(I) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  auto consts = sb.inheritedConstantsFor("WORK");
+  ASSERT_TRUE(consts.count("N"));
+  EXPECT_EQ(consts["N"], 64);
+}
+
+TEST(Globals, DifferentCallSiteValuesGiveNoConstant) {
+  auto prog = parse(
+      "      PROGRAM MAIN\n"
+      "      REAL A(100)\n"
+      "      CALL WORK(A, 64)\n"
+      "      CALL WORK(A, 32)\n"
+      "      END\n"
+      "      SUBROUTINE WORK(A, N)\n"
+      "      REAL A(N)\n"
+      "      A(1) = 0.0\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  EXPECT_FALSE(sb.inheritedConstantsFor("WORK").count("N"));
+}
+
+TEST(Globals, CommonConstantFromInit) {
+  auto prog = parse(
+      "      PROGRAM MAIN\n"
+      "      COMMON /DIMS/ JMAX\n"
+      "      JMAX = 50\n"
+      "      CALL WORK\n"
+      "      END\n"
+      "      SUBROUTINE WORK\n"
+      "      COMMON /DIMS/ JMAX\n"
+      "      X = FLOAT(JMAX)\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  auto consts = sb.inheritedConstantsFor("WORK");
+  ASSERT_TRUE(consts.count("JMAX"));
+  EXPECT_EQ(consts["JMAX"], 50);
+}
+
+TEST(Globals, Arc3dRelationThroughCommon) {
+  // JM = JMAX - 1 established once in the init routine, used in FILT.
+  auto prog = parse(
+      "      PROGRAM MAIN\n"
+      "      COMMON /DIMS/ JM, JMAX\n"
+      "      READ *, JMAX\n"
+      "      JM = JMAX - 1\n"
+      "      CALL FILT\n"
+      "      END\n"
+      "      SUBROUTINE FILT\n"
+      "      COMMON /DIMS/ JM, JMAX\n"
+      "      REAL WR1(100, 100)\n"
+      "      DO K = 2, 99\n"
+      "        WR1(JMAX, K) = WR1(JM, K - 1)\n"
+      "      ENDDO\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  auto rels = sb.inheritedRelationsFor("FILT");
+  bool found = false;
+  for (const auto& r : rels) {
+    if (r.name == "JM") {
+      found = true;
+      EXPECT_EQ(r.value.coefOf("JMAX"), 1);
+      EXPECT_EQ(r.value.constant, -1);
+    }
+  }
+  ASSERT_TRUE(found);
+
+  // End-to-end: the relation disproves the carried dependence in FILT.
+  fortran::Procedure* filt = prog->findUnit("FILT");
+  ir::ProcedureModel model(*filt);
+  dep::AnalysisContext ctx;
+  ctx.inheritedRelations = rels;
+  auto g = dep::DependenceGraph::build(model, ctx);
+  EXPECT_TRUE(g.parallelizable(*model.topLevelLoops()[0]));
+
+  // And without the interprocedural relation, the dependence is assumed.
+  dep::AnalysisContext bare;
+  ir::ProcedureModel model2(*filt);
+  auto g2 = dep::DependenceGraph::build(model2, bare);
+  EXPECT_FALSE(g2.parallelizable(*model2.topLevelLoops()[0]));
+}
+
+// ---------------------------------------------------------------------------
+// Oracle end-to-end: the spec77 gloop pattern
+// ---------------------------------------------------------------------------
+
+TEST(Oracle, GloopParallelWithSections) {
+  // A loop over latitudes calling a routine that only touches its own
+  // column: interprocedural section analysis proves the loop parallel.
+  auto prog = parse(
+      "      SUBROUTINE GLOOP(FLN, N, LAT)\n"
+      "      REAL FLN(100, 12)\n"
+      "      DO 10 L = 1, LAT\n"
+      "        CALL FL22(FLN, N, L)\n"
+      "   10 CONTINUE\n"
+      "      END\n"
+      "      SUBROUTINE FL22(FLN, N, L)\n"
+      "      REAL FLN(100, 12)\n"
+      "      DO I = 1, N\n"
+      "        FLN(I, L) = FLN(I, L)*2.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  fortran::Procedure* gloop = prog->findUnit("GLOOP");
+  InterproceduralOracle oracle(sb, *gloop);
+  EXPECT_TRUE(oracle.knowsCallee("FL22"));
+
+  ir::ProcedureModel model(*gloop);
+  dep::AnalysisContext ctx;
+  ctx.oracle = &oracle;
+  auto g = dep::DependenceGraph::build(model, ctx);
+  auto* loop = model.topLevelLoops()[0];
+  EXPECT_TRUE(g.parallelizable(*loop))
+      << "inhibitors: " << g.parallelismInhibitors(*loop).size();
+
+  // Without the oracle the loop is (conservatively) not parallelizable.
+  ir::ProcedureModel model2(*gloop);
+  auto g2 = dep::DependenceGraph::build(model2, {});
+  EXPECT_FALSE(g2.parallelizable(*model2.topLevelLoops()[0]));
+}
+
+TEST(Oracle, ConflictingColumnsStayDependent) {
+  auto prog = parse(
+      "      SUBROUTINE GLOOP(FLN, N, LAT)\n"
+      "      REAL FLN(100, 12)\n"
+      "      DO 10 L = 1, LAT\n"
+      "        CALL FL22(FLN, N, L)\n"
+      "   10 CONTINUE\n"
+      "      END\n"
+      "      SUBROUTINE FL22(FLN, N, L)\n"
+      "      REAL FLN(100, 12)\n"
+      "      DO I = 1, N\n"
+      "        FLN(I, 1) = FLN(I, L)*2.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  fortran::Procedure* gloop = prog->findUnit("GLOOP");
+  InterproceduralOracle oracle(sb, *gloop);
+  ir::ProcedureModel model(*gloop);
+  dep::AnalysisContext ctx;
+  ctx.oracle = &oracle;
+  auto g = dep::DependenceGraph::build(model, ctx);
+  EXPECT_FALSE(g.parallelizable(*model.topLevelLoops()[0]));
+}
+
+TEST(Oracle, ScalarReadOnlyActualCausesNoDeps) {
+  auto prog = parse(
+      "      SUBROUTINE DRIVER(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        CALL TOUCH(A, I, N)\n"
+      "      ENDDO\n"
+      "      END\n"
+      "      SUBROUTINE TOUCH(A, I, N)\n"
+      "      REAL A(N)\n"
+      "      A(I) = FLOAT(I)/FLOAT(N)\n"
+      "      END\n");
+  SummaryBuilder sb(*prog);
+  fortran::Procedure* driver = prog->findUnit("DRIVER");
+  InterproceduralOracle oracle(sb, *driver);
+  ir::ProcedureModel model(*driver);
+  dep::AnalysisContext ctx;
+  ctx.oracle = &oracle;
+  auto g = dep::DependenceGraph::build(model, ctx);
+  auto* loop = model.topLevelLoops()[0];
+  EXPECT_TRUE(g.parallelizable(*loop))
+      << "inhibitors: " << g.parallelismInhibitors(*loop).size();
+}
+
+}  // namespace
+}  // namespace ps::interproc

@@ -1,0 +1,227 @@
+#include "ir/model.h"
+
+#include <gtest/gtest.h>
+
+#include "fortran/parser.h"
+#include "ir/refs.h"
+#include "support/diagnostics.h"
+
+namespace ps::ir {
+namespace {
+
+using fortran::Program;
+using fortran::StmtKind;
+
+std::unique_ptr<Program> parse(std::string_view src) {
+  ps::DiagnosticEngine diags;
+  auto prog = fortran::parseSource(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  return prog;
+}
+
+const char* kNest =
+    "      SUBROUTINE S(A, B, N, M)\n"
+    "      REAL A(N, M), B(N)\n"
+    "      DO 10 J = 1, M\n"
+    "        DO 20 I = 1, N\n"
+    "          A(I, J) = B(I)\n"
+    "   20   CONTINUE\n"
+    "        B(J) = 0.0\n"
+    "   10 CONTINUE\n"
+    "      DO K = 1, N\n"
+    "        B(K) = B(K) + 1.0\n"
+    "      ENDDO\n"
+    "      END\n";
+
+TEST(ProcedureModel, LoopTreeShape) {
+  auto prog = parse(kNest);
+  ProcedureModel model(*prog->units[0]);
+  ASSERT_EQ(model.loops().size(), 3u);
+  auto top = model.topLevelLoops();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0]->inductionVar(), "J");
+  EXPECT_EQ(top[0]->level, 1);
+  ASSERT_EQ(top[0]->children.size(), 1u);
+  EXPECT_EQ(top[0]->children[0]->inductionVar(), "I");
+  EXPECT_EQ(top[0]->children[0]->level, 2);
+  EXPECT_EQ(top[1]->inductionVar(), "K");
+  EXPECT_TRUE(top[1]->children.empty());
+}
+
+TEST(ProcedureModel, BodyStmtsIncludeNested) {
+  auto prog = parse(kNest);
+  ProcedureModel model(*prog->units[0]);
+  auto top = model.topLevelLoops();
+  // Outer J loop body: inner DO, A(I,J)=B(I), 20 CONTINUE, B(J)=0, 10 CONT.
+  EXPECT_EQ(top[0]->bodyStmts.size(), 5u);
+  // Inner I loop body: assignment + CONTINUE.
+  EXPECT_EQ(top[0]->children[0]->bodyStmts.size(), 2u);
+}
+
+TEST(ProcedureModel, EnclosingLoop) {
+  auto prog = parse(kNest);
+  ProcedureModel model(*prog->units[0]);
+  auto top = model.topLevelLoops();
+  const fortran::Stmt* assign = top[0]->children[0]->bodyStmts[0];
+  ASSERT_EQ(assign->kind, StmtKind::Assign);
+  Loop* l = model.enclosingLoop(assign->id);
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->inductionVar(), "I");
+  // The DO I statement itself is enclosed by the J loop.
+  Loop* outer = model.enclosingLoop(top[0]->children[0]->stmt->id);
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->inductionVar(), "J");
+}
+
+TEST(ProcedureModel, NestPath) {
+  auto prog = parse(kNest);
+  ProcedureModel model(*prog->units[0]);
+  auto top = model.topLevelLoops();
+  auto path = top[0]->children[0]->nestPath();
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0]->inductionVar(), "J");
+  EXPECT_EQ(path[1]->inductionVar(), "I");
+}
+
+TEST(ProcedureModel, LabelTargets) {
+  auto prog = parse(kNest);
+  ProcedureModel model(*prog->units[0]);
+  ASSERT_NE(model.labelTarget(20), nullptr);
+  EXPECT_EQ(model.labelTarget(20)->kind, StmtKind::Continue);
+  EXPECT_EQ(model.labelTarget(999), nullptr);
+}
+
+TEST(ProcedureModel, ContainerOf) {
+  auto prog = parse(kNest);
+  ProcedureModel model(*prog->units[0]);
+  auto top = model.topLevelLoops();
+  std::size_t idx = 99;
+  auto* container = model.containerOf(top[1]->stmt->id, &idx);
+  ASSERT_NE(container, nullptr);
+  EXPECT_EQ(idx, 1u);  // second top-level statement
+  EXPECT_EQ(container, &prog->units[0]->body);
+}
+
+TEST(ProcedureModel, IfArmsIndexed) {
+  auto prog = parse(
+      "      SUBROUTINE S(X)\n"
+      "      IF (X .GT. 0.0) THEN\n"
+      "        X = 1.0\n"
+      "      ELSE\n"
+      "        X = 2.0\n"
+      "      ENDIF\n"
+      "      END\n");
+  ProcedureModel model(*prog->units[0]);
+  EXPECT_EQ(model.allStmts().size(), 3u);  // IF + two assignments
+  const fortran::Stmt* ifStmt = prog->units[0]->body[0].get();
+  const fortran::Stmt* thenStmt = ifStmt->arms[0].body[0].get();
+  EXPECT_EQ(model.parentStmt(thenStmt->id), ifStmt);
+}
+
+TEST(Refs, AssignmentReadsAndWrites) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, B, I)\n"
+      "      REAL A(10), B(10)\n"
+      "      A(I + 1) = B(I)*2.0\n"
+      "      END\n");
+  auto refs = collectRefs(*prog->units[0]->body[0]);
+  // Writes: A. Reads: I (subscript), B, I.
+  int writes = 0, reads = 0;
+  for (const auto& r : refs) {
+    if (r.kind == RefKind::Write) {
+      ++writes;
+      EXPECT_EQ(r.name, "A");
+      EXPECT_TRUE(r.isArrayRef());
+    }
+    if (r.kind == RefKind::Read) ++reads;
+  }
+  EXPECT_EQ(writes, 1);
+  EXPECT_EQ(reads, 3);
+}
+
+TEST(Refs, DoStatementRefs) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 2, N - 1\n"
+      "        A(I) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n");
+  auto refs = collectRefs(*prog->units[0]->body[0]);
+  bool sawDoVar = false, sawN = false;
+  for (const auto& r : refs) {
+    if (r.kind == RefKind::DoVarDef) {
+      sawDoVar = true;
+      EXPECT_EQ(r.name, "I");
+    }
+    if (r.name == "N" && r.kind == RefKind::Read) sawN = true;
+  }
+  EXPECT_TRUE(sawDoVar);
+  EXPECT_TRUE(sawN);
+}
+
+TEST(Refs, CallActuals) {
+  auto prog = parse(
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      CALL F(A, N, A(1), N + 1)\n"
+      "      END\n");
+  auto refs = collectRefs(*prog->units[0]->body[0]);
+  int actuals = 0;
+  for (const auto& r : refs) {
+    if (r.kind == RefKind::CallActual) ++actuals;
+  }
+  // A, N, A(1) pass variables; N+1 is an expression (reads only).
+  EXPECT_EQ(actuals, 3);
+}
+
+TEST(Refs, ReadStatementWritesItems) {
+  auto prog = parse(
+      "      SUBROUTINE S(A)\n"
+      "      REAL A(10)\n"
+      "      READ *, N, A(2)\n"
+      "      END\n");
+  auto refs = collectRefs(*prog->units[0]->body[0]);
+  int writes = 0;
+  for (const auto& r : refs) {
+    if (r.kind == RefKind::Write) ++writes;
+  }
+  EXPECT_EQ(writes, 2);
+}
+
+TEST(Refs, FuncCallArgsAreReads) {
+  auto prog = parse(
+      "      SUBROUTINE S(X, Y)\n"
+      "      X = SQRT(Y) + USERFN(X)\n"
+      "      END\n");
+  auto refs = collectRefs(*prog->units[0]->body[0]);
+  int reads = 0;
+  for (const auto& r : refs) {
+    if (r.kind == RefKind::Read) ++reads;
+  }
+  EXPECT_EQ(reads, 2);  // Y and X on rhs
+}
+
+TEST(Refs, CalledFunctions) {
+  auto prog = parse(
+      "      SUBROUTINE S(X, Y)\n"
+      "      X = SQRT(Y) + USERFN(X)\n"
+      "      CALL HELPER(X)\n"
+      "      END\n");
+  auto f0 = calledFunctions(*prog->units[0]->body[0]);
+  ASSERT_EQ(f0.size(), 1u);
+  EXPECT_EQ(f0[0], "USERFN");  // SQRT is intrinsic
+  auto f1 = calledFunctions(*prog->units[0]->body[1]);
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(f1[0], "HELPER");
+}
+
+TEST(Refs, IntrinsicTable) {
+  EXPECT_TRUE(isIntrinsic("SQRT"));
+  EXPECT_TRUE(isIntrinsic("MAX"));
+  EXPECT_TRUE(isIntrinsic("MOD"));
+  EXPECT_FALSE(isIntrinsic("GLOOP"));
+}
+
+}  // namespace
+}  // namespace ps::ir

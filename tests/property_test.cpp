@@ -1,0 +1,360 @@
+// Property tests across module boundaries:
+//  1. Dependence soundness: the analyzer may over-approximate but must
+//     never miss a dependence that brute-force iteration enumeration finds.
+//  2. Parallelizable implies race-free: loops the graph calls parallel run
+//     clean under the shuffled-order race detector.
+//  3. Pretty-print round trips preserve execution semantics.
+//  4. Fourier–Motzkin soundness against brute-force integer search.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+
+#include "dependence/fm.h"
+#include "dependence/graph.h"
+#include "fortran/parser.h"
+#include "fortran/pretty.h"
+#include "interp/machine.h"
+#include "interproc/summaries.h"
+#include "ped/session.h"
+#include "support/diagnostics.h"
+#include "workloads/workloads.h"
+
+namespace ps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1. Dependence soundness on a family of single loops
+//    DO I = 1, N:  A(a1*I + c1) = f(A(a2*I + c2))
+// ---------------------------------------------------------------------------
+
+struct SubscriptCase {
+  long long a1, c1, a2, c2;
+  long long n;
+};
+
+class DependenceSoundness
+    : public ::testing::TestWithParam<SubscriptCase> {};
+
+TEST_P(DependenceSoundness, AnalyzerNeverMissesARealDependence) {
+  const SubscriptCase& p = GetParam();
+  // Build the program text.
+  auto term = [](long long a, long long c) {
+    std::string s;
+    if (a == 1) {
+      s = "I";
+    } else {
+      s = std::to_string(a) + "*I";
+    }
+    if (c > 0) s += " + " + std::to_string(c);
+    if (c < 0) s += " - " + std::to_string(-c);
+    return s;
+  };
+  std::string src = "      SUBROUTINE S(A)\n      REAL A(1000)\n"
+                    "      DO I = 1, " +
+                    std::to_string(p.n) + "\n        A(" + term(p.a1, p.c1) +
+                    ") = A(" + term(p.a2, p.c2) +
+                    ") + 1.0\n      ENDDO\n      END\n";
+  DiagnosticEngine diags;
+  auto prog = fortran::parseSource(src, diags);
+  ASSERT_FALSE(diags.hasErrors()) << diags.dump();
+  ir::ProcedureModel model(*prog->units[0]);
+  auto g = dep::DependenceGraph::build(model, {});
+  bool analyzerSaysParallel = g.parallelizable(*model.topLevelLoops()[0]);
+
+  // Brute force: a loop-carried dependence exists iff two different
+  // iterations touch the same element with at least one write.
+  bool realCarried = false;
+  std::map<long long, std::set<long long>> writers, readers;
+  for (long long i = 1; i <= p.n; ++i) {
+    writers[p.a1 * i + p.c1].insert(i);
+    readers[p.a2 * i + p.c2].insert(i);
+  }
+  for (const auto& [addr, ws] : writers) {
+    if (ws.size() > 1) realCarried = true;  // write-write
+    auto it = readers.find(addr);
+    if (it == readers.end()) continue;
+    for (long long r : it->second) {
+      if (!ws.count(r) || ws.size() > 1) {
+        if (*ws.begin() != r || ws.size() > 1) realCarried = true;
+      }
+    }
+  }
+  // Soundness: a real carried dependence must serialize the loop.
+  if (realCarried) {
+    EXPECT_FALSE(analyzerSaysParallel)
+        << "missed dependence for a1=" << p.a1 << " c1=" << p.c1
+        << " a2=" << p.a2 << " c2=" << p.c2 << "\n"
+        << src;
+  }
+  // And confirm dynamically via the race detector when the analyzer says
+  // parallel.
+  if (analyzerSaysParallel) {
+    std::string exec = "      PROGRAM MAIN\n      REAL A(1000)\n"
+                       "      DO K = 1, 1000\n        A(K) = FLOAT(K)\n"
+                       "      ENDDO\n      PARALLEL DO I = 1, " +
+                       std::to_string(p.n) + "\n        A(" +
+                       term(p.a1, p.c1) + ") = A(" + term(p.a2, p.c2) +
+                       ") + 1.0\n      ENDDO\n      WRITE(6, *) A(1)\n"
+                       "      END\n";
+    DiagnosticEngine d2;
+    auto prog2 = fortran::parseSource(exec, d2);
+    ASSERT_FALSE(d2.hasErrors());
+    interp::Machine m(*prog2);
+    auto run = m.run();
+    ASSERT_TRUE(run.ok) << run.error;
+    for (const auto& race : run.races) {
+      EXPECT_TRUE(race.outputOnly)
+          << "race detector contradicts the analyzer on " << src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DependenceSoundness,
+    ::testing::Values(
+        SubscriptCase{1, 0, 1, 0, 40},    // A(I) = A(I): independent
+        SubscriptCase{1, 0, 1, -1, 40},   // flow distance 1
+        SubscriptCase{1, 0, 1, 1, 40},    // anti distance 1
+        SubscriptCase{1, 0, 1, -5, 40},   // flow distance 5
+        SubscriptCase{2, 0, 2, -2, 40},   // stride 2, distance 1
+        SubscriptCase{2, 0, 2, -1, 40},   // stride 2, odd offset: none
+        SubscriptCase{1, 0, 2, 0, 30},    // MIV-ish: real deps exist
+        SubscriptCase{3, 1, 3, 4, 30},    // 3I+1 vs 3I+4: distance 1
+        SubscriptCase{3, 1, 3, 5, 30},    // gcd disproof
+        SubscriptCase{1, 0, 1, 100, 40},  // distance beyond trip count
+        SubscriptCase{2, 1, 4, 3, 25},    // 2I+1 vs 4I+3: overlap
+        SubscriptCase{4, 0, 2, 2, 25}));  // 4I vs 2I+2: overlap
+
+// ---------------------------------------------------------------------------
+// 2/3. Workload round trips: pretty-print -> reparse -> execute must match,
+//      and analyzer-parallel loops must run race-free when marked parallel.
+// ---------------------------------------------------------------------------
+
+class WorkloadProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadProperty, PrettyPrintRoundTripPreservesExecution) {
+  const auto* w = workloads::byName(GetParam());
+  DiagnosticEngine diags;
+  auto prog = fortran::parseSource(w->source, diags);
+  ASSERT_FALSE(diags.hasErrors()) << diags.dump();
+  interp::Machine m1(*prog);
+  auto r1 = m1.run();
+  ASSERT_TRUE(r1.ok) << r1.error;
+
+  std::string printed = fortran::printProgram(*prog);
+  DiagnosticEngine d2;
+  auto prog2 = fortran::parseSource(printed, d2);
+  ASSERT_FALSE(d2.hasErrors()) << d2.dump() << "\n" << printed;
+  interp::Machine m2(*prog2);
+  auto r2 = m2.run();
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_TRUE(r1.outputEquals(r2)) << printed;
+}
+
+TEST_P(WorkloadProperty, AnalyzerParallelLoopsRunRaceFree) {
+  const auto* w = workloads::byName(GetParam());
+  DiagnosticEngine diags;
+  auto prog = fortran::parseSource(w->source, diags);
+  ASSERT_FALSE(diags.hasErrors());
+  interp::Machine base(*prog);
+  auto r0 = base.run();
+  ASSERT_TRUE(r0.ok) << r0.error;
+
+  // Mark every analyzer-parallel loop PARALLEL (innermost-safe marking:
+  // mark all; nested parallel loops are fine for the detector).
+  interproc::SummaryBuilder summaries(*prog);
+  for (auto& unit : prog->units) {
+    ir::ProcedureModel model(*unit);
+    interproc::InterproceduralOracle oracle(summaries, *unit);
+    dep::AnalysisContext ctx;
+    ctx.oracle = &oracle;
+    ctx.inheritedConstants = summaries.inheritedConstantsFor(unit->name);
+    ctx.inheritedRelations = summaries.inheritedRelationsFor(unit->name);
+    auto g = dep::DependenceGraph::build(model, ctx);
+    for (const auto& loopPtr : model.loops()) {
+      if (g.parallelizable(*loopPtr)) loopPtr->stmt->isParallel = true;
+    }
+  }
+  interp::Machine m(*prog);
+  interp::RunOptions opts;
+  opts.shuffleSeed = 777;
+  auto r = m.run(opts);
+  ASSERT_TRUE(r.ok) << w->name << ": " << r.error;
+  // Outputs must match the sequential run despite shuffled iteration
+  // order, and no flow/anti race may fire. (Assertion-based parallelism in
+  // the workloads is genuinely safe, so this also validates the
+  // assertions dynamically — the paper's run-time-checkability criterion.)
+  EXPECT_TRUE(r0.outputEquals(r, 1e-6)) << w->name;
+  for (const auto& race : r.races) {
+    EXPECT_TRUE(race.outputOnly) << w->name << " race on " << race.variable;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadProperty,
+    ::testing::Values("spec77", "neoss", "nxsns", "dpmin", "slab2d",
+                      "slalom", "pueblo3d", "arc3d"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---------------------------------------------------------------------------
+// 4. Fourier–Motzkin soundness: randomized small systems, brute-force
+//    integer search as ground truth. FM claiming "infeasible" must mean no
+//    integer solution exists in a generous search box.
+// ---------------------------------------------------------------------------
+
+TEST(FMProperty, InfeasibleNeverContradictsBruteForce) {
+  std::mt19937 rng(20260706);
+  std::uniform_int_distribution<int> coefD(-3, 3), constD(-8, 8),
+      kindD(0, 2);
+  const char* vars[] = {"x", "y", "z"};
+  int disproofs = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<dep::Constraint> cs;
+    int nc = 2 + static_cast<int>(rng() % 3);
+    for (int c = 0; c < nc; ++c) {
+      dataflow::LinearExpr e;
+      for (const char* v : vars) {
+        int k = coefD(rng);
+        if (k != 0) e.coef[v] = k;
+      }
+      e.constant = constD(rng);
+      switch (kindD(rng)) {
+        case 0: cs.push_back(dep::Constraint::ge0(e)); break;
+        case 1: cs.push_back(dep::Constraint::gt0(e)); break;
+        default: cs.push_back(dep::Constraint::eq0(e)); break;
+      }
+    }
+    dep::FourierMotzkin fm(cs);
+    if (!fm.infeasible()) continue;
+    ++disproofs;
+    // Brute force over [-12, 12]^3.
+    bool found = false;
+    for (int x = -12; x <= 12 && !found; ++x) {
+      for (int y = -12; y <= 12 && !found; ++y) {
+        for (int z = -12; z <= 12 && !found; ++z) {
+          bool ok = true;
+          for (const auto& c : cs) {
+            long long v = c.expr.constant +
+                          c.expr.coefOf("x") * x + c.expr.coefOf("y") * y +
+                          c.expr.coefOf("z") * z;
+            if (c.kind == dep::Constraint::Kind::Ge0 && v < 0) ok = false;
+            if (c.kind == dep::Constraint::Kind::Gt0 && v <= 0) ok = false;
+            if (c.kind == dep::Constraint::Kind::Eq0 && v != 0) ok = false;
+          }
+          if (ok) found = true;
+        }
+      }
+    }
+    EXPECT_FALSE(found) << "FM declared infeasible but a solution exists "
+                           "(trial "
+                        << trial << ")";
+  }
+  // The sweep must actually exercise the disproof path.
+  EXPECT_GT(disproofs, 20);
+}
+
+// ---------------------------------------------------------------------------
+// 5. Session editing is incremental and consistent.
+// ---------------------------------------------------------------------------
+
+TEST(Editing, EditStatementReanalyzesIncrementally) {
+  const char* src =
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 2, N\n"
+      "        A(I) = A(I - 1) + 1.0\n"
+      "      ENDDO\n"
+      "      END\n";
+  DiagnosticEngine diags;
+  auto s = ped::Session::load(src, diags);
+  ASSERT_NE(s, nullptr);
+  auto loops = s->loops();
+  EXPECT_FALSE(loops[0].parallelizable);
+  // Find the assignment and edit away the recurrence.
+  fortran::StmtId assign = fortran::kInvalidStmt;
+  for (const auto& row : s->sourcePane()) {
+    if (row.text.find("A(I - 1)") != std::string::npos) assign = row.stmt;
+  }
+  ASSERT_NE(assign, fortran::kInvalidStmt);
+  ASSERT_TRUE(s->editStatement(assign, "A(I) = FLOAT(I) + 1.0"));
+  loops = s->loops();
+  EXPECT_TRUE(loops[0].parallelizable);
+  // And back to a recurrence.
+  assign = fortran::kInvalidStmt;
+  for (const auto& row : s->sourcePane()) {
+    if (row.text.find("FLOAT(I)") != std::string::npos) assign = row.stmt;
+  }
+  ASSERT_TRUE(s->editStatement(assign, "A(I) = A(I - 1)*0.5"));
+  EXPECT_FALSE(s->loops()[0].parallelizable);
+}
+
+TEST(Editing, BadTextIsRejectedAndProgramUntouched) {
+  const char* src =
+      "      SUBROUTINE S(X)\n"
+      "      X = 1.0\n"
+      "      END\n";
+  DiagnosticEngine diags;
+  auto s = ped::Session::load(src, diags);
+  auto before = fortran::printProgram(s->program());
+  fortran::StmtId id = s->sourcePane()[0].stmt;
+  EXPECT_FALSE(s->editStatement(id, ")=(nonsense"));
+  EXPECT_EQ(fortran::printProgram(s->program()), before);
+}
+
+TEST(Editing, InsertAndDelete) {
+  const char* src =
+      "      PROGRAM MAIN\n"
+      "      REAL A(10)\n"
+      "      DO I = 1, 10\n"
+      "        A(I) = 1.0\n"
+      "      ENDDO\n"
+      "      END\n";
+  DiagnosticEngine diags;
+  auto s = ped::Session::load(src, diags);
+  fortran::StmtId assign = fortran::kInvalidStmt;
+  for (const auto& row : s->sourcePane()) {
+    if (row.text.find("= 1") != std::string::npos) assign = row.stmt;
+  }
+  ASSERT_TRUE(s->insertStatementAfter(assign, "A(I) = A(I)*2.0"));
+  EXPECT_EQ(s->sourcePane().size(), 3u);
+  // The inserted statement executes.
+  auto run = s->profile();
+  ASSERT_TRUE(run.ok);
+  ASSERT_TRUE(s->deleteStatement(assign));
+  EXPECT_EQ(s->sourcePane().size(), 2u);
+}
+
+TEST(Editing, EditedArrayRefsParseInContext) {
+  // The edit text references an array: it must parse as an ArrayRef (not a
+  // function call) because the session supplies the declaration context.
+  const char* src =
+      "      SUBROUTINE S(A, B, N)\n"
+      "      REAL A(N), B(N)\n"
+      "      DO I = 1, N\n"
+      "        A(I) = 0.0\n"
+      "      ENDDO\n"
+      "      END\n";
+  DiagnosticEngine diags;
+  auto s = ped::Session::load(src, diags);
+  fortran::StmtId assign = fortran::kInvalidStmt;
+  for (const auto& row : s->sourcePane()) {
+    if (row.text.find("= 0") != std::string::npos) assign = row.stmt;
+  }
+  ASSERT_TRUE(s->editStatement(assign, "A(I) = B(I) + 1.0"));
+  // The dependence graph sees the B read (an Input-free True-free graph —
+  // but the variable pane must list B).
+  s->selectLoop(s->loops()[0].id);
+  bool sawB = false;
+  for (const auto& v : s->variablePane()) {
+    if (v.name == "B" && v.dim == 1) sawB = true;
+  }
+  EXPECT_TRUE(sawB);
+}
+
+}  // namespace
+}  // namespace ps
