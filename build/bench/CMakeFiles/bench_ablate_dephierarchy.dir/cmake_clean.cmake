@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_dephierarchy.dir/bench_ablate_dephierarchy.cpp.o"
+  "CMakeFiles/bench_ablate_dephierarchy.dir/bench_ablate_dephierarchy.cpp.o.d"
+  "bench_ablate_dephierarchy"
+  "bench_ablate_dephierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dephierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_guidance.dir/bench_ablate_guidance.cpp.o"
+  "CMakeFiles/bench_ablate_guidance.dir/bench_ablate_guidance.cpp.o.d"
+  "bench_ablate_guidance"
+  "bench_ablate_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_layers.dir/bench_ablate_layers.cpp.o"
+  "CMakeFiles/bench_ablate_layers.dir/bench_ablate_layers.cpp.o.d"
+  "bench_ablate_layers"
+  "bench_ablate_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_perfest.dir/bench_ablate_perfest.cpp.o"
+  "CMakeFiles/bench_ablate_perfest.dir/bench_ablate_perfest.cpp.o.d"
+  "bench_ablate_perfest"
+  "bench_ablate_perfest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_perfest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ui_usage.dir/bench_table2_ui_usage.cpp.o"
+  "CMakeFiles/bench_table2_ui_usage.dir/bench_table2_ui_usage.cpp.o.d"
+  "bench_table2_ui_usage"
+  "bench_table2_ui_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ui_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assertion_workflow.dir/assertion_workflow.cpp.o"
+  "CMakeFiles/assertion_workflow.dir/assertion_workflow.cpp.o.d"
+  "assertion_workflow"
+  "assertion_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assertion_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

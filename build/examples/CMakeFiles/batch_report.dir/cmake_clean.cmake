@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_report.dir/batch_report.cpp.o"
+  "CMakeFiles/batch_report.dir/batch_report.cpp.o.d"
+  "batch_report"
+  "batch_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

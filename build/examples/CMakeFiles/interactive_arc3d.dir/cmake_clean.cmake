@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_arc3d.dir/interactive_arc3d.cpp.o"
+  "CMakeFiles/interactive_arc3d.dir/interactive_arc3d.cpp.o.d"
+  "interactive_arc3d"
+  "interactive_arc3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_arc3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

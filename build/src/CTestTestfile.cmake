@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("fortran")
+subdirs("ir")
+subdirs("cfg")
+subdirs("dataflow")
+subdirs("dependence")
+subdirs("interproc")
+subdirs("interp")
+subdirs("transform")
+subdirs("ped")
+subdirs("workloads")

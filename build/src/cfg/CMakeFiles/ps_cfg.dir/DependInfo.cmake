@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/control_dep.cpp" "src/cfg/CMakeFiles/ps_cfg.dir/control_dep.cpp.o" "gcc" "src/cfg/CMakeFiles/ps_cfg.dir/control_dep.cpp.o.d"
+  "/root/repo/src/cfg/dominators.cpp" "src/cfg/CMakeFiles/ps_cfg.dir/dominators.cpp.o" "gcc" "src/cfg/CMakeFiles/ps_cfg.dir/dominators.cpp.o.d"
+  "/root/repo/src/cfg/flow_graph.cpp" "src/cfg/CMakeFiles/ps_cfg.dir/flow_graph.cpp.o" "gcc" "src/cfg/CMakeFiles/ps_cfg.dir/flow_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/ps_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

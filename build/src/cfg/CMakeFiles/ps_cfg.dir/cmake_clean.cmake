@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_cfg.dir/control_dep.cpp.o"
+  "CMakeFiles/ps_cfg.dir/control_dep.cpp.o.d"
+  "CMakeFiles/ps_cfg.dir/dominators.cpp.o"
+  "CMakeFiles/ps_cfg.dir/dominators.cpp.o.d"
+  "CMakeFiles/ps_cfg.dir/flow_graph.cpp.o"
+  "CMakeFiles/ps_cfg.dir/flow_graph.cpp.o.d"
+  "libps_cfg.a"
+  "libps_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/constants.cpp" "src/dataflow/CMakeFiles/ps_dataflow.dir/constants.cpp.o" "gcc" "src/dataflow/CMakeFiles/ps_dataflow.dir/constants.cpp.o.d"
+  "/root/repo/src/dataflow/linear.cpp" "src/dataflow/CMakeFiles/ps_dataflow.dir/linear.cpp.o" "gcc" "src/dataflow/CMakeFiles/ps_dataflow.dir/linear.cpp.o.d"
+  "/root/repo/src/dataflow/liveness.cpp" "src/dataflow/CMakeFiles/ps_dataflow.dir/liveness.cpp.o" "gcc" "src/dataflow/CMakeFiles/ps_dataflow.dir/liveness.cpp.o.d"
+  "/root/repo/src/dataflow/privatize.cpp" "src/dataflow/CMakeFiles/ps_dataflow.dir/privatize.cpp.o" "gcc" "src/dataflow/CMakeFiles/ps_dataflow.dir/privatize.cpp.o.d"
+  "/root/repo/src/dataflow/reaching.cpp" "src/dataflow/CMakeFiles/ps_dataflow.dir/reaching.cpp.o" "gcc" "src/dataflow/CMakeFiles/ps_dataflow.dir/reaching.cpp.o.d"
+  "/root/repo/src/dataflow/symbolic.cpp" "src/dataflow/CMakeFiles/ps_dataflow.dir/symbolic.cpp.o" "gcc" "src/dataflow/CMakeFiles/ps_dataflow.dir/symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/ps_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/ps_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

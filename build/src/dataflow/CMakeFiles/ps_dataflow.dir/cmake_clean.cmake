@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_dataflow.dir/constants.cpp.o"
+  "CMakeFiles/ps_dataflow.dir/constants.cpp.o.d"
+  "CMakeFiles/ps_dataflow.dir/linear.cpp.o"
+  "CMakeFiles/ps_dataflow.dir/linear.cpp.o.d"
+  "CMakeFiles/ps_dataflow.dir/liveness.cpp.o"
+  "CMakeFiles/ps_dataflow.dir/liveness.cpp.o.d"
+  "CMakeFiles/ps_dataflow.dir/privatize.cpp.o"
+  "CMakeFiles/ps_dataflow.dir/privatize.cpp.o.d"
+  "CMakeFiles/ps_dataflow.dir/reaching.cpp.o"
+  "CMakeFiles/ps_dataflow.dir/reaching.cpp.o.d"
+  "CMakeFiles/ps_dataflow.dir/symbolic.cpp.o"
+  "CMakeFiles/ps_dataflow.dir/symbolic.cpp.o.d"
+  "libps_dataflow.a"
+  "libps_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dependence/dep.cpp" "src/dependence/CMakeFiles/ps_dependence.dir/dep.cpp.o" "gcc" "src/dependence/CMakeFiles/ps_dependence.dir/dep.cpp.o.d"
+  "/root/repo/src/dependence/fm.cpp" "src/dependence/CMakeFiles/ps_dependence.dir/fm.cpp.o" "gcc" "src/dependence/CMakeFiles/ps_dependence.dir/fm.cpp.o.d"
+  "/root/repo/src/dependence/graph.cpp" "src/dependence/CMakeFiles/ps_dependence.dir/graph.cpp.o" "gcc" "src/dependence/CMakeFiles/ps_dependence.dir/graph.cpp.o.d"
+  "/root/repo/src/dependence/section.cpp" "src/dependence/CMakeFiles/ps_dependence.dir/section.cpp.o" "gcc" "src/dependence/CMakeFiles/ps_dependence.dir/section.cpp.o.d"
+  "/root/repo/src/dependence/subscript.cpp" "src/dependence/CMakeFiles/ps_dependence.dir/subscript.cpp.o" "gcc" "src/dependence/CMakeFiles/ps_dependence.dir/subscript.cpp.o.d"
+  "/root/repo/src/dependence/testsuite.cpp" "src/dependence/CMakeFiles/ps_dependence.dir/testsuite.cpp.o" "gcc" "src/dependence/CMakeFiles/ps_dependence.dir/testsuite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/ps_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ps_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/ps_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_dependence.dir/dep.cpp.o"
+  "CMakeFiles/ps_dependence.dir/dep.cpp.o.d"
+  "CMakeFiles/ps_dependence.dir/fm.cpp.o"
+  "CMakeFiles/ps_dependence.dir/fm.cpp.o.d"
+  "CMakeFiles/ps_dependence.dir/graph.cpp.o"
+  "CMakeFiles/ps_dependence.dir/graph.cpp.o.d"
+  "CMakeFiles/ps_dependence.dir/section.cpp.o"
+  "CMakeFiles/ps_dependence.dir/section.cpp.o.d"
+  "CMakeFiles/ps_dependence.dir/subscript.cpp.o"
+  "CMakeFiles/ps_dependence.dir/subscript.cpp.o.d"
+  "CMakeFiles/ps_dependence.dir/testsuite.cpp.o"
+  "CMakeFiles/ps_dependence.dir/testsuite.cpp.o.d"
+  "libps_dependence.a"
+  "libps_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

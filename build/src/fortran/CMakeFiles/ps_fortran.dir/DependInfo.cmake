@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fortran/ast.cpp" "src/fortran/CMakeFiles/ps_fortran.dir/ast.cpp.o" "gcc" "src/fortran/CMakeFiles/ps_fortran.dir/ast.cpp.o.d"
+  "/root/repo/src/fortran/lexer.cpp" "src/fortran/CMakeFiles/ps_fortran.dir/lexer.cpp.o" "gcc" "src/fortran/CMakeFiles/ps_fortran.dir/lexer.cpp.o.d"
+  "/root/repo/src/fortran/parser.cpp" "src/fortran/CMakeFiles/ps_fortran.dir/parser.cpp.o" "gcc" "src/fortran/CMakeFiles/ps_fortran.dir/parser.cpp.o.d"
+  "/root/repo/src/fortran/pretty.cpp" "src/fortran/CMakeFiles/ps_fortran.dir/pretty.cpp.o" "gcc" "src/fortran/CMakeFiles/ps_fortran.dir/pretty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_fortran.dir/ast.cpp.o"
+  "CMakeFiles/ps_fortran.dir/ast.cpp.o.d"
+  "CMakeFiles/ps_fortran.dir/lexer.cpp.o"
+  "CMakeFiles/ps_fortran.dir/lexer.cpp.o.d"
+  "CMakeFiles/ps_fortran.dir/parser.cpp.o"
+  "CMakeFiles/ps_fortran.dir/parser.cpp.o.d"
+  "CMakeFiles/ps_fortran.dir/pretty.cpp.o"
+  "CMakeFiles/ps_fortran.dir/pretty.cpp.o.d"
+  "libps_fortran.a"
+  "libps_fortran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_fortran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

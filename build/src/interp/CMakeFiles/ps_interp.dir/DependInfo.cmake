@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/machine.cpp" "src/interp/CMakeFiles/ps_interp.dir/machine.cpp.o" "gcc" "src/interp/CMakeFiles/ps_interp.dir/machine.cpp.o.d"
+  "/root/repo/src/interp/value.cpp" "src/interp/CMakeFiles/ps_interp.dir/value.cpp.o" "gcc" "src/interp/CMakeFiles/ps_interp.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/ps_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

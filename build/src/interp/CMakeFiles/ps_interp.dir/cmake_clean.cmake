@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_interp.dir/machine.cpp.o"
+  "CMakeFiles/ps_interp.dir/machine.cpp.o.d"
+  "CMakeFiles/ps_interp.dir/value.cpp.o"
+  "CMakeFiles/ps_interp.dir/value.cpp.o.d"
+  "libps_interp.a"
+  "libps_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

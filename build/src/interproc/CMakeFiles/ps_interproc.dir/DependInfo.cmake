@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interproc/array_kill.cpp" "src/interproc/CMakeFiles/ps_interproc.dir/array_kill.cpp.o" "gcc" "src/interproc/CMakeFiles/ps_interproc.dir/array_kill.cpp.o.d"
+  "/root/repo/src/interproc/callgraph.cpp" "src/interproc/CMakeFiles/ps_interproc.dir/callgraph.cpp.o" "gcc" "src/interproc/CMakeFiles/ps_interproc.dir/callgraph.cpp.o.d"
+  "/root/repo/src/interproc/summaries.cpp" "src/interproc/CMakeFiles/ps_interproc.dir/summaries.cpp.o" "gcc" "src/interproc/CMakeFiles/ps_interproc.dir/summaries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dependence/CMakeFiles/ps_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/ps_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ps_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/ps_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

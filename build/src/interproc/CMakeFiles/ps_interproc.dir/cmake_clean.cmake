@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_interproc.dir/array_kill.cpp.o"
+  "CMakeFiles/ps_interproc.dir/array_kill.cpp.o.d"
+  "CMakeFiles/ps_interproc.dir/callgraph.cpp.o"
+  "CMakeFiles/ps_interproc.dir/callgraph.cpp.o.d"
+  "CMakeFiles/ps_interproc.dir/summaries.cpp.o"
+  "CMakeFiles/ps_interproc.dir/summaries.cpp.o.d"
+  "libps_interproc.a"
+  "libps_interproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_interproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_ir.dir/model.cpp.o"
+  "CMakeFiles/ps_ir.dir/model.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/refs.cpp.o"
+  "CMakeFiles/ps_ir.dir/refs.cpp.o.d"
+  "libps_ir.a"
+  "libps_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

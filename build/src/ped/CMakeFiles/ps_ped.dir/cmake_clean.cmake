@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_ped.dir/assertions.cpp.o"
+  "CMakeFiles/ps_ped.dir/assertions.cpp.o.d"
+  "CMakeFiles/ps_ped.dir/perfest.cpp.o"
+  "CMakeFiles/ps_ped.dir/perfest.cpp.o.d"
+  "CMakeFiles/ps_ped.dir/render.cpp.o"
+  "CMakeFiles/ps_ped.dir/render.cpp.o.d"
+  "CMakeFiles/ps_ped.dir/session.cpp.o"
+  "CMakeFiles/ps_ped.dir/session.cpp.o.d"
+  "libps_ped.a"
+  "libps_ped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_ped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/ps_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/ps_support.dir/text.cpp.o"
+  "CMakeFiles/ps_support.dir/text.cpp.o.d"
+  "libps_support.a"
+  "libps_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

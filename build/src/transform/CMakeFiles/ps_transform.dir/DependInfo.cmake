@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/controlflow.cpp" "src/transform/CMakeFiles/ps_transform.dir/controlflow.cpp.o" "gcc" "src/transform/CMakeFiles/ps_transform.dir/controlflow.cpp.o.d"
+  "/root/repo/src/transform/depbreaking.cpp" "src/transform/CMakeFiles/ps_transform.dir/depbreaking.cpp.o" "gcc" "src/transform/CMakeFiles/ps_transform.dir/depbreaking.cpp.o.d"
+  "/root/repo/src/transform/interproc_motion.cpp" "src/transform/CMakeFiles/ps_transform.dir/interproc_motion.cpp.o" "gcc" "src/transform/CMakeFiles/ps_transform.dir/interproc_motion.cpp.o.d"
+  "/root/repo/src/transform/memory.cpp" "src/transform/CMakeFiles/ps_transform.dir/memory.cpp.o" "gcc" "src/transform/CMakeFiles/ps_transform.dir/memory.cpp.o.d"
+  "/root/repo/src/transform/misc.cpp" "src/transform/CMakeFiles/ps_transform.dir/misc.cpp.o" "gcc" "src/transform/CMakeFiles/ps_transform.dir/misc.cpp.o.d"
+  "/root/repo/src/transform/reduction.cpp" "src/transform/CMakeFiles/ps_transform.dir/reduction.cpp.o" "gcc" "src/transform/CMakeFiles/ps_transform.dir/reduction.cpp.o.d"
+  "/root/repo/src/transform/registry.cpp" "src/transform/CMakeFiles/ps_transform.dir/registry.cpp.o" "gcc" "src/transform/CMakeFiles/ps_transform.dir/registry.cpp.o.d"
+  "/root/repo/src/transform/reordering.cpp" "src/transform/CMakeFiles/ps_transform.dir/reordering.cpp.o" "gcc" "src/transform/CMakeFiles/ps_transform.dir/reordering.cpp.o.d"
+  "/root/repo/src/transform/transform.cpp" "src/transform/CMakeFiles/ps_transform.dir/transform.cpp.o" "gcc" "src/transform/CMakeFiles/ps_transform.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dependence/CMakeFiles/ps_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/ps_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ps_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/ps_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_transform.dir/controlflow.cpp.o"
+  "CMakeFiles/ps_transform.dir/controlflow.cpp.o.d"
+  "CMakeFiles/ps_transform.dir/depbreaking.cpp.o"
+  "CMakeFiles/ps_transform.dir/depbreaking.cpp.o.d"
+  "CMakeFiles/ps_transform.dir/interproc_motion.cpp.o"
+  "CMakeFiles/ps_transform.dir/interproc_motion.cpp.o.d"
+  "CMakeFiles/ps_transform.dir/memory.cpp.o"
+  "CMakeFiles/ps_transform.dir/memory.cpp.o.d"
+  "CMakeFiles/ps_transform.dir/misc.cpp.o"
+  "CMakeFiles/ps_transform.dir/misc.cpp.o.d"
+  "CMakeFiles/ps_transform.dir/reduction.cpp.o"
+  "CMakeFiles/ps_transform.dir/reduction.cpp.o.d"
+  "CMakeFiles/ps_transform.dir/registry.cpp.o"
+  "CMakeFiles/ps_transform.dir/registry.cpp.o.d"
+  "CMakeFiles/ps_transform.dir/reordering.cpp.o"
+  "CMakeFiles/ps_transform.dir/reordering.cpp.o.d"
+  "CMakeFiles/ps_transform.dir/transform.cpp.o"
+  "CMakeFiles/ps_transform.dir/transform.cpp.o.d"
+  "libps_transform.a"
+  "libps_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

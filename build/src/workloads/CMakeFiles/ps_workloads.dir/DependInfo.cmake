@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/w_arc3d.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/w_arc3d.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/w_arc3d.cpp.o.d"
+  "/root/repo/src/workloads/w_dpmin.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/w_dpmin.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/w_dpmin.cpp.o.d"
+  "/root/repo/src/workloads/w_neoss.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/w_neoss.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/w_neoss.cpp.o.d"
+  "/root/repo/src/workloads/w_nxsns.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/w_nxsns.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/w_nxsns.cpp.o.d"
+  "/root/repo/src/workloads/w_pueblo3d.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/w_pueblo3d.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/w_pueblo3d.cpp.o.d"
+  "/root/repo/src/workloads/w_slab2d.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/w_slab2d.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/w_slab2d.cpp.o.d"
+  "/root/repo/src/workloads/w_slalom.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/w_slalom.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/w_slalom.cpp.o.d"
+  "/root/repo/src/workloads/w_spec77.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/w_spec77.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/w_spec77.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_workloads.dir/w_arc3d.cpp.o"
+  "CMakeFiles/ps_workloads.dir/w_arc3d.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/w_dpmin.cpp.o"
+  "CMakeFiles/ps_workloads.dir/w_dpmin.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/w_neoss.cpp.o"
+  "CMakeFiles/ps_workloads.dir/w_neoss.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/w_nxsns.cpp.o"
+  "CMakeFiles/ps_workloads.dir/w_nxsns.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/w_pueblo3d.cpp.o"
+  "CMakeFiles/ps_workloads.dir/w_pueblo3d.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/w_slab2d.cpp.o"
+  "CMakeFiles/ps_workloads.dir/w_slab2d.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/w_slalom.cpp.o"
+  "CMakeFiles/ps_workloads.dir/w_slalom.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/w_spec77.cpp.o"
+  "CMakeFiles/ps_workloads.dir/w_spec77.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/ps_workloads.dir/workloads.cpp.o.d"
+  "libps_workloads.a"
+  "libps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/workloads/CMakeFiles/ps_workloads.dir/w_dpmin.cpp.o: \
+ /root/repo/src/workloads/w_dpmin.cpp /usr/include/stdc-predef.h

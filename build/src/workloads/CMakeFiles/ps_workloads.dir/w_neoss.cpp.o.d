@@ -1,0 +1,2 @@
+src/workloads/CMakeFiles/ps_workloads.dir/w_neoss.cpp.o: \
+ /root/repo/src/workloads/w_neoss.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,2 @@
+src/workloads/CMakeFiles/ps_workloads.dir/w_nxsns.cpp.o: \
+ /root/repo/src/workloads/w_nxsns.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,2 @@
+src/workloads/CMakeFiles/ps_workloads.dir/w_pueblo3d.cpp.o: \
+ /root/repo/src/workloads/w_pueblo3d.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,2 @@
+src/workloads/CMakeFiles/ps_workloads.dir/w_slab2d.cpp.o: \
+ /root/repo/src/workloads/w_slab2d.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,2 @@
+src/workloads/CMakeFiles/ps_workloads.dir/w_slalom.cpp.o: \
+ /root/repo/src/workloads/w_slalom.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,2 @@
+src/workloads/CMakeFiles/ps_workloads.dir/w_spec77.cpp.o: \
+ /root/repo/src/workloads/w_spec77.cpp /usr/include/stdc-predef.h

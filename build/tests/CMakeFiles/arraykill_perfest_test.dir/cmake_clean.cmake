@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arraykill_perfest_test.dir/arraykill_perfest_test.cpp.o"
+  "CMakeFiles/arraykill_perfest_test.dir/arraykill_perfest_test.cpp.o.d"
+  "arraykill_perfest_test"
+  "arraykill_perfest_test.pdb"
+  "arraykill_perfest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arraykill_perfest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fortran_lexer_test.dir/fortran_lexer_test.cpp.o"
+  "CMakeFiles/fortran_lexer_test.dir/fortran_lexer_test.cpp.o.d"
+  "fortran_lexer_test"
+  "fortran_lexer_test.pdb"
+  "fortran_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fortran_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

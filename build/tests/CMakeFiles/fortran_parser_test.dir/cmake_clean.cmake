@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fortran_parser_test.dir/fortran_parser_test.cpp.o"
+  "CMakeFiles/fortran_parser_test.dir/fortran_parser_test.cpp.o.d"
+  "fortran_parser_test"
+  "fortran_parser_test.pdb"
+  "fortran_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fortran_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fortran_pretty_test.dir/fortran_pretty_test.cpp.o"
+  "CMakeFiles/fortran_pretty_test.dir/fortran_pretty_test.cpp.o.d"
+  "fortran_pretty_test"
+  "fortran_pretty_test.pdb"
+  "fortran_pretty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fortran_pretty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

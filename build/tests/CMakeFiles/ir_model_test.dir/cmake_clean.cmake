@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_model_test.dir/ir_model_test.cpp.o"
+  "CMakeFiles/ir_model_test.dir/ir_model_test.cpp.o.d"
+  "ir_model_test"
+  "ir_model_test.pdb"
+  "ir_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ped_session_test.dir/ped_session_test.cpp.o"
+  "CMakeFiles/ped_session_test.dir/ped_session_test.cpp.o.d"
+  "ped_session_test"
+  "ped_session_test.pdb"
+  "ped_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ped_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_and_misc_test.dir/render_and_misc_test.cpp.o"
+  "CMakeFiles/render_and_misc_test.dir/render_and_misc_test.cpp.o.d"
+  "render_and_misc_test"
+  "render_and_misc_test.pdb"
+  "render_and_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_and_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

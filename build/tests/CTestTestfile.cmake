@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fortran_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/fortran_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/fortran_pretty_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_model_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/dependence_test[1]_include.cmake")
+include("/root/repo/build/tests/interproc_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/ped_session_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/arraykill_perfest_test[1]_include.cmake")
+include("/root/repo/build/tests/render_and_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/composition_test[1]_include.cmake")
