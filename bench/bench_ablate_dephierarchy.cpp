@@ -23,15 +23,7 @@ ps::dep::TestStats analyzeAll(bool cheapFirst, double* seconds) {
       ps::dep::AnalysisContext ctx;
       ctx.cheapTestsFirst = cheapFirst;
       auto g = ps::dep::DependenceGraph::build(model, ctx);
-      const auto& s = g.stats();
-      total.zivDisproofs += s.zivDisproofs;
-      total.zivExact += s.zivExact;
-      total.strongSiv += s.strongSiv;
-      total.strongSivDisproofs += s.strongSivDisproofs;
-      total.indexArrayDisproofs += s.indexArrayDisproofs;
-      total.fmRuns += s.fmRuns;
-      total.fmDisproofs += s.fmDisproofs;
-      total.assumed += s.assumed;
+      total.accumulate(g.stats());
     }
   }
   *seconds = std::chrono::duration<double>(
@@ -83,8 +75,18 @@ int main(int argc, char** argv) {
               fmOnly.fmDisproofs);
   std::printf("%-28s %12lld %12lld\n", "assumed (pending)", cheap.assumed,
               fmOnly.assumed);
+  std::printf("%-28s %12lld %12lld\n", "tests requested",
+              cheap.testsRequested, fmOnly.testsRequested);
+  std::printf("%-28s %12lld %12lld\n", "tests run (after memo)",
+              cheap.testsRun(), fmOnly.testsRun());
+  std::printf("%-28s %12lld %12lld\n", "memo hits", cheap.memoHits,
+              fmOnly.memoHits);
+  std::printf("%-28s %12lld %12lld\n", "memo misses", cheap.memoMisses,
+              fmOnly.memoMisses);
   std::printf("%-28s %11.1fms %11.1fms\n", "analysis wall time",
               tCheap * 1e3, tFm * 1e3);
+  std::printf("%-28s %11.1fms %11.1fms\n", "  dependence pair phase",
+              cheap.pairSeconds * 1e3, fmOnly.pairSeconds * 1e3);
   std::printf("\nExpected shape: the cheap tiers settle most pairs, "
               "cutting FM invocations sharply\nwith no change in the "
               "resulting dependence graph.\n\n");

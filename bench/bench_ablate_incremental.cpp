@@ -1,24 +1,43 @@
 // Ablation A2: incremental update vs whole-program reanalysis. PED
 // "provides ... incremental updates of dependence information to reflect
-// the modified program"; we time an editing session (a sequence of
-// variable classifications across procedures) under each policy.
+// the modified program"; we run an editing session (one variable
+// classification per loop, across every procedure of all 8 workloads)
+// under each policy and compare how many dependence tests each one runs.
+//
+// The incremental policy combines two mechanisms: per-nest edge splicing
+// (pairs whose test inputs are unchanged copy their previous edges) and
+// the session-wide dependence-test memo (structurally identical queries
+// are answered from cache). The A2 baseline disables both and performs a
+// full reanalysis of summaries + every procedure after each edit.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
 namespace {
 
-/// One editing session: for each procedure, classify one private scalar.
-/// `incremental` uses the session's per-procedure update; otherwise every
-/// edit is followed by a full reanalysis of summaries + all procedures.
-double editSession(bool incremental, int* edits) {
-  auto start = std::chrono::steady_clock::now();
-  *edits = 0;
+struct SessionResult {
+  ps::dep::TestStats stats;
+  double seconds = 0;
+  int edits = 0;
+  /// Per-procedure edge counts + per-loop parallel verdicts, to confirm
+  /// the two policies produce identical analysis results.
+  std::string digest;
+};
+
+/// One editing session: for every loop of every procedure, classify one
+/// private scalar. `incremental` keeps splicing + memo on; otherwise each
+/// edit is followed by a full reanalysis with both disabled.
+SessionResult editSession(bool incremental) {
+  SessionResult r;
   for (const auto& w : ps::workloads::all()) {
     auto s = ps::bench::loadWorkload(w.name);
+    s->setIncrementalUpdates(incremental);
+    s->resetAnalysisStats();  // count only edit-driven analysis
+    auto start = std::chrono::steady_clock::now();
     for (const auto& name : s->procedureNames()) {
       s->selectProcedure(name);
       for (const auto& loop : s->loops()) {
@@ -27,48 +46,101 @@ double editSession(bool incremental, int* edits) {
           if (v.kind == "private" && v.dim == 0) {
             s->classifyVariable(v.name, true, "edit");
             if (!incremental) s->fullReanalysis();
-            ++*edits;
+            ++r.edits;
             break;
           }
         }
-        break;  // one loop per procedure
       }
     }
+    r.seconds += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    r.stats.accumulate(s->analysisStats());
+    for (const auto& name : s->procedureNames()) {
+      s->selectProcedure(name);
+      r.digest += name + ":" +
+                  std::to_string(s->workspace().graph->all().size());
+      for (const auto& loop : s->loops()) {
+        r.digest += loop.parallelizable ? "P" : ".";
+      }
+      r.digest += ";";
+    }
   }
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+  return r;
 }
 
 void BM_IncrementalEdits(benchmark::State& state) {
   for (auto _ : state) {
-    int edits;
-    benchmark::DoNotOptimize(editSession(true, &edits));
+    benchmark::DoNotOptimize(editSession(true));
   }
 }
 BENCHMARK(BM_IncrementalEdits)->Unit(benchmark::kMillisecond);
 
 void BM_FullReanalysisEdits(benchmark::State& state) {
   for (auto _ : state) {
-    int edits;
-    benchmark::DoNotOptimize(editSession(false, &edits));
+    benchmark::DoNotOptimize(editSession(false));
   }
 }
 BENCHMARK(BM_FullReanalysisEdits)->Unit(benchmark::kMillisecond);
 
+void row(const char* label, long long inc, long long full) {
+  std::printf("%-28s %14lld %14lld\n", label, inc, full);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("Ablation A2: incremental per-procedure update vs "
+  std::printf("Ablation A2: incremental update (splice + memo) vs "
               "whole-program reanalysis per edit\n\n");
-  int editsInc = 0, editsFull = 0;
-  double tInc = editSession(true, &editsInc);
-  double tFull = editSession(false, &editsFull);
-  std::printf("%-32s %8d edits  %10.1f ms\n", "incremental update",
-              editsInc, tInc * 1e3);
-  std::printf("%-32s %8d edits  %10.1f ms\n", "full reanalysis per edit",
-              editsFull, tFull * 1e3);
-  std::printf("speedup: %.1fx\n\n", tFull / (tInc > 0 ? tInc : 1e-9));
+  SessionResult inc = editSession(true);
+  SessionResult full = editSession(false);
+
+  std::printf("%-28s %14s %14s\n", "", "incremental", "rebuild-all");
+  row("edits", inc.edits, full.edits);
+  row("tests requested", inc.stats.testsRequested,
+      full.stats.testsRequested);
+  row("tests run", inc.stats.testsRun(), full.stats.testsRun());
+  row("memo hits", inc.stats.memoHits, full.stats.memoHits);
+  row("memo misses", inc.stats.memoMisses, full.stats.memoMisses);
+  row("pairs tested", inc.stats.pairsTested, full.stats.pairsTested);
+  row("pairs spliced", inc.stats.pairsSpliced, full.stats.pairsSpliced);
+  row("edges spliced", inc.stats.edgesSpliced, full.stats.edgesSpliced);
+  row("edges rebuilt", inc.stats.edgesRebuilt, full.stats.edgesRebuilt);
+  std::printf("per tier:\n");
+  row("  ZIV disproofs", inc.stats.zivDisproofs, full.stats.zivDisproofs);
+  row("  ZIV exact matches", inc.stats.zivExact, full.stats.zivExact);
+  row("  strong SIV tests", inc.stats.strongSiv, full.stats.strongSiv);
+  row("  strong SIV disproofs", inc.stats.strongSivDisproofs,
+      full.stats.strongSivDisproofs);
+  row("  index-array disproofs", inc.stats.indexArrayDisproofs,
+      full.stats.indexArrayDisproofs);
+  row("  FM runs", inc.stats.fmRuns, full.stats.fmRuns);
+  row("  FM disproofs", inc.stats.fmDisproofs, full.stats.fmDisproofs);
+  row("  assumed (pending)", inc.stats.assumed, full.stats.assumed);
+  std::printf("%-28s %13.1f%% %14s\n", "memo hit-rate",
+              inc.stats.testsRequested > 0
+                  ? 100.0 * static_cast<double>(inc.stats.memoHits) /
+                        static_cast<double>(inc.stats.testsRequested)
+                  : 0.0,
+              "-");
+  std::printf("%-28s %12.1fms %12.1fms\n", "edit wall time",
+              inc.seconds * 1e3, full.seconds * 1e3);
+  std::printf("%-28s %12.1fms %12.1fms\n", "  dependence pair phase",
+              inc.stats.pairSeconds * 1e3, full.stats.pairSeconds * 1e3);
+  std::printf("%-28s %12.1fms %12.1fms\n", "  dataflow phase",
+              inc.stats.dataflowSeconds * 1e3,
+              full.stats.dataflowSeconds * 1e3);
+  double ratio = inc.stats.testsRun() > 0
+                     ? static_cast<double>(full.stats.testsRun()) /
+                           static_cast<double>(inc.stats.testsRun())
+                     : 0.0;
+  std::printf("\ntest reduction: %.1fx fewer dependence tests "
+              "(target: >= 5x)\n",
+              ratio);
+  std::printf("wall-time speedup: %.1fx\n",
+              full.seconds / (inc.seconds > 0 ? inc.seconds : 1e-9));
+  std::printf("graphs agree: %s\n\n",
+              inc.digest == full.digest ? "yes" : "NO (BUG)");
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+# Exits non-zero on any configure/build/test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure

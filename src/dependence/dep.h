@@ -53,6 +53,16 @@ enum class DepMark {
 
 const char* depMarkName(DepMark m);
 
+/// Which builder section produced an edge. The incremental update splices
+/// only array-pair edges (the expensive, memoizable section); scalar,
+/// control and call-site edges are always recomputed.
+enum class DepOrigin : std::uint8_t {
+  ArrayPair,
+  Scalar,
+  Control,
+  CallSite,
+};
+
 /// One dependence edge.
 struct Dependence {
   std::uint32_t id = 0;
@@ -75,6 +85,7 @@ struct Dependence {
 
   DependenceVector vector;
   DepMark mark = DepMark::Pending;
+  DepOrigin origin = DepOrigin::ArrayPair;
   std::string reason;  // editable annotation, as in PED's REASON column
 
   /// True when one endpoint summarizes accesses inside a callee

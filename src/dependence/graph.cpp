@@ -1,11 +1,15 @@
 #include "dependence/graph.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "dataflow/constants.h"
 #include "dataflow/liveness.h"
 #include "dataflow/reaching.h"
+#include "fortran/pretty.h"
 #include "ir/refs.h"
 
 namespace ps::dep {
@@ -61,10 +65,39 @@ std::vector<const Loop*> commonNest(const std::vector<const Loop*>& a,
   return out;
 }
 
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string serializeSubMap(
+    const std::map<std::string, LinearExpr>& sub) {
+  std::string out;
+  for (const auto& [name, e] : sub) {
+    out += name;
+    out += '=';
+    appendLinearKey(out, e);
+  }
+  return out;
+}
+
 }  // namespace
 
 DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
                                        const AnalysisContext& ctx) {
+  return buildImpl(model, ctx, nullptr);
+}
+
+DependenceGraph DependenceGraph::update(ir::ProcedureModel& model,
+                                        const AnalysisContext& ctx,
+                                        const DependenceGraph& previous) {
+  return buildImpl(model, ctx, &previous);
+}
+
+DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
+                                           const AnalysisContext& ctx,
+                                           const DependenceGraph* previous) {
+  const auto tBuild = std::chrono::steady_clock::now();
   DependenceGraph g;
   g.model_ = &model;
 
@@ -83,9 +116,17 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
                           : std::vector<dataflow::Relation>{});
   PrivatizationAnalysis priv =
       PrivatizationAnalysis::build(model, fg, liveness);
+  g.stats_.dataflowSeconds = secondsSince(tBuild);
 
   const fortran::Procedure& proc = model.procedure();
   OpaqueTable opaques;
+
+  // Memoization: prefer the session-shared table (warm across rebuilds and
+  // procedures); fall back to a transient per-build table so structurally
+  // repeated pairs within one build still hit cache. Null disables (A2).
+  DepMemo localMemo;
+  DepMemo* memo = nullptr;
+  if (ctx.useMemo) memo = ctx.memo ? ctx.memo.get() : &localMemo;
 
   // -------------------------------------------------------------------
   // Per-statement substitution maps for subscript linearization, with
@@ -155,9 +196,14 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
   };
 
   // -------------------------------------------------------------------
-  // LoopContext per loop.
+  // LoopContext per loop, and one DependenceTester per common nest. A nest
+  // is uniquely identified by its innermost loop; every pair sharing that
+  // nest shares the tester (and through it the memo key prefix).
   // -------------------------------------------------------------------
-  auto contextOf = [&](const Loop* loop) -> LoopContext {
+  std::map<StmtId, LoopContext> lcCache;
+  auto contextOf = [&](const Loop* loop) -> const LoopContext& {
+    auto it = lcCache.find(loop->stmt->id);
+    if (it != lcCache.end()) return it->second;
     LoopContext lc;
     lc.iv = loop->inductionVar();
     lc.doStmt = loop->stmt->id;
@@ -169,7 +215,21 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
       LinearExpr st = linearizeSubscript(*loop->stmt->doStep, sub, opaques);
       lc.step = st.isConstant() ? st.constant : 0;
     }
-    return lc;
+    return lcCache.emplace(loop->stmt->id, std::move(lc)).first->second;
+  };
+
+  std::map<StmtId, std::unique_ptr<DependenceTester>> testerCache;
+  auto testerFor =
+      [&](const std::vector<const Loop*>& nest) -> DependenceTester& {
+    auto& slot = testerCache[nest.back()->stmt->id];
+    if (!slot) {
+      std::vector<LoopContext> lctxs;
+      for (const Loop* l : nest) lctxs.push_back(contextOf(l));
+      slot = std::make_unique<DependenceTester>(
+          std::move(lctxs), ctx.facts, ctx.indexFacts, opaques,
+          sym.definedIn(*nest.front()), ctx.cheapTestsFirst, memo);
+    }
+    return *slot;
   };
 
   auto effectiveStatus = [&](const Loop* loop,
@@ -198,7 +258,8 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
 
   auto addDep = [&](DepType type, const ARef& src, const ARef& dst,
                     const std::vector<const Loop*>& nest, int level,
-                    const LevelResult& res, bool interproc) {
+                    const LevelResult& res, bool interproc,
+                    DepOrigin origin) {
     Dependence d;
     d.id = g.nextId_++;
     d.type = type;
@@ -228,6 +289,7 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
     }
     d.mark = (res.answer == DepAnswer::DependenceExact) ? DepMark::Proven
                                                         : DepMark::Pending;
+    d.origin = origin;
     d.interprocedural = interproc;
     g.deps_.push_back(std::move(d));
   };
@@ -256,6 +318,184 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
     for (const Stmt* s : model.allStmts()) position[s->id] = idx++;
   }
 
+  // -------------------------------------------------------------------
+  // Incremental-update fingerprints. A reference pair's test battery is a
+  // pure function of: the context-wide inputs (facts, index-array facts,
+  // tester flags), the two statements (printed text, enclosing nest,
+  // substitution map), the nest's loops (bounds, step, iv, classification
+  // overrides, iteration-variant set) and — for loop-independent
+  // orientation — the endpoints' relative order. We record those inputs per
+  // build; the next update() splices the previous edges of every pair
+  // whose inputs are byte-identical.
+  // -------------------------------------------------------------------
+  std::string ctxSig = "C:";
+  {
+    ctxSig += ctx.includeInputDeps ? '1' : '0';
+    ctxSig += ctx.cheapTestsFirst ? '1' : '0';
+    ctxSig += ctx.useSymbolicInfo ? '1' : '0';
+    ctxSig += ctx.usePrivatization ? '1' : '0';
+    ctxSig += "|F:";
+    for (const Fact& f : ctx.facts) {
+      ctxSig += f.strict ? '!' : '.';
+      appendLinearKey(ctxSig, f.expr);
+    }
+    ctxSig += "|P:";
+    for (const auto& p : ctx.indexFacts.permutation) {
+      ctxSig += p;
+      ctxSig += ',';
+    }
+    ctxSig += "|S:";
+    for (const auto& [a, k] : ctx.indexFacts.strided) {
+      ctxSig += a + ':' + std::to_string(k) + ',';
+    }
+    ctxSig += "|X:";
+    for (const auto& [ab, k] : ctx.indexFacts.separated) {
+      ctxSig += ab.first + '/' + ab.second + ':' + std::to_string(k) + ',';
+    }
+    ctxSig += "|K:";
+    for (const auto& [name, v] : ctx.inheritedConstants) {
+      ctxSig += name + '=' + std::to_string(v) + ',';
+    }
+    ctxSig += "|R:";
+    for (const auto& r : ctx.inheritedRelations) {
+      ctxSig += r.name;
+      ctxSig += '=';
+      appendLinearKey(ctxSig, r.value);
+    }
+  }
+
+  std::map<StmtId, std::string> stmtSigCache;
+  auto stmtSigOf = [&](const Stmt* s) -> const std::string& {
+    auto it = stmtSigCache.find(s->id);
+    if (it != stmtSigCache.end()) return it->second;
+    std::string sig = fortran::printStmt(*s);
+    sig += '#';
+    for (const Loop* l : loopChain(model, s->id)) {
+      sig += std::to_string(l->stmt->id);
+      sig += ',';
+    }
+    sig += '#';
+    sig += serializeSubMap(subFor(s));
+    return stmtSigCache.emplace(s->id, std::move(sig)).first->second;
+  };
+
+  auto loopSigOf = [&](const Loop* l) {
+    const LoopContext& lc = contextOf(l);
+    std::string sig = lc.iv;
+    sig += '@';
+    appendLinearKey(sig, lc.lo);
+    appendLinearKey(sig, lc.hi);
+    sig += std::to_string(lc.step);
+    sig += "|O:";
+    auto itL = ctx.classificationOverrides.find(l->stmt->id);
+    if (itL != ctx.classificationOverrides.end()) {
+      for (const auto& [name, isPriv] : itL->second) {
+        sig += name;
+        sig += isPriv ? '+' : '-';
+      }
+    }
+    sig += "|V:";
+    for (const auto& v : sym.definedIn(*l)) {
+      sig += v;
+      sig += ',';
+    }
+    return sig;
+  };
+
+  if (ctx.incrementalUpdates) {
+    g.incr_.ctxSig = ctxSig;
+    g.incr_.position = position;
+    for (const auto& loopPtr : model.loops()) {
+      g.incr_.loopSig[loopPtr->stmt->id] = loopSigOf(loopPtr.get());
+    }
+    for (const auto& [array, refs] : refsByArray) {
+      (void)array;
+      for (const ARef& r : refs) {
+        g.incr_.stmtSig[r.stmt->id] = stmtSigOf(r.stmt);
+      }
+    }
+  }
+
+  // Can we splice edges from the previous build at all?
+  const IncrementalState* prev = nullptr;
+  if (ctx.incrementalUpdates && previous &&
+      !previous->incr_.ctxSig.empty() &&
+      previous->incr_.ctxSig == ctxSig) {
+    prev = &previous->incr_;
+  }
+
+  // Previous array-pair edges indexed by endpoint expressions. Statement
+  // ids are only reused by the very same AST node (edits always mint fresh
+  // ids), so a signature match means the old Expr pointers are alive and
+  // identical to the ones the current enumeration sees.
+  std::map<std::pair<const Expr*, const Expr*>,
+           std::vector<const Dependence*>>
+      prevEdges;
+  if (prev) {
+    for (const Dependence& d : previous->deps_) {
+      if (d.origin != DepOrigin::ArrayPair) continue;
+      prevEdges[{d.srcRef, d.dstRef}].push_back(&d);
+    }
+  }
+
+  auto pairClean = [&](const ARef& r1, const ARef& r2,
+                       const std::vector<const Loop*>& nest) {
+    if (!prev) return false;
+    auto s1 = prev->stmtSig.find(r1.stmt->id);
+    if (s1 == prev->stmtSig.end() || s1->second != stmtSigOf(r1.stmt)) {
+      return false;
+    }
+    auto s2 = prev->stmtSig.find(r2.stmt->id);
+    if (s2 == prev->stmtSig.end() || s2->second != stmtSigOf(r2.stmt)) {
+      return false;
+    }
+    for (const Loop* l : nest) {
+      auto ls = prev->loopSig.find(l->stmt->id);
+      if (ls == prev->loopSig.end() ||
+          ls->second != g.incr_.loopSig[l->stmt->id]) {
+        return false;
+      }
+    }
+    // Loop-independent orientation depends on which endpoint executes
+    // first; statement reordering (e.g. Statement Interchange) changes it
+    // without changing any statement's text.
+    auto p1 = prev->position.find(r1.stmt->id);
+    auto p2 = prev->position.find(r2.stmt->id);
+    if (p1 == prev->position.end() || p2 == prev->position.end()) {
+      return false;
+    }
+    return (p1->second <= p2->second) ==
+           (position[r1.stmt->id] <= position[r2.stmt->id]);
+  };
+
+  auto splicePair = [&](const ARef& r1, const ARef& r2) {
+    std::vector<const Dependence*> olds;
+    auto itF = prevEdges.find({r1.expr, r2.expr});
+    if (itF != prevEdges.end()) {
+      olds.insert(olds.end(), itF->second.begin(), itF->second.end());
+    }
+    if (r1.expr != r2.expr) {
+      auto itR = prevEdges.find({r2.expr, r1.expr});
+      if (itR != prevEdges.end()) {
+        olds.insert(olds.end(), itR->second.begin(), itR->second.end());
+      }
+    }
+    // Previous ids are creation-ordered; sorting restores the original
+    // interleaving of forward/reverse/loop-independent edges.
+    std::sort(olds.begin(), olds.end(),
+              [](const Dependence* a, const Dependence* b) {
+                return a->id < b->id;
+              });
+    for (const Dependence* old : olds) {
+      Dependence d = *old;
+      d.id = g.nextId_++;
+      g.deps_.push_back(std::move(d));
+    }
+    ++g.stats_.pairsSpliced;
+    g.stats_.edgesSpliced += static_cast<long long>(olds.size());
+  };
+
+  const auto tPairs = std::chrono::steady_clock::now();
   for (auto& [array, refs] : refsByArray) {
     (void)array;
     for (std::size_t i = 0; i < refs.size(); ++i) {
@@ -268,18 +508,22 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
                                loopChain(model, r2.stmt->id));
         if (nest.empty()) continue;
 
-        std::vector<LoopContext> lctxs;
-        for (const Loop* l : nest) lctxs.push_back(contextOf(l));
-        DependenceTester tester(lctxs, ctx.facts, ctx.indexFacts, opaques,
-                                sym.definedIn(*nest.front()),
-                                ctx.cheapTestsFirst);
+        if (pairClean(r1, r2, nest)) {
+          splicePair(r1, r2);
+          continue;
+        }
+        ++g.stats_.pairsTested;
 
+        DependenceTester& tester = testerFor(nest);
         const auto& sub1 = subFor(r1.stmt);
         const auto& sub2 = subFor(r2.stmt);
 
         // Refine the direction at the level below the carrier (what loop
-        // interchange legality needs) by constrained re-tests.
-        auto refineInner = [&](const RefPair& pair, int level) {
+        // interchange legality needs) by constrained re-tests. nullopt
+        // means all three inner directions were disproved: the plain
+        // level test was inexact and the edge does not actually exist.
+        auto refineInner =
+            [&](const RefPair& pair, int level) -> std::optional<Direction> {
           if (level >= static_cast<int>(nest.size())) return Direction::Star;
           bool lt = tester.test(pair, level, Direction::Lt).answer !=
                     DepAnswer::NoDependence;
@@ -288,6 +532,7 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
           bool gt = tester.test(pair, level, Direction::Gt).answer !=
                     DepAnswer::NoDependence;
           int count = (lt ? 1 : 0) + (eq ? 1 : 0) + (gt ? 1 : 0);
+          if (count == 0) return std::nullopt;
           if (count != 1) {
             if (lt && eq && !gt) return Direction::Le;
             if (!lt && eq && gt) return Direction::Ge;
@@ -296,6 +541,20 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
           if (lt) return Direction::Lt;
           if (eq) return Direction::Eq;
           return Direction::Gt;
+        };
+
+        // Attach the refined inner direction to the edge just added, or
+        // retract the edge when the constrained re-tests disproved every
+        // inner direction.
+        auto refineOrRetract = [&](const RefPair& pair, int level) {
+          if (static_cast<std::size_t>(level) >= nest.size()) return;
+          std::optional<Direction> dir = refineInner(pair, level);
+          if (!dir) {
+            g.deps_.pop_back();
+            --g.nextId_;
+            return;
+          }
+          g.deps_.back().vector.dirs[static_cast<std::size_t>(level)] = *dir;
         };
 
         // A user classification of the array as private w.r.t. a loop
@@ -317,23 +576,16 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
           LevelResult res = tester.test(fwd, level);
           if (res.answer != DepAnswer::NoDependence) {
             addDep(typeOf(r1.write, r2.write), r1, r2, nest, level, res,
-                   false);
-            if (static_cast<std::size_t>(level) < nest.size()) {
-              g.deps_.back().vector.dirs[static_cast<std::size_t>(level)] =
-                  refineInner(fwd, level);
-            }
+                   false, DepOrigin::ArrayPair);
+            refineOrRetract(fwd, level);
           }
           if (i != j) {
             RefPair rev{r2.expr, r1.expr, &sub2, &sub1};
             LevelResult rres = tester.test(rev, level);
             if (rres.answer != DepAnswer::NoDependence) {
               addDep(typeOf(r2.write, r1.write), r2, r1, nest, level, rres,
-                     false);
-              if (static_cast<std::size_t>(level) < nest.size()) {
-                g.deps_.back()
-                    .vector.dirs[static_cast<std::size_t>(level)] =
-                    refineInner(rev, level);
-              }
+                     false, DepOrigin::ArrayPair);
+              refineOrRetract(rev, level);
             }
           }
         }
@@ -349,22 +601,19 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
                 0);
             if (res.answer != DepAnswer::NoDependence) {
               addDep(typeOf(first.write, second.write), first, second, nest,
-                     0, res, false);
+                     0, res, false, DepOrigin::ArrayPair);
             }
           }
         }
-        g.stats_.zivDisproofs += tester.stats().zivDisproofs;
-        g.stats_.zivExact += tester.stats().zivExact;
-        g.stats_.strongSiv += tester.stats().strongSiv;
-        g.stats_.strongSivDisproofs += tester.stats().strongSivDisproofs;
-        g.stats_.indexArrayDisproofs += tester.stats().indexArrayDisproofs;
-        g.stats_.fmRuns += tester.stats().fmRuns;
-        g.stats_.fmDisproofs += tester.stats().fmDisproofs;
-        g.stats_.assumed += tester.stats().assumed;
       }
     }
   }
+  // Only array-pair edges exist so far; everything not spliced was rebuilt.
+  g.stats_.edgesRebuilt =
+      static_cast<long long>(g.deps_.size()) - g.stats_.edgesSpliced;
+  g.stats_.pairSeconds = secondsSince(tPairs);
 
+  const auto tOther = std::chrono::steady_clock::now();
   // -------------------------------------------------------------------
   // Scalar dependences, gated by privatization status per loop.
   // -------------------------------------------------------------------
@@ -519,8 +768,10 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
           auto nest = nestOf(w.stmt, r.stmt);
           int level = levelOf(nest);
           if (level == 0) continue;
-          addDep(DepType::True, w, r, nest, level, assumed, false);
-          addDep(DepType::Anti, r, w, nest, level, assumed, false);
+          addDep(DepType::True, w, r, nest, level, assumed, false,
+                 DepOrigin::Scalar);
+          addDep(DepType::Anti, r, w, nest, level, assumed, false,
+                 DepOrigin::Scalar);
         }
         // Output dependences only matter when the scalar's value can be
         // observed across iterations (exposed read) or after the loop —
@@ -533,7 +784,8 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
           auto nest = nestOf(w.stmt, w2.stmt);
           int level = levelOf(nest);
           if (level == 0) continue;
-          addDep(DepType::Output, w, w2, nest, level, assumed, false);
+          addDep(DepType::Output, w, w2, nest, level, assumed, false,
+                 DepOrigin::Scalar);
           break;  // one representative output edge per source write
         }
       }
@@ -561,6 +813,7 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
     d.vector.dirs.resize(nest.size(), Direction::Eq);
     d.vector.dists.resize(nest.size(), 0);
     d.mark = DepMark::Proven;
+    d.origin = DepOrigin::Control;
     g.deps_.push_back(std::move(d));
   }
 
@@ -664,11 +917,7 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
         auto nest = commonNest(loopChain(model, call->id),
                                loopChain(model, o.stmt->id));
         if (nest.empty()) continue;
-        std::vector<LoopContext> lctxs;
-        for (const Loop* l : nest) lctxs.push_back(contextOf(l));
-        DependenceTester tester(lctxs, ctx.facts, ctx.indexFacts, opaques,
-                                sym.definedIn(*nest.front()),
-                                ctx.cheapTestsFirst);
+        DependenceTester& tester = testerFor(nest);
         auto carrierPrivatized = [&](int level) {
           const Loop* carrier = nest[static_cast<std::size_t>(level - 1)];
           auto itL = ctx.classificationOverrides.find(carrier->stmt->id);
@@ -690,7 +939,7 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
           if (res.answer != DepAnswer::NoDependence &&
               (e.mayWrite || o.write)) {
             addDep(typeOf(e.mayWrite, o.write), callRef, o, nest, level, res,
-                   true);
+                   true, DepOrigin::CallSite);
           }
         }
       }
@@ -700,11 +949,7 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
       if (e.mayWrite) {
         auto nest = loopChain(model, call->id);
         if (!nest.empty()) {
-          std::vector<LoopContext> lctxs;
-          for (const Loop* l : nest) lctxs.push_back(contextOf(l));
-          DependenceTester tester(lctxs, ctx.facts, ctx.indexFacts, opaques,
-                                  sym.definedIn(*nest.front()),
-                                  ctx.cheapTestsFirst);
+          DependenceTester& tester = testerFor(nest);
           auto selfCarrierPrivatized = [&](int level) {
             const Loop* carrier =
                 nest[static_cast<std::size_t>(level - 1)];
@@ -727,7 +972,8 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
               }
               if (res.answer != DepAnswer::NoDependence) {
                 addDep(e2.mayWrite ? DepType::Output : DepType::True,
-                       callRef, callRef, nest, level, res, true);
+                       callRef, callRef, nest, level, res, true,
+                       DepOrigin::CallSite);
               }
             }
           }
@@ -735,6 +981,17 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
       }
     }
   }
+  g.stats_.otherSeconds = secondsSince(tOther);
+
+  // Tester tier/memo counters, once per tester (testers are shared by
+  // every pair in their nest, so per-pair accumulation would double
+  // count).
+  for (const auto& [doId, tester] : testerCache) {
+    (void)doId;
+    g.stats_.accumulate(tester->stats());
+  }
+  g.stats_.totalSeconds = secondsSince(tBuild);
+  if (ctx.statsSink) ctx.statsSink->accumulate(g.stats_);
 
   return g;
 }

@@ -46,6 +46,19 @@ struct AnalysisContext {
   bool useSymbolicInfo = true;
   /// Ablation: disable scalar privatization (A3) — every scalar is shared.
   bool usePrivatization = true;
+
+  /// Cross-build memo table for dependence-test results, shared by the
+  /// session across procedures and rebuilds. Null = a transient per-build
+  /// table (intra-build memoization only).
+  std::shared_ptr<DepMemo> memo;
+  /// Ablation: disable memoization entirely (A2 baseline).
+  bool useMemo = true;
+  /// Use the per-nest incremental splice path in Workspace::reanalyze;
+  /// false = rebuild the whole procedure graph on every edit (A2 baseline).
+  bool incrementalUpdates = true;
+  /// Optional sink accumulating per-tier/memo/splice counters across every
+  /// build this context participates in (session-wide observability).
+  TestStats* statsSink = nullptr;
 };
 
 /// The dependence graph of one procedure, as PED computes and displays it.
@@ -54,6 +67,20 @@ class DependenceGraph {
   /// Run all supporting analyses and build the graph.
   static DependenceGraph build(ir::ProcedureModel& model,
                                const AnalysisContext& ctx = {});
+
+  /// Incremental rebuild after an edit: re-runs the dependence-test battery
+  /// only for reference pairs whose test inputs (statement text, enclosing
+  /// nest, loop bounds, substitution maps, facts, classification overrides)
+  /// changed since `previous` was built, and splices the previous graph's
+  /// edges for every unchanged pair. The cleanliness checks compare the
+  /// actual test inputs, so the result is edge-for-edge identical to a
+  /// from-scratch build(). Scalar, control and call-site dependences are
+  /// always recomputed (they are cheap and depend on whole-procedure
+  /// dataflow). `previous` must describe the same procedure; its AST
+  /// statement ids are used to locate surviving statements.
+  static DependenceGraph update(ir::ProcedureModel& model,
+                                const AnalysisContext& ctx,
+                                const DependenceGraph& previous);
 
   [[nodiscard]] const std::vector<Dependence>& all() const { return deps_; }
   [[nodiscard]] std::vector<Dependence>& allMutable() { return deps_; }
@@ -89,9 +116,30 @@ class DependenceGraph {
   [[nodiscard]] Summary summary() const;
 
  private:
+  /// Per-statement/per-loop input fingerprints recorded by a build so the
+  /// next update() can prove which reference pairs are unaffected by an
+  /// edit. Empty when the build ran with incrementalUpdates off.
+  struct IncrementalState {
+    /// Context-wide inputs: facts, index-array facts, tester flags.
+    std::string ctxSig;
+    /// Per ref-bearing statement: printed text + enclosing DO chain +
+    /// substitution map used for its subscripts.
+    std::map<fortran::StmtId, std::string> stmtSig;
+    /// Per DO statement: loop context (bounds/step/iv), classification
+    /// overrides, and (for nest roots) the iteration-variant scalar set.
+    std::map<fortran::StmtId, std::string> loopSig;
+    /// Pre-order position, for loop-independent orientation checks.
+    std::map<fortran::StmtId, int> position;
+  };
+
+  static DependenceGraph buildImpl(ir::ProcedureModel& model,
+                                   const AnalysisContext& ctx,
+                                   const DependenceGraph* previous);
+
   std::vector<Dependence> deps_;
   ir::ProcedureModel* model_ = nullptr;
   TestStats stats_;
+  IncrementalState incr_;
   std::uint32_t nextId_ = 1;
 };
 

@@ -25,18 +25,110 @@ std::string sideTag(const std::string& base, bool isSrc) {
 
 }  // namespace
 
+void TestStats::accumulate(const TestStats& o) {
+  zivDisproofs += o.zivDisproofs;
+  zivExact += o.zivExact;
+  strongSiv += o.strongSiv;
+  strongSivDisproofs += o.strongSivDisproofs;
+  indexArrayDisproofs += o.indexArrayDisproofs;
+  fmRuns += o.fmRuns;
+  fmDisproofs += o.fmDisproofs;
+  assumed += o.assumed;
+  testsRequested += o.testsRequested;
+  memoHits += o.memoHits;
+  memoMisses += o.memoMisses;
+  pairsTested += o.pairsTested;
+  pairsSpliced += o.pairsSpliced;
+  edgesSpliced += o.edgesSpliced;
+  edgesRebuilt += o.edgesRebuilt;
+  dataflowSeconds += o.dataflowSeconds;
+  pairSeconds += o.pairSeconds;
+  otherSeconds += o.otherSeconds;
+  totalSeconds += o.totalSeconds;
+}
+
+void appendLinearKey(std::string& out, const LinearExpr& e) {
+  out += e.affine ? 'a' : 'n';
+  out += std::to_string(e.constant);
+  for (const auto& [v, c] : e.coef) {  // std::map: deterministic order
+    out += ',';
+    out += v;
+    out += ':';
+    out += std::to_string(c);
+  }
+  out += ';';
+}
+
+const LevelResult* DepMemo::lookup(const std::string& key) const {
+  auto it = table_.find(key);
+  if (it == table_.end() || it->second.gen != generation_) return nullptr;
+  return &it->second.result;
+}
+
+void DepMemo::insert(std::string key, const LevelResult& result) {
+  table_[std::move(key)] = Entry{result, generation_};
+}
+
 DependenceTester::DependenceTester(std::vector<LoopContext> commonLoops,
                                    std::vector<Fact> facts,
                                    IndexArrayFacts indexFacts,
                                    OpaqueTable& opaques,
                                    std::set<std::string> variantVars,
-                                   bool cheapFirst)
+                                   bool cheapFirst, DepMemo* memo)
     : loops_(std::move(commonLoops)),
       facts_(std::move(facts)),
       indexFacts_(std::move(indexFacts)),
       opaques_(opaques),
       variantVars_(std::move(variantVars)),
-      cheapFirst_(cheapFirst) {}
+      cheapFirst_(cheapFirst),
+      memo_(memo) {
+  if (!memo_) return;
+  // Canonical prefix: every per-nest/per-context input that influences a
+  // test result but is not part of the per-query subscript forms. Mutable
+  // user state (classification overrides) deliberately does NOT appear: it
+  // never changes a test outcome, only whether a test is issued.
+  keyPrefix_ += cheapFirst_ ? "c" : "f";
+  for (const LoopContext& lc : loops_) {
+    keyPrefix_ += "L";
+    keyPrefix_ += std::to_string(lc.step);
+    keyPrefix_ += '~';
+    appendLinearKey(keyPrefix_, lc.lo);
+    appendLinearKey(keyPrefix_, lc.hi);
+  }
+  keyPrefix_ += "F";
+  for (const Fact& f : facts_) {
+    keyPrefix_ += f.strict ? '>' : '!';
+    appendLinearKey(keyPrefix_, f.expr);
+  }
+  keyPrefix_ += "I";
+  for (const auto& a : indexFacts_.permutation) keyPrefix_ += "p" + a + ";";
+  for (const auto& [a, k] : indexFacts_.strided) {
+    keyPrefix_ += "s" + a + ":" + std::to_string(k) + ";";
+  }
+  for (const auto& [ab, k] : indexFacts_.separated) {
+    keyPrefix_ +=
+        "x" + ab.first + "," + ab.second + ":" + std::to_string(k) + ";";
+  }
+  // Iteration-variant scalars alter side-tagging of symbolic terms; the
+  // tags land in the diff forms, but a variable may also *stop* being
+  // variant, which changes nothing in the key — so pin the set here.
+  keyPrefix_ += "V";
+  for (const auto& v : variantVars_) keyPrefix_ += v + ",";
+}
+
+std::string DependenceTester::makeKey(
+    char tag, int level, int variant,
+    const std::vector<LinearExpr>& forms) const {
+  std::string key = keyPrefix_;
+  key += '|';
+  key += tag;
+  key += std::to_string(level);
+  key += '.';
+  key += std::to_string(variant);
+  key += '|';
+  for (const LinearExpr& f : forms) appendLinearKey(key, f);
+  return key;
+}
 
 bool DependenceTester::variantAtOrBelow(const std::string& var,
                                         int level) const {
@@ -186,7 +278,7 @@ bool DependenceTester::indexArrayDisproof(const LinearExpr& diff,
 
 LevelResult DependenceTester::test(const RefPair& pair, int level,
                                    Direction innerDir) {
-  LevelResult result;
+  ++stats_.testsRequested;
 
   // Dimension count: treat the common prefix.
   std::size_t dims = std::min(pair.src->args.size(), pair.dst->args.size());
@@ -200,6 +292,23 @@ LevelResult DependenceTester::test(const RefPair& pair, int level,
     diffs.push_back(std::move(diff));
   }
 
+  std::string key;
+  if (memo_) {
+    key = makeKey('t', level, static_cast<int>(innerDir), diffs);
+    if (const LevelResult* hit = memo_->lookup(key)) {
+      ++stats_.memoHits;
+      return *hit;
+    }
+    ++stats_.memoMisses;
+  }
+  LevelResult result = runSuite(diffs, level, innerDir);
+  if (memo_) memo_->insert(std::move(key), result);
+  return result;
+}
+
+LevelResult DependenceTester::runSuite(const std::vector<LinearExpr>& diffs,
+                                       int level, Direction innerDir) {
+  LevelResult result;
   bool allExact = true;
   std::optional<long long> distance;
 
@@ -388,6 +497,7 @@ LevelResult DependenceTester::testSection(
     const Expr& ref, const std::map<std::string, LinearExpr>& refSub,
     const Section& section, const std::map<std::string, LinearExpr>& callSub,
     int level, bool callIsSrc) {
+  ++stats_.testsRequested;
   LevelResult result;
   std::vector<Constraint> cs;
   std::size_t dims = std::min(ref.args.size(), section.dims.size());
@@ -414,11 +524,24 @@ LevelResult DependenceTester::testSection(
     ++stats_.assumed;
     return result;  // nothing to disprove with
   }
+  std::string key;
+  if (memo_) {
+    std::vector<LinearExpr> forms;
+    forms.reserve(cs.size());
+    for (const Constraint& c : cs) forms.push_back(c.expr);
+    key = makeKey('s', level, callIsSrc ? 1 : 0, forms);
+    if (const LevelResult* hit = memo_->lookup(key)) {
+      ++stats_.memoHits;
+      return *hit;
+    }
+    ++stats_.memoMisses;
+  }
   if (finishFm(std::move(cs), level)) {
     result.answer = DepAnswer::NoDependence;
-    return result;
+  } else {
+    ++stats_.assumed;
   }
-  ++stats_.assumed;
+  if (memo_) memo_->insert(std::move(key), result);
   return result;
 }
 
@@ -426,6 +549,7 @@ LevelResult DependenceTester::testSections(
     const Section& a, const std::map<std::string, LinearExpr>& aSub,
     const Section& b, const std::map<std::string, LinearExpr>& bSub,
     int level) {
+  ++stats_.testsRequested;
   LevelResult result;
   std::vector<Constraint> cs;
   std::size_t dims = std::min(a.dims.size(), b.dims.size());
@@ -457,11 +581,24 @@ LevelResult DependenceTester::testSections(
     ++stats_.assumed;
     return result;
   }
+  std::string key;
+  if (memo_) {
+    std::vector<LinearExpr> forms;
+    forms.reserve(cs.size());
+    for (const Constraint& c : cs) forms.push_back(c.expr);
+    key = makeKey('b', level, 0, forms);
+    if (const LevelResult* hit = memo_->lookup(key)) {
+      ++stats_.memoHits;
+      return *hit;
+    }
+    ++stats_.memoMisses;
+  }
   if (finishFm(std::move(cs), level)) {
     result.answer = DepAnswer::NoDependence;
-    return result;
+  } else {
+    ++stats_.assumed;
   }
-  ++stats_.assumed;
+  if (memo_) memo_->insert(std::move(key), result);
   return result;
 }
 

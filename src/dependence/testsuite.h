@@ -1,10 +1,12 @@
 #ifndef PS_DEPENDENCE_TESTSUITE_H
 #define PS_DEPENDENCE_TESTSUITE_H
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dataflow/linear.h"
@@ -68,7 +70,8 @@ struct LevelResult {
   std::optional<long long> distance;
 };
 
-/// Counters for the hierarchical suite (ablation benches A1/A3).
+/// Counters for the hierarchical suite (ablation benches A1/A2/A3) plus the
+/// memoization and incremental-splice observability counters.
 struct TestStats {
   long long zivDisproofs = 0;
   long long zivExact = 0;
@@ -78,7 +81,67 @@ struct TestStats {
   long long fmRuns = 0;
   long long fmDisproofs = 0;
   long long assumed = 0;
+
+  /// Dependence-test queries issued (test/testSection/testSections calls).
+  long long testsRequested = 0;
+  /// Queries answered from the memo table without running any tier.
+  long long memoHits = 0;
+  /// Queries that ran the suite and populated the memo table.
+  long long memoMisses = 0;
+
+  /// Reference pairs whose test battery actually ran this build.
+  long long pairsTested = 0;
+  /// Reference pairs skipped by the incremental update (inputs unchanged).
+  long long pairsSpliced = 0;
+  /// Edges copied over from the previous graph by the incremental update.
+  long long edgesSpliced = 0;
+  /// Edges produced by running tests in this build.
+  long long edgesRebuilt = 0;
+
+  /// Wall time per phase, in seconds (dataflow setup, array-pair testing,
+  /// scalar/control/call-site sections, whole build).
+  double dataflowSeconds = 0;
+  double pairSeconds = 0;
+  double otherSeconds = 0;
+  double totalSeconds = 0;
+
+  /// Tests that actually executed (requested minus memo hits).
+  [[nodiscard]] long long testsRun() const {
+    return testsRequested - memoHits;
+  }
+
+  void accumulate(const TestStats& o);
 };
+
+/// Cross-build memo table for dependence-test results. The key is a
+/// canonical form of (nest shape, facts, level, direction constraint,
+/// subscript-difference forms), so structurally identical pairs like
+/// A(I,J) vs A(I,J-1) across statements — and across rebuilds — are
+/// answered without re-running the tier suite. Entries are stamped with a
+/// generation counter; bumping the generation (on any user edit that
+/// changes facts/indexFacts) invalidates every cached result at once
+/// without keying on mutable context state.
+class DepMemo {
+ public:
+  /// Returns the cached result for `key`, or null on miss/stale entry.
+  [[nodiscard]] const LevelResult* lookup(const std::string& key) const;
+  void insert(std::string key, const LevelResult& result);
+  /// Invalidate every entry (lazily, via the generation stamp).
+  void invalidateAll() { ++generation_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+ private:
+  struct Entry {
+    LevelResult result;
+    std::uint64_t gen = 0;
+  };
+  std::unordered_map<std::string, Entry> table_;
+  std::uint64_t generation_ = 0;
+};
+
+/// Append a canonical rendering of a linear form to a memo key.
+void appendLinearKey(std::string& out, const dataflow::LinearExpr& e);
 
 /// The hierarchical dependence tester: "a hierarchical suite of tests is
 /// used, starting with inexpensive tests, to prove or disprove that a
@@ -90,7 +153,7 @@ class DependenceTester {
                    std::vector<Fact> facts, IndexArrayFacts indexFacts,
                    OpaqueTable& opaques,
                    std::set<std::string> variantVars = {},
-                   bool cheapFirst = true);
+                   bool cheapFirst = true, DepMemo* memo = nullptr);
 
   /// Test for a dependence src -> dst carried at `level` (1-based index into
   /// the common nest; 0 = loop-independent, i.e. same iteration of every
@@ -136,9 +199,18 @@ class DependenceTester {
 
   bool indexArrayDisproof(const dataflow::LinearExpr& diff, int level) const;
 
+  /// The tier suite proper, after the subscript differences are formed.
+  LevelResult runSuite(const std::vector<dataflow::LinearExpr>& diffs,
+                       int level, Direction innerDir);
+
   /// Append iteration-variable bounds, carrier direction and facts, then run
   /// Fourier–Motzkin; returns true when the system is infeasible.
   bool finishFm(std::vector<Constraint> cs, int level);
+
+  /// Canonical memo key: nest/facts prefix + query tag + linear forms.
+  [[nodiscard]] std::string makeKey(
+      char tag, int level, int variant,
+      const std::vector<dataflow::LinearExpr>& forms) const;
 
   std::vector<LoopContext> loops_;
   std::vector<Fact> facts_;
@@ -146,6 +218,8 @@ class DependenceTester {
   OpaqueTable& opaques_;
   std::set<std::string> variantVars_;
   bool cheapFirst_;
+  DepMemo* memo_ = nullptr;
+  std::string keyPrefix_;  // canonical nest shape + facts, set when memoized
   TestStats stats_;
 };
 

@@ -68,6 +68,12 @@ dep::AnalysisContext Session::contextFor(const std::string& name) {
   if (itOv != overrides_.end()) ctx.classificationOverrides = itOv->second;
   ctx.inheritedConstants = summaries_->inheritedConstantsFor(name);
   ctx.inheritedRelations = summaries_->inheritedRelationsFor(name);
+  // Incremental machinery: the session-shared memo (warm across rebuilds
+  // and procedures) and the splice path. Both off = the A2 baseline.
+  ctx.incrementalUpdates = incrementalUpdates_;
+  ctx.useMemo = incrementalUpdates_;
+  ctx.memo = incrementalUpdates_ ? memo_ : nullptr;
+  ctx.statsSink = &stats_;
   return ctx;
 }
 
@@ -92,9 +98,20 @@ transform::Workspace& Session::workspace() { return wsFor(current_); }
 void Session::fullReanalysis() {
   workspaces_.clear();
   oracles_.clear();
+  memo_->invalidateAll();
   summaries_ = std::make_unique<interproc::SummaryBuilder>(*program_);
   for (const auto& u : program_->units) {
     (void)wsFor(u->name);
+  }
+}
+
+void Session::setIncrementalUpdates(bool on) {
+  incrementalUpdates_ = on;
+  for (auto& [name, ws] : workspaces_) {
+    (void)name;
+    ws->actx.incrementalUpdates = on;
+    ws->actx.useMemo = on;
+    ws->actx.memo = on ? memo_ : nullptr;
   }
 }
 
@@ -443,6 +460,10 @@ bool Session::addAssertion(const std::string& payload) {
   auto a = parseAssertion(payload, diags_);
   if (!a) return false;
   assertions_.push_back(std::move(*a));
+  // The fact base changed: every memoized test result may now be stale.
+  // One generation bump lazily invalidates the whole table (the memo never
+  // keys on mutable context state, so this is the only hook needed).
+  memo_->invalidateAll();
   // Incremental: rebuild only materialized workspaces with the new facts.
   for (auto& [name, ws] : workspaces_) {
     ws->actx = contextFor(name);

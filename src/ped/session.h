@@ -234,9 +234,27 @@ class Session {
     return *summaries_;
   }
   /// Rebuild summaries + all workspaces (the non-incremental A2 baseline);
-  /// incremental updates only touch the edited procedure.
+  /// incremental updates only touch the edited procedure. Also empties the
+  /// cross-build dependence-test memo.
   void fullReanalysis();
   [[nodiscard]] int reanalysisCount() const;
+
+  /// Toggle the incremental machinery as a whole: per-nest edge splicing in
+  /// Workspace::reanalyze AND the session-shared dependence-test memo. Off =
+  /// the A2 rebuild-all baseline (every edit re-runs every test).
+  void setIncrementalUpdates(bool on);
+  [[nodiscard]] bool incrementalUpdates() const {
+    return incrementalUpdates_;
+  }
+
+  /// Cumulative dependence-analysis counters across every (re)build this
+  /// session performed: per-tier test counts, memo hits/misses, edges
+  /// spliced vs rebuilt, and per-phase wall time.
+  [[nodiscard]] const dep::TestStats& analysisStats() const {
+    return stats_;
+  }
+  void resetAnalysisStats() { stats_ = {}; }
+  [[nodiscard]] const dep::DepMemo& memo() const { return *memo_; }
 
  private:
   Session() = default;
@@ -263,6 +281,13 @@ class Session {
     std::string reason;
   };
   std::map<std::string, MarkRecord> marks_;  // key: dep signature
+
+  /// Dependence-test memo shared by every workspace (and trial sandbox) of
+  /// this session, across procedures and rebuilds. Invalidated wholesale
+  /// whenever the fact base changes (assertions, full reanalysis).
+  std::shared_ptr<dep::DepMemo> memo_ = std::make_shared<dep::DepMemo>();
+  dep::TestStats stats_;
+  bool incrementalUpdates_ = true;
 
   std::string current_;
   fortran::StmtId currentLoop_ = fortran::kInvalidStmt;

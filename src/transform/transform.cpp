@@ -21,8 +21,16 @@ Workspace::Workspace(fortran::Program& programIn, fortran::Procedure& procIn,
 void Workspace::reanalyze() {
   program.assignIds();
   model = std::make_unique<ir::ProcedureModel>(proc);
-  graph = std::make_unique<dep::DependenceGraph>(
-      dep::DependenceGraph::build(*model, actx));
+  if (actx.incrementalUpdates && graph) {
+    // Incremental path: splice the previous graph's edges for every
+    // reference pair whose test inputs are unchanged; only the edited
+    // nest's pairs are re-tested.
+    graph = std::make_unique<dep::DependenceGraph>(
+        dep::DependenceGraph::update(*model, actx, *graph));
+  } else {
+    graph = std::make_unique<dep::DependenceGraph>(
+        dep::DependenceGraph::build(*model, actx));
+  }
   ++reanalyses;
 }
 

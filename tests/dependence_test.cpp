@@ -625,5 +625,156 @@ TEST(Graph, AblationFmOnlySkipsCheapTiers) {
   EXPECT_GE(b.graph.stats().fmRuns, 1);
 }
 
+// ---------------------------------------------------------------------------
+// Direction refinement (refineInner) correctness
+// ---------------------------------------------------------------------------
+
+// The strong SIV tier skips its trip-count check when a loop bound is
+// symbolic, so A(I+5) vs A(I) in DO I = 1, N is reported as an exact
+// distance-5 dependence. A user fact N <= 3 lets the constrained
+// Fourier–Motzkin re-tests of refineInner disprove every inner direction
+// (Lt, Eq and Gt all infeasible: the distance exceeds the trip count).
+// count == 0 used to fall into the conservative '*' branch, keeping a
+// dependence that provably does not exist; it must retract the edge.
+TEST(Graph, RefineInnerAllDirectionsDisprovedRetractsEdge) {
+  const char* src =
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        DO J = 1, 10\n"
+      "          A(I + 5) = A(I)\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      END\n";
+
+  // Note: the J-carried output self-dependence of A(I+5) is real (J never
+  // appears in the subscript) and must survive; only the I-carried flow
+  // dependence A(I+5) -> A(I) is disproved by the fact.
+  auto countFlow = [](const DependenceGraph& g) {
+    int n = 0;
+    for (const auto& d : g.all()) {
+      if (d.variable == "A" && d.type == DepType::True) ++n;
+    }
+    return n;
+  };
+
+  // Without the fact the flow dependence survives (N could be huge).
+  auto plain = buildGraph(src);
+  EXPECT_GE(countFlow(plain.graph), 1);
+  EXPECT_FALSE(plain.graph.parallelizable(*plain.model->topLevelLoops()[0]));
+
+  AnalysisContext ctx;
+  ctx.facts.push_back({lin({{"N", -1}}, 3), /*strict=*/false});  // N <= 3
+  auto b = buildGraph(src, ctx);
+  EXPECT_EQ(countFlow(b.graph), 0)
+      << "refineInner disproved every inner direction but the edge survived";
+  auto* outer = b.model->topLevelLoops()[0];
+  EXPECT_TRUE(b.graph.parallelizable(*outer));
+}
+
+// ---------------------------------------------------------------------------
+// Memoized testing and incremental update
+// ---------------------------------------------------------------------------
+
+const char* kRepeatedPatterns =
+    "      SUBROUTINE S(A, B, N)\n"
+    "      REAL A(N, N), B(N, N)\n"
+    "      DO I = 2, N\n"
+    "        DO J = 2, N\n"
+    "          A(I, J) = A(I, J - 1)\n"
+    "          B(I, J) = B(I, J - 1)\n"
+    "        ENDDO\n"
+    "      ENDDO\n"
+    "      END\n";
+
+// Structurally identical subscript pairs (A and B have the same shape)
+// share memo entries even within one cold build.
+TEST(Graph, MemoHitsOnRepeatedPatternsWithinOneBuild) {
+  auto b = buildGraph(kRepeatedPatterns);
+  EXPECT_GT(b.graph.stats().memoHits, 0);
+  EXPECT_EQ(b.graph.stats().testsRun(),
+            b.graph.stats().memoMisses);
+}
+
+// A session-shared memo answers a rebuild's tests from cache, and the
+// resulting graph is identical to the cold build's.
+TEST(Graph, WarmMemoRebuildMatchesColdBuild) {
+  AnalysisContext ctx;
+  ctx.memo = std::make_shared<DepMemo>();
+  auto cold = buildGraph(kRepeatedPatterns, ctx);
+  auto warm = buildGraph(kRepeatedPatterns, ctx);
+  EXPECT_EQ(warm.graph.stats().memoMisses, 0);
+  EXPECT_GT(warm.graph.stats().memoHits, 0);
+  ASSERT_EQ(warm.graph.all().size(), cold.graph.all().size());
+  for (std::size_t i = 0; i < cold.graph.all().size(); ++i) {
+    const Dependence& c = cold.graph.all()[i];
+    const Dependence& w = warm.graph.all()[i];
+    EXPECT_EQ(c.type, w.type);
+    EXPECT_EQ(c.variable, w.variable);
+    EXPECT_EQ(c.level, w.level);
+    EXPECT_EQ(c.vector.str(), w.vector.str());
+    EXPECT_EQ(c.mark, w.mark);
+  }
+}
+
+// Disabling memoization must not change results, only the counters.
+TEST(Graph, MemoDisabledRunsEveryTest) {
+  AnalysisContext ctx;
+  ctx.useMemo = false;
+  auto b = buildGraph(kRepeatedPatterns, ctx);
+  EXPECT_EQ(b.graph.stats().memoHits, 0);
+  EXPECT_EQ(b.graph.stats().memoMisses, 0);
+  EXPECT_EQ(b.graph.stats().testsRun(), b.graph.stats().testsRequested);
+  auto memoized = buildGraph(kRepeatedPatterns);
+  EXPECT_EQ(b.graph.all().size(), memoized.graph.all().size());
+}
+
+// update() against an unchanged procedure splices every reference pair and
+// issues zero dependence tests.
+TEST(Graph, UpdateUnchangedSplicesEveryPair) {
+  auto b = buildGraph(kRepeatedPatterns);
+  AnalysisContext ctx;
+  DependenceGraph g2 = DependenceGraph::update(*b.model, ctx, b.graph);
+  EXPECT_EQ(g2.stats().pairsTested, 0);
+  EXPECT_GT(g2.stats().pairsSpliced, 0);
+  EXPECT_EQ(g2.stats().testsRequested, 0);
+  EXPECT_EQ(g2.stats().edgesRebuilt, 0);
+  ASSERT_EQ(g2.all().size(), b.graph.all().size());
+  for (std::size_t i = 0; i < g2.all().size(); ++i) {
+    const Dependence& a = b.graph.all()[i];
+    const Dependence& c = g2.all()[i];
+    EXPECT_EQ(a.type, c.type);
+    EXPECT_EQ(a.variable, c.variable);
+    EXPECT_EQ(a.srcStmt, c.srcStmt);
+    EXPECT_EQ(a.dstStmt, c.dstStmt);
+    EXPECT_EQ(a.level, c.level);
+    EXPECT_EQ(a.vector.str(), c.vector.str());
+  }
+}
+
+// A changed fact base must defeat the splice (ctx signature mismatch) and
+// produce the sharper graph.
+TEST(Graph, UpdateWithNewFactsRetests) {
+  const char* src =
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, N\n"
+      "        DO J = 1, 10\n"
+      "          A(I + 5) = A(I)\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      END\n";
+  auto b = buildGraph(src);
+  AnalysisContext sharper;
+  sharper.facts.push_back({lin({{"N", -1}}, 3), /*strict=*/false});
+  DependenceGraph g2 = DependenceGraph::update(*b.model, sharper, b.graph);
+  EXPECT_EQ(g2.stats().pairsSpliced, 0);
+  int flow = 0;
+  for (const auto& d : g2.all()) {
+    if (d.variable == "A" && d.type == DepType::True) ++flow;
+  }
+  EXPECT_EQ(flow, 0);
+}
+
 }  // namespace
 }  // namespace ps::dep

@@ -558,5 +558,84 @@ TEST(Render, WindowShowsThreePanes) {
   EXPECT_NE(w.find("private"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Memoized + incremental analysis plumbing
+// ---------------------------------------------------------------------------
+
+// An assertion edit changes the fact base, so every memoized test result may
+// be stale. The session invalidates the memo by bumping its generation; if a
+// stale entry survived, the rebuild would reuse the assumed-dependence answer
+// and the loop would stay non-parallelizable.
+TEST(Session, AssertionEditInvalidatesMemoAndChangesGraph) {
+  const char* src =
+      "      SUBROUTINE SCATTER(A, IT, N)\n"
+      "      REAL A(N)\n"
+      "      INTEGER IT(N)\n"
+      "      DO I = 1, N\n"
+      "        A(IT(I)) = A(IT(I)) + 1.0\n"
+      "      ENDDO\n"
+      "      END\n";
+  auto s = load(src);
+  EXPECT_FALSE(s->loops()[0].parallelizable);
+  // The initial build ran with the shared memo: identical queries from the
+  // write-write and write-read pairs of A(IT(I)) hit cache.
+  EXPECT_GT(s->analysisStats().memoHits, 0);
+  const auto gen0 = s->memo().generation();
+  ASSERT_TRUE(s->addAssertion("ASSERT PERMUTATION (IT)"));
+  EXPECT_GT(s->memo().generation(), gen0);
+  EXPECT_TRUE(s->loops()[0].parallelizable);
+}
+
+// An editor change re-tests only the pairs of the edited nest; pairs in
+// untouched nests splice their previous edges without issuing tests.
+TEST(Session, IncrementalEditSplicesUnchangedPairs) {
+  const char* src =
+      "      SUBROUTINE TWO(A, B, N)\n"
+      "      REAL A(N), B(N)\n"
+      "      DO I = 2, N\n"
+      "        A(I) = A(I - 1) + 1.0\n"
+      "      ENDDO\n"
+      "      DO J = 2, N\n"
+      "        B(J) = B(J - 1) + 2.0\n"
+      "      ENDDO\n"
+      "      END\n";
+  auto s = load(src);
+  auto loops = s->loops();
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_FALSE(loops[0].parallelizable);
+  EXPECT_FALSE(loops[1].parallelizable);
+
+  fortran::StmtId target = fortran::kInvalidStmt;
+  for (const auto& row : s->sourcePane()) {
+    if (row.text.find("B(J - 1)") != std::string::npos) target = row.stmt;
+  }
+  ASSERT_NE(target, fortran::kInvalidStmt);
+
+  s->resetAnalysisStats();
+  ASSERT_TRUE(s->editStatement(target, "B(J) = B(J - 1)*3.0"));
+  const auto& st = s->analysisStats();
+  // The A-nest pairs were untouched by the edit: spliced, not re-tested.
+  EXPECT_GT(st.pairsSpliced, 0);
+  EXPECT_GT(st.edgesSpliced, 0);
+  // The edited B pair ran its battery.
+  EXPECT_GT(st.pairsTested, 0);
+  loops = s->loops();
+  EXPECT_FALSE(loops[0].parallelizable);
+  EXPECT_FALSE(loops[1].parallelizable);
+
+  // The A2 baseline re-tests everything. (The edit minted a fresh id for
+  // the B statement, so locate it again.)
+  target = fortran::kInvalidStmt;
+  for (const auto& row : s->sourcePane()) {
+    if (row.text.find("B(J - 1)") != std::string::npos) target = row.stmt;
+  }
+  ASSERT_NE(target, fortran::kInvalidStmt);
+  s->setIncrementalUpdates(false);
+  s->resetAnalysisStats();
+  ASSERT_TRUE(s->editStatement(target, "B(J) = B(J - 1)*4.0"));
+  EXPECT_EQ(s->analysisStats().pairsSpliced, 0);
+  EXPECT_GT(s->analysisStats().pairsTested, 0);
+}
+
 }  // namespace
 }  // namespace ps::ped

@@ -329,6 +329,118 @@ TEST(Editing, InsertAndDelete) {
   EXPECT_EQ(s->sourcePane().size(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// 6. Incremental update is invisible: after ANY sequence of random edits
+//    (and safe transformations), the session's incrementally-maintained
+//    graph — spliced edges, warm memo and all — is edge-for-edge identical
+//    to a from-scratch build over the same model and context.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::multiset<std::string> canonicalEdges(const dep::DependenceGraph& g) {
+  std::multiset<std::string> out;
+  for (const auto& d : g.all()) {
+    out.insert(std::string(dep::depTypeName(d.type)) + "|" + d.variable +
+               "|" + std::to_string(d.srcStmt) + "|" +
+               std::to_string(d.dstStmt) + "|" + std::to_string(d.level) +
+               "|" + d.vector.str() + "|" + dep::depMarkName(d.mark));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(IncrementalProperty, RandomEditSequenceMatchesScratchBuild) {
+  const char* src =
+      "      SUBROUTINE S(A, B, C, N)\n"
+      "      REAL A(N), B(N), C(N)\n"
+      "      DO I = 2, N\n"
+      "        A(I) = A(I - 1) + 1.0\n"
+      "      ENDDO\n"
+      "      DO J = 2, N\n"
+      "        B(J) = B(J - 1)*2.0\n"
+      "      ENDDO\n"
+      "      END\n";
+  DiagnosticEngine diags;
+  auto s = ped::Session::load(src, diags);
+  ASSERT_NE(s, nullptr);
+  ASSERT_FALSE(diags.hasErrors()) << diags.dump();
+
+  const char* aEdits[] = {"A(I) = A(I - 1) + 1.0", "A(I) = B(I) + 1.0",
+                          "A(I) = A(I)*2.0", "A(I) = A(I + 2) - 1.0"};
+  const char* bEdits[] = {"B(J) = B(J - 1)*2.0", "B(J) = 1.0",
+                          "B(J) = B(J) + A(J)", "B(J) = B(J + 3) - B(J)"};
+  auto findRow = [&](const char* needle) {
+    fortran::StmtId id = fortran::kInvalidStmt;
+    for (const auto& row : s->sourcePane()) {
+      if (row.text.find(needle) != std::string::npos) id = row.stmt;
+    }
+    return id;
+  };
+
+  std::mt19937 rng(20260806);
+  for (int step = 0; step < 30; ++step) {
+    switch (rng() % 5) {
+      case 0: {  // rewrite the A-nest assignment
+        fortran::StmtId id = findRow("A(I) =");
+        if (id != fortran::kInvalidStmt) {
+          ASSERT_TRUE(s->editStatement(id, aEdits[rng() % 4])) << step;
+        }
+        break;
+      }
+      case 1: {  // rewrite the B-nest assignment
+        fortran::StmtId id = findRow("B(J) =");
+        if (id != fortran::kInvalidStmt) {
+          ASSERT_TRUE(s->editStatement(id, bEdits[rng() % 4])) << step;
+        }
+        break;
+      }
+      case 2: {  // grow the A nest
+        fortran::StmtId id = findRow("A(I) =");
+        if (id != fortran::kInvalidStmt) {
+          ASSERT_TRUE(s->insertStatementAfter(id, "C(I) = A(I) + 2.0"))
+              << step;
+        }
+        break;
+      }
+      case 3: {  // shrink it back
+        fortran::StmtId id = findRow("C(I) =");
+        if (id != fortran::kInvalidStmt) {
+          ASSERT_TRUE(s->deleteStatement(id)) << step;
+        }
+        break;
+      }
+      default: {  // apply whatever safe transformation guidance offers
+        auto loops = s->loops();
+        if (!loops.empty()) {
+          auto menu = s->guidance(loops[rng() % loops.size()].id, true);
+          if (!menu.empty()) {
+            const auto& pick = menu[rng() % menu.size()];
+            std::string err;
+            s->applyTransformation(pick.transformation, pick.target, &err);
+          }
+        }
+        break;
+      }
+    }
+    // The invariant: incremental == from-scratch, every single step.
+    transform::Workspace& ws = s->workspace();
+    dep::AnalysisContext scratch = ws.actx;
+    scratch.useMemo = false;
+    scratch.memo = nullptr;
+    scratch.statsSink = nullptr;
+    scratch.incrementalUpdates = false;
+    auto fresh = dep::DependenceGraph::build(*ws.model, scratch);
+    EXPECT_EQ(canonicalEdges(fresh), canonicalEdges(*ws.graph))
+        << "divergence after step " << step << ":\n"
+        << fortran::printProgram(s->program());
+  }
+  // The sweep must actually have exercised the incremental machinery.
+  EXPECT_GT(s->analysisStats().pairsSpliced, 0);
+  EXPECT_GT(s->analysisStats().memoHits, 0);
+}
+
 TEST(Editing, EditedArrayRefsParseInContext) {
   // The edit text references an array: it must parse as an ArrayRef (not a
   // function call) because the session supplies the declaration context.
