@@ -1,0 +1,137 @@
+// Robustness bench: the cost of power steering. Measures the invariant
+// auditor (Off / Cheap / Deep) on top of every transformation, the price of
+// a transactional apply + rollback cycle, and — the safety claim itself —
+// verifies that auditing never changes the analysis: the dependence graphs
+// built with auditing enabled are identical to the unaudited ones for every
+// workload.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fortran/pretty.h"
+#include "transform/transform.h"
+
+namespace {
+
+using ps::bench::loadWorkload;
+
+/// Stable rendering of every dependence edge of every workload procedure.
+std::string graphsFingerprint(ps::ped::Session& s) {
+  std::string out;
+  for (const auto& name : s.procedureNames()) {
+    s.selectProcedure(name);
+    (void)s.loops();  // materialize the workspace
+    for (const auto& r : s.dependencePane()) {
+      out += name + "|" + r.type + "|" + r.source + "|" + r.sink + "|" +
+             r.vector + "|" + std::to_string(r.level) + "\n";
+    }
+  }
+  return out;
+}
+
+/// One full edit cycle under the given audit mode: insert a statement after
+/// the first source row, then delete it again.
+void editCycle(ps::ped::Session& s) {
+  auto rows = s.sourcePane();
+  if (rows.size() < 2) return;
+  if (!s.insertStatementAfter(rows[1].stmt, "CONTINUE")) return;
+  auto after = s.sourcePane();
+  for (std::size_t i = 0; i + 1 < after.size(); ++i) {
+    if (after[i].stmt == rows[1].stmt) {
+      s.deleteStatement(after[i + 1].stmt);
+      break;
+    }
+  }
+}
+
+void BM_EditCycleAuditMode(benchmark::State& state) {
+  auto s = loadWorkload("slab2d");
+  if (!s) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const auto mode = static_cast<ps::ped::AuditMode>(state.range(0));
+  s->setAuditMode(mode);
+  (void)s->loops();
+  for (auto _ : state) {
+    editCycle(*s);
+  }
+  state.SetLabel(mode == ps::ped::AuditMode::Off     ? "audit=off"
+                 : mode == ps::ped::AuditMode::Cheap ? "audit=cheap"
+                                                     : "audit=deep");
+}
+BENCHMARK(BM_EditCycleAuditMode)
+    ->Arg(static_cast<int>(ps::ped::AuditMode::Off))
+    ->Arg(static_cast<int>(ps::ped::AuditMode::Cheap))
+    ->Arg(static_cast<int>(ps::ped::AuditMode::Deep))
+    ->Unit(benchmark::kMillisecond);
+
+/// Transactional apply that always fails (injected mid-apply fault):
+/// snapshot + attempted transform + rollback + full reanalysis.
+void BM_ApplyRollbackCycle(benchmark::State& state) {
+  auto s = loadWorkload("slab2d");
+  if (!s) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  auto loops = s->loops();
+  if (loops.empty()) {
+    state.SkipWithError("no loops");
+    return;
+  }
+  ps::transform::Target t;
+  t.loop = loops[0].id;
+  for (auto _ : state) {
+    s->injectFaultOnce(ps::ped::Fault::MidApply);
+    std::string error;
+    bool ok = s->applyTransformation("Loop Reversal", t, &error);
+    if (ok) {
+      state.SkipWithError("fault-injected apply unexpectedly succeeded");
+      return;
+    }
+    s->clearFailures();
+  }
+}
+BENCHMARK(BM_ApplyRollbackCycle)->Unit(benchmark::kMillisecond);
+
+/// The A1/A2 acceptance check: auditing is observation only. For every
+/// workload the dependence graphs with Deep auditing must be identical to
+/// the graphs with auditing off, and the deep audit itself must be clean.
+void BM_AuditChangesNothing(benchmark::State& state) {
+  int checked = 0;
+  for (auto _ : state) {
+    checked = 0;
+    for (const auto& w : ps::workloads::all()) {
+      auto plain = loadWorkload(w.name);
+      auto audited = loadWorkload(w.name);
+      if (!plain || !audited) {
+        state.SkipWithError("load failed");
+        return;
+      }
+      plain->setAuditMode(ps::ped::AuditMode::Off);
+      audited->setAuditMode(ps::ped::AuditMode::Deep);
+      std::string a = graphsFingerprint(*plain);
+      std::string b = graphsFingerprint(*audited);
+      if (a != b) {
+        std::fprintf(stderr, "graph mismatch under auditing for %s\n",
+                     w.name);
+        state.SkipWithError("auditing changed the dependence graph");
+        return;
+      }
+      if (!audited->auditNow(true).ok()) {
+        state.SkipWithError("deep audit violation on a clean workload");
+        return;
+      }
+      ++checked;
+    }
+  }
+  state.counters["workloads_identical"] = checked;
+}
+BENCHMARK(BM_AuditChangesNothing)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

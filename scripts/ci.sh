@@ -8,3 +8,9 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure
+
+# Fuzz smoke stage: a fixed-seed, elevated-iteration pass of the robustness
+# harness (mutated decks, fault-injected transforms, starvation budgets).
+# Deterministic — the seeds are baked into the tests; only the iteration
+# count is raised beyond the ctest default.
+PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" ./build/tests/fuzz_robustness_test

@@ -15,6 +15,7 @@ LinearExpr& LinearExpr::add(const LinearExpr& o, long long scale) {
   affine = affine && o.affine;
   hasIndexArray = hasIndexArray || o.hasIndexArray;
   hasCall = hasCall || o.hasCall;
+  degraded = degraded || o.degraded;
   constant += scale * o.constant;
   for (const auto& [v, c] : o.coef) {
     long long nc = coefOf(v) + scale * c;

@@ -26,6 +26,10 @@ struct LinearExpr {
   bool hasIndexArray = false;
   /// A function call appears inside the expression.
   bool hasCall = false;
+  /// An analysis budget was exhausted while building this form (e.g. the
+  /// linearizer's node cap); the form is still sound but deliberately
+  /// coarser than the source warranted.
+  bool degraded = false;
 
   [[nodiscard]] long long coefOf(const std::string& v) const {
     auto it = coef.find(v);

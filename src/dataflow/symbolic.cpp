@@ -48,7 +48,7 @@ SymbolicAnalysis SymbolicAnalysis::build(
     const ir::ProcedureModel& model, const cfg::FlowGraph& g,
     const ReachingDefs& reaching, const ConstantAnalysis& constants,
     const cfg::ControlDependence& cdeps,
-    const std::vector<Relation>& inherited) {
+    const std::vector<Relation>& inherited, std::size_t maxRelations) {
   SymbolicAnalysis sa;
   sa.model_ = &model;
   sa.graph_ = &g;
@@ -56,6 +56,18 @@ SymbolicAnalysis SymbolicAnalysis::build(
   sa.constants_ = &constants;
 
   const fortran::Procedure& proc = model.procedure();
+
+  // Budget on relations kept across the whole procedure; dropping one loses
+  // a sharpening fact (conservative) but bounds downstream test work.
+  std::size_t relationsKept = 0;
+  auto keep = [&](std::vector<Relation>& rels, Relation r) {
+    if (maxRelations != 0 && relationsKept >= maxRelations) {
+      ++sa.truncated_;
+      return;
+    }
+    ++relationsKept;
+    rels.push_back(std::move(r));
+  };
 
   for (const auto& loopPtr : model.loops()) {
     const Loop* loop = loopPtr.get();
@@ -119,7 +131,7 @@ SymbolicAnalysis SymbolicAnalysis::build(
         (void)c;
         if (defined.count(v)) stable = false;
       }
-      if (stable) rels.push_back(r);
+      if (stable) keep(rels, r);
     }
     // Names read inside the loop but never defined in it, with a unique
     // reaching killing assignment of an affine value whose operands are
@@ -149,7 +161,7 @@ SymbolicAnalysis SymbolicAnalysis::build(
           form.coefOf(name) == 1) {
         continue;
       }
-      rels.push_back({name, std::move(form)});
+      keep(rels, {name, std::move(form)});
     }
     sa.relations_[loop] = std::move(rels);
   }

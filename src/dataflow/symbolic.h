@@ -37,12 +37,20 @@ struct Relation {
 /// loop-invariance, and equality relations that sharpen dependence testing.
 class SymbolicAnalysis {
  public:
+  /// `maxRelations` bounds the total number of relations kept across the
+  /// whole procedure (0 = unlimited). When the cap is hit, further relations
+  /// are dropped — dependence tests lose sharpening facts but stay sound —
+  /// and `truncated()` reports it.
   static SymbolicAnalysis build(const ir::ProcedureModel& model,
                                 const cfg::FlowGraph& g,
                                 const ReachingDefs& reaching,
                                 const ConstantAnalysis& constants,
                                 const cfg::ControlDependence& cdeps,
-                                const std::vector<Relation>& inherited = {});
+                                const std::vector<Relation>& inherited = {},
+                                std::size_t maxRelations = 0);
+
+  /// Number of relations dropped by the `maxRelations` cap.
+  [[nodiscard]] long long truncated() const { return truncated_; }
 
   /// Scalars defined anywhere inside the loop body (including call
   /// may-defs).
@@ -79,6 +87,7 @@ class SymbolicAnalysis {
   std::map<const ir::Loop*, std::vector<AuxInduction>> auxIvs_;
   std::map<const ir::Loop*, std::vector<Relation>> relations_;
   std::set<std::string> empty_;
+  long long truncated_ = 0;
 };
 
 }  // namespace ps::dataflow

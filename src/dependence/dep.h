@@ -92,6 +92,11 @@ struct Dependence {
   /// (interprocedural side-effect dependence).
   bool interprocedural = false;
 
+  /// True when an analysis budget ran out while testing this pair: the edge
+  /// is assumed, not proven, and might disappear with a larger budget. The
+  /// session surfaces these through degradationReport().
+  bool degraded = false;
+
   [[nodiscard]] bool loopCarried() const { return level > 0; }
   /// A dependence the parallelizer must honor: rejected edges are
   /// disregarded ("they remain in the system so the user can reconsider").

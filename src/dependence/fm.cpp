@@ -14,7 +14,9 @@ std::string Constraint::str() const {
   return expr.str() + rel;
 }
 
-FourierMotzkin::FourierMotzkin(std::vector<Constraint> constraints) {
+FourierMotzkin::FourierMotzkin(std::vector<Constraint> constraints,
+                               FmBudget budget)
+    : budget_(budget) {
   solve(std::move(constraints));
 }
 
@@ -80,9 +82,13 @@ void FourierMotzkin::solve(std::vector<Constraint> cs) {
     }
   }
 
-  constexpr std::size_t kMaxConstraints = 4000;
-
   for (const std::string& v : vars) {
+    if (eliminations_ >= budget_.maxEliminations) {
+      // Budget exhausted before the system was decided: assume feasible
+      // (sound) and tell the caller the answer is conservative.
+      degraded_ = true;
+      return;
+    }
     std::vector<LinearExpr> lower, upper, rest;
     for (const auto& e : ge) {
       long long a = e.coefOf(v);
@@ -111,8 +117,9 @@ void FourierMotzkin::solve(std::vector<Constraint> cs) {
         combined.add(up, a);
         // v coefficient: b*a + a*(-b) = 0 by construction.
         rest.push_back(std::move(combined));
-        if (rest.size() > kMaxConstraints) {
-          // Blowup guard: give up (assume feasible — sound).
+        if (rest.size() > budget_.maxConstraints) {
+          // Blowup guard: give up (assume feasible — sound) and report it.
+          degraded_ = true;
           return;
         }
       }

@@ -28,6 +28,15 @@ struct Constraint {
   [[nodiscard]] std::string str() const;
 };
 
+/// Explicit work limits for one elimination run. Pathological subscript
+/// systems can square the constraint count per eliminated variable; rather
+/// than timing out silently, the solver stops at the budget and reports the
+/// run as degraded (callers must then assume a dependence — conservative).
+struct FmBudget {
+  std::size_t maxConstraints = 4000;
+  int maxEliminations = 64;
+};
+
 /// Fourier–Motzkin elimination over rationals, with an integer GCD
 /// refinement on equalities — the "exact" tier of the hierarchical
 /// dependence test suite [Goff–Kennedy–Tseng 1991], in the spirit of the
@@ -35,12 +44,18 @@ struct Constraint {
 ///
 /// Soundness contract: `infeasible() == true` means there is definitely no
 /// solution (hence no dependence); `false` means a solution may exist.
+/// `degraded() == true` means the budget ran out before the system was
+/// decided: the answer is "feasible" by fiat, never a wrong disproof.
 class FourierMotzkin {
  public:
-  explicit FourierMotzkin(std::vector<Constraint> constraints);
+  explicit FourierMotzkin(std::vector<Constraint> constraints,
+                          FmBudget budget = {});
 
   /// True when the system provably has no integer solution.
   [[nodiscard]] bool infeasible() const { return infeasible_; }
+
+  /// True when the solver gave up at its budget (answer is conservative).
+  [[nodiscard]] bool degraded() const { return degraded_; }
 
   /// Number of eliminations performed (ablation metric).
   [[nodiscard]] int eliminations() const { return eliminations_; }
@@ -48,7 +63,9 @@ class FourierMotzkin {
  private:
   void solve(std::vector<Constraint> cs);
 
+  FmBudget budget_;
   bool infeasible_ = false;
+  bool degraded_ = false;
   int eliminations_ = 0;
 };
 

@@ -113,7 +113,9 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
   SymbolicAnalysis sym = SymbolicAnalysis::build(
       model, fg, reaching, constants, cdeps,
       ctx.useSymbolicInfo ? ctx.inheritedRelations
-                          : std::vector<dataflow::Relation>{});
+                          : std::vector<dataflow::Relation>{},
+      ctx.budget.maxSymbolicRelations);
+  g.stats_.symbolicTruncated += sym.truncated();
   PrivatizationAnalysis priv =
       PrivatizationAnalysis::build(model, fg, liveness);
   g.stats_.dataflowSeconds = secondsSince(tBuild);
@@ -227,7 +229,8 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
       for (const Loop* l : nest) lctxs.push_back(contextOf(l));
       slot = std::make_unique<DependenceTester>(
           std::move(lctxs), ctx.facts, ctx.indexFacts, opaques,
-          sym.definedIn(*nest.front()), ctx.cheapTestsFirst, memo);
+          sym.definedIn(*nest.front()), ctx.cheapTestsFirst, memo,
+          ctx.budget);
     }
     return *slot;
   };
@@ -291,6 +294,7 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
                                                         : DepMark::Pending;
     d.origin = origin;
     d.interprocedural = interproc;
+    d.degraded = res.degraded;
     g.deps_.push_back(std::move(d));
   };
 
@@ -362,6 +366,13 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
       ctxSig += '=';
       appendLinearKey(ctxSig, r.value);
     }
+    // Budgets change answers, so a splice across budget configurations
+    // would carry stale edges.
+    ctxSig += "|B:";
+    ctxSig += std::to_string(ctx.budget.fmMaxConstraints) + ',' +
+              std::to_string(ctx.budget.fmMaxEliminations) + ',' +
+              std::to_string(ctx.budget.maxSubscriptNodes) + ',' +
+              std::to_string(ctx.budget.maxSymbolicRelations);
   }
 
   std::map<StmtId, std::string> stmtSigCache;
@@ -1038,6 +1049,7 @@ DependenceGraph::Summary DependenceGraph::summary() const {
     if (d.loopCarried()) ++s.carriedDeps;
     if (d.type == DepType::Control) ++s.controlDeps;
     if (d.interprocedural) ++s.interprocDeps;
+    if (d.degraded) ++s.degradedDeps;
   }
   return s;
 }

@@ -47,6 +47,11 @@ struct AnalysisContext {
   /// Ablation: disable scalar privatization (A3) — every scalar is shared.
   bool usePrivatization = true;
 
+  /// Work limits for the dependence tiers, linearizer and symbolic analysis.
+  /// Exhaustion degrades answers conservatively and is reported through
+  /// TestStats / Dependence::degraded — never a silent timeout.
+  AnalysisBudget budget;
+
   /// Cross-build memo table for dependence-test results, shared by the
   /// session across procedures and rebuilds. Null = a transient per-build
   /// table (intra-build memoization only).
@@ -112,6 +117,8 @@ class DependenceGraph {
     int carriedDeps = 0;
     int controlDeps = 0;
     int interprocDeps = 0;
+    /// Edges assumed only because an analysis budget ran out.
+    int degradedDeps = 0;
   };
   [[nodiscard]] Summary summary() const;
 

@@ -54,9 +54,7 @@ LinearExpr opaque(const Expr& e, OpaqueTable& t) {
   return out;
 }
 
-}  // namespace
-
-LinearExpr linearizeSubscript(
+LinearExpr linearizeSubscriptImpl(
     const Expr& e, const std::map<std::string, LinearExpr>& substitute,
     OpaqueTable& opaques) {
   switch (e.kind) {
@@ -77,29 +75,29 @@ LinearExpr linearizeSubscript(
       return opaque(e, opaques);
     case ExprKind::Unary: {
       if (e.unOp == UnOp::Neg) {
-        LinearExpr v = linearizeSubscript(*e.lhs, substitute, opaques);
+        LinearExpr v = linearizeSubscriptImpl(*e.lhs, substitute, opaques);
         LinearExpr out;
         out.add(v, -1);
         return out;
       }
       if (e.unOp == UnOp::Plus) {
-        return linearizeSubscript(*e.lhs, substitute, opaques);
+        return linearizeSubscriptImpl(*e.lhs, substitute, opaques);
       }
       return opaque(e, opaques);
     }
     case ExprKind::Binary: {
       switch (e.binOp) {
         case BinOp::Add: {
-          LinearExpr l = linearizeSubscript(*e.lhs, substitute, opaques);
-          return l.add(linearizeSubscript(*e.rhs, substitute, opaques), 1);
+          LinearExpr l = linearizeSubscriptImpl(*e.lhs, substitute, opaques);
+          return l.add(linearizeSubscriptImpl(*e.rhs, substitute, opaques), 1);
         }
         case BinOp::Sub: {
-          LinearExpr l = linearizeSubscript(*e.lhs, substitute, opaques);
-          return l.add(linearizeSubscript(*e.rhs, substitute, opaques), -1);
+          LinearExpr l = linearizeSubscriptImpl(*e.lhs, substitute, opaques);
+          return l.add(linearizeSubscriptImpl(*e.rhs, substitute, opaques), -1);
         }
         case BinOp::Mul: {
-          LinearExpr l = linearizeSubscript(*e.lhs, substitute, opaques);
-          LinearExpr r = linearizeSubscript(*e.rhs, substitute, opaques);
+          LinearExpr l = linearizeSubscriptImpl(*e.lhs, substitute, opaques);
+          LinearExpr r = linearizeSubscriptImpl(*e.rhs, substitute, opaques);
           if (l.isConstant()) {
             LinearExpr out;
             out.add(r, l.constant);
@@ -119,6 +117,27 @@ LinearExpr linearizeSubscript(
     default:
       return opaque(e, opaques);
   }
+}
+
+std::size_t nodeCount(const Expr& e) {
+  std::size_t n = 0;
+  e.forEach([&](const Expr&) { ++n; });
+  return n;
+}
+
+}  // namespace
+
+LinearExpr linearizeSubscript(
+    const Expr& e, const std::map<std::string, LinearExpr>& substitute,
+    OpaqueTable& opaques, std::size_t maxNodes) {
+  if (maxNodes != 0 && nodeCount(e) > maxNodes) {
+    // Over budget: do not walk the tree. One opaque term stands in for the
+    // whole subscript — sound, but coarser than the source warranted.
+    LinearExpr out = opaque(e, opaques);
+    out.degraded = true;
+    return out;
+  }
+  return linearizeSubscriptImpl(e, substitute, opaques);
 }
 
 }  // namespace ps::dep

@@ -43,10 +43,14 @@ class OpaqueTable {
 /// subtrees become opaque symbols — which lets the dependence tester reason
 /// uniformly and cancel identical unknowns, the practical treatment of
 /// symbolics from Goff–Kennedy–Tseng.
+/// `maxNodes` bounds the work: a subscript tree larger than the budget is
+/// not walked at all — the whole expression is interned as one opaque term
+/// and the result is flagged `degraded` (still sound: an opaque term can
+/// only make the tester more conservative). 0 means unlimited.
 [[nodiscard]] dataflow::LinearExpr linearizeSubscript(
     const fortran::Expr& e,
     const std::map<std::string, dataflow::LinearExpr>& substitute,
-    OpaqueTable& opaques);
+    OpaqueTable& opaques, std::size_t maxNodes = 0);
 
 }  // namespace ps::dep
 

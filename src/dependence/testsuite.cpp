@@ -34,6 +34,10 @@ void TestStats::accumulate(const TestStats& o) {
   fmRuns += o.fmRuns;
   fmDisproofs += o.fmDisproofs;
   assumed += o.assumed;
+  fmDegraded += o.fmDegraded;
+  degradedAnswers += o.degradedAnswers;
+  linearizeDegraded += o.linearizeDegraded;
+  symbolicTruncated += o.symbolicTruncated;
   testsRequested += o.testsRequested;
   memoHits += o.memoHits;
   memoMisses += o.memoMisses;
@@ -74,20 +78,27 @@ DependenceTester::DependenceTester(std::vector<LoopContext> commonLoops,
                                    IndexArrayFacts indexFacts,
                                    OpaqueTable& opaques,
                                    std::set<std::string> variantVars,
-                                   bool cheapFirst, DepMemo* memo)
+                                   bool cheapFirst, DepMemo* memo,
+                                   AnalysisBudget budget)
     : loops_(std::move(commonLoops)),
       facts_(std::move(facts)),
       indexFacts_(std::move(indexFacts)),
       opaques_(opaques),
       variantVars_(std::move(variantVars)),
       cheapFirst_(cheapFirst),
-      memo_(memo) {
+      memo_(memo),
+      budget_(budget) {
   if (!memo_) return;
   // Canonical prefix: every per-nest/per-context input that influences a
   // test result but is not part of the per-query subscript forms. Mutable
   // user state (classification overrides) deliberately does NOT appear: it
   // never changes a test outcome, only whether a test is issued.
   keyPrefix_ += cheapFirst_ ? "c" : "f";
+  // Budgets change answers (a tighter budget degrades more queries), so a
+  // memo shared across budget configurations must key on them.
+  keyPrefix_ += "B" + std::to_string(budget_.fmMaxConstraints) + "," +
+                std::to_string(budget_.fmMaxEliminations) + "," +
+                std::to_string(budget_.maxSubscriptNodes) + ";";
   for (const LoopContext& lc : loops_) {
     keyPrefix_ += "L";
     keyPrefix_ += std::to_string(lc.step);
@@ -153,6 +164,7 @@ LinearExpr DependenceTester::tagForm(const LinearExpr& f, int level,
   out.affine = f.affine;
   out.hasIndexArray = f.hasIndexArray;
   out.hasCall = f.hasCall;
+  out.degraded = f.degraded;
   for (const auto& [v, c] : f.coef) {
     // Induction variable of a common loop: normalize to lo + step*t.
     bool handled = false;
@@ -203,7 +215,9 @@ LinearExpr DependenceTester::tagForm(const LinearExpr& f, int level,
 LinearExpr DependenceTester::tagged(
     const Expr& e, const std::map<std::string, LinearExpr>& sub, int level,
     bool isSrc) {
-  LinearExpr raw = linearizeSubscript(e, sub, opaques_);
+  LinearExpr raw =
+      linearizeSubscript(e, sub, opaques_, budget_.maxSubscriptNodes);
+  if (raw.degraded) ++stats_.linearizeDegraded;
   return tagForm(raw, level, isSrc);
 }
 
@@ -310,6 +324,8 @@ LevelResult DependenceTester::runSuite(const std::vector<LinearExpr>& diffs,
                                        int level, Direction innerDir) {
   LevelResult result;
   bool allExact = true;
+  bool anyDegraded = false;
+  for (const LinearExpr& diff : diffs) anyDegraded |= diff.degraded;
   std::optional<long long> distance;
 
   // With an inner-direction constraint, the cheap tiers may still disprove,
@@ -421,7 +437,7 @@ LevelResult DependenceTester::runSuite(const std::vector<LinearExpr>& diffs,
       }
     }
   }
-  if (finishFm(std::move(cs), level)) {
+  if (finishFm(std::move(cs), level, &anyDegraded)) {
     result.answer = DepAnswer::NoDependence;
     return result;
   }
@@ -429,10 +445,17 @@ LevelResult DependenceTester::runSuite(const std::vector<LinearExpr>& diffs,
   ++stats_.assumed;
   result.answer = DepAnswer::DependenceAssumed;
   result.distance = distance;
+  // A budget ran out somewhere on the way to "assumed": the edge might have
+  // been disproved with more work. Tag it so the session can report it.
+  if (anyDegraded) {
+    result.degraded = true;
+    ++stats_.degradedAnswers;
+  }
   return result;
 }
 
-bool DependenceTester::finishFm(std::vector<Constraint> cs, int level) {
+bool DependenceTester::finishFm(std::vector<Constraint> cs, int level,
+                                bool* degraded) {
   std::set<std::string> seenTVars;
   auto addBounds = [&](const std::string& tv, int k) {
     if (seenTVars.count(tv)) return;
@@ -485,7 +508,13 @@ bool DependenceTester::finishFm(std::vector<Constraint> cs, int level) {
   }
 
   ++stats_.fmRuns;
-  FourierMotzkin fm(std::move(cs));
+  FourierMotzkin fm(std::move(cs),
+                    FmBudget{budget_.fmMaxConstraints,
+                             budget_.fmMaxEliminations});
+  if (fm.degraded()) {
+    ++stats_.fmDegraded;
+    if (degraded) *degraded = true;
+  }
   if (fm.infeasible()) {
     ++stats_.fmDisproofs;
     return true;
@@ -507,10 +536,14 @@ LevelResult DependenceTester::testSection(
     const SectionDim& sd = *section.dims[d];
     if (!sd.lo || !sd.hi) continue;
     LinearExpr fr = tagged(*ref.args[d], refSub, level, !callIsSrc);
-    LinearExpr lo = tagForm(linearizeSubscript(*sd.lo, callSub, opaques_),
-                            level, callIsSrc);
-    LinearExpr hi = tagForm(linearizeSubscript(*sd.hi, callSub, opaques_),
-                            level, callIsSrc);
+    LinearExpr lo =
+        tagForm(linearizeSubscript(*sd.lo, callSub, opaques_,
+                                   budget_.maxSubscriptNodes),
+                level, callIsSrc);
+    LinearExpr hi =
+        tagForm(linearizeSubscript(*sd.hi, callSub, opaques_,
+                                   budget_.maxSubscriptNodes),
+                level, callIsSrc);
     // Overlap requires lo <= ref-subscript <= hi.
     LinearExpr above = fr;
     above.add(lo, -1);
@@ -536,10 +569,16 @@ LevelResult DependenceTester::testSection(
     }
     ++stats_.memoMisses;
   }
-  if (finishFm(std::move(cs), level)) {
+  bool fmDegraded = false;
+  for (const Constraint& c : cs) fmDegraded |= c.expr.degraded;
+  if (finishFm(std::move(cs), level, &fmDegraded)) {
     result.answer = DepAnswer::NoDependence;
   } else {
     ++stats_.assumed;
+    if (fmDegraded) {
+      result.degraded = true;
+      ++stats_.degradedAnswers;
+    }
   }
   if (memo_) memo_->insert(std::move(key), result);
   return result;
@@ -561,13 +600,14 @@ LevelResult DependenceTester::testSections(
     if (!da.lo || !da.hi || !db.lo || !db.hi) continue;
     // Overlap in this dimension: a.lo <= x <= a.hi and b.lo <= x <= b.hi
     // for some x — i.e. a.lo <= b.hi and b.lo <= a.hi.
-    LinearExpr alo = tagForm(linearizeSubscript(*da.lo, aSub, opaques_),
+    const std::size_t cap = budget_.maxSubscriptNodes;
+    LinearExpr alo = tagForm(linearizeSubscript(*da.lo, aSub, opaques_, cap),
                              level, true);
-    LinearExpr ahi = tagForm(linearizeSubscript(*da.hi, aSub, opaques_),
+    LinearExpr ahi = tagForm(linearizeSubscript(*da.hi, aSub, opaques_, cap),
                              level, true);
-    LinearExpr blo = tagForm(linearizeSubscript(*db.lo, bSub, opaques_),
+    LinearExpr blo = tagForm(linearizeSubscript(*db.lo, bSub, opaques_, cap),
                              level, false);
-    LinearExpr bhi = tagForm(linearizeSubscript(*db.hi, bSub, opaques_),
+    LinearExpr bhi = tagForm(linearizeSubscript(*db.hi, bSub, opaques_, cap),
                              level, false);
     LinearExpr c1 = bhi;
     c1.add(alo, -1);
@@ -593,10 +633,16 @@ LevelResult DependenceTester::testSections(
     }
     ++stats_.memoMisses;
   }
-  if (finishFm(std::move(cs), level)) {
+  bool fmDegraded = false;
+  for (const Constraint& c : cs) fmDegraded |= c.expr.degraded;
+  if (finishFm(std::move(cs), level, &fmDegraded)) {
     result.answer = DepAnswer::NoDependence;
   } else {
     ++stats_.assumed;
+    if (fmDegraded) {
+      result.degraded = true;
+      ++stats_.degradedAnswers;
+    }
   }
   if (memo_) memo_->insert(std::move(key), result);
   return result;

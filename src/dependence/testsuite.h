@@ -68,6 +68,30 @@ struct LevelResult {
   DepAnswer answer = DepAnswer::DependenceAssumed;
   /// Iteration distance at the carrier level when exactly known.
   std::optional<long long> distance;
+  /// True when an analysis budget ran out while answering this query and the
+  /// answer was coarsened to DependenceAssumed instead of being decided.
+  bool degraded = false;
+};
+
+/// Explicit work limits for one dependence-analysis build. Every bound, when
+/// hit, coarsens the answer conservatively (assume dependence / opaque term
+/// / fewer symbolic relations) and is reported through TestStats — the
+/// analysis never silently times out and never returns a wrong disproof.
+struct AnalysisBudget {
+  /// Fourier–Motzkin constraint-blowup and elimination caps.
+  std::size_t fmMaxConstraints = 4000;
+  int fmMaxEliminations = 64;
+  /// Subscript linearizer node cap (0 = unlimited).
+  std::size_t maxSubscriptNodes = 512;
+  /// Cap on symbolic relations propagated per procedure (0 = unlimited).
+  std::size_t maxSymbolicRelations = 4096;
+
+  [[nodiscard]] bool operator==(const AnalysisBudget& o) const {
+    return fmMaxConstraints == o.fmMaxConstraints &&
+           fmMaxEliminations == o.fmMaxEliminations &&
+           maxSubscriptNodes == o.maxSubscriptNodes &&
+           maxSymbolicRelations == o.maxSymbolicRelations;
+  }
 };
 
 /// Counters for the hierarchical suite (ablation benches A1/A2/A3) plus the
@@ -81,6 +105,15 @@ struct TestStats {
   long long fmRuns = 0;
   long long fmDisproofs = 0;
   long long assumed = 0;
+
+  /// Fourier–Motzkin runs that hit their constraint/elimination budget.
+  long long fmDegraded = 0;
+  /// Queries whose final answer was coarsened by some exhausted budget.
+  long long degradedAnswers = 0;
+  /// Subscripts collapsed to a single opaque term by the node budget.
+  long long linearizeDegraded = 0;
+  /// Symbolic relations dropped by the per-procedure relation cap.
+  long long symbolicTruncated = 0;
 
   /// Dependence-test queries issued (test/testSection/testSections calls).
   long long testsRequested = 0;
@@ -153,7 +186,8 @@ class DependenceTester {
                    std::vector<Fact> facts, IndexArrayFacts indexFacts,
                    OpaqueTable& opaques,
                    std::set<std::string> variantVars = {},
-                   bool cheapFirst = true, DepMemo* memo = nullptr);
+                   bool cheapFirst = true, DepMemo* memo = nullptr,
+                   AnalysisBudget budget = {});
 
   /// Test for a dependence src -> dst carried at `level` (1-based index into
   /// the common nest; 0 = loop-independent, i.e. same iteration of every
@@ -204,8 +238,10 @@ class DependenceTester {
                        int level, Direction innerDir);
 
   /// Append iteration-variable bounds, carrier direction and facts, then run
-  /// Fourier–Motzkin; returns true when the system is infeasible.
-  bool finishFm(std::vector<Constraint> cs, int level);
+  /// Fourier–Motzkin; returns true when the system is infeasible. When the
+  /// solver hit its budget, `*degraded` is set (never cleared).
+  bool finishFm(std::vector<Constraint> cs, int level,
+                bool* degraded = nullptr);
 
   /// Canonical memo key: nest/facts prefix + query tag + linear forms.
   [[nodiscard]] std::string makeKey(
@@ -219,6 +255,7 @@ class DependenceTester {
   std::set<std::string> variantVars_;
   bool cheapFirst_;
   DepMemo* memo_ = nullptr;
+  AnalysisBudget budget_;
   std::string keyPrefix_;  // canonical nest shape + facts, set when memoized
   TestStats stats_;
 };

@@ -202,12 +202,23 @@ void Lexer::lexBody(std::string_view body, int lineNo, int colBase,
     Token t;
     t.loc = loc(i);
     if (c == '&') {
-      // Trailing continuation marker; record as a sentinel identifier that
-      // lexLine strips. Anything after '&' on the line is ignored.
-      t.kind = Tok::Identifier;
-      t.text = "&";
-      out.push_back(t);
-      break;
+      // A continuation marker only counts when nothing but blanks or a
+      // trailing comment follows; a mid-line '&' is a stray character and
+      // must not swallow the statement boundary.
+      std::size_t rest = i + 1;
+      while (rest < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[rest]))) {
+        ++rest;
+      }
+      if (rest >= body.size() || body[rest] == '!') {
+        t.kind = Tok::Identifier;
+        t.text = "&";
+        out.push_back(t);
+        break;
+      }
+      diags_.error(loc(i), "unexpected character '&'");
+      ++i;
+      continue;
     }
     if (isIdentStart(c)) {
       std::size_t b = i;

@@ -472,9 +472,11 @@ StmtPtr Parser::parseDo(int label, SourceLoc loc) {
 
   parseBody(s->body, endLabel);
 
-  if (endLabel == 0) {
-    // Body ended at ENDDO (consumed by parseBody).
-  }
+  // Error recovery: if the terminating label statement never materialized
+  // (truncated deck, garbled label card), keep the loop but demote it to
+  // structured form — the printer then closes it with a synthetic ENDDO and
+  // the partial program stays round-trippable.
+  if (endLabel != 0 && lastClosedLabel_ != endLabel) s->doEndLabel = 0;
   return s;
 }
 
@@ -945,6 +947,7 @@ ExprPtr Parser::parsePrimary() {
 
 std::unique_ptr<Program> parseSource(std::string_view source,
                                      DiagnosticEngine& diags) {
+  diags.setSourceText(source);
   Lexer lexer(source, diags);
   auto tokens = lexer.run();
   Parser parser(std::move(tokens), lexer.directives(), diags);

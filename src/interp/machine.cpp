@@ -189,6 +189,11 @@ struct RuntimeError {
   ps::SourceLoc loc;
 };
 
+/// Normal termination via STOP: unwinds the frame stack to run(). Distinct
+/// from RuntimeError so a genuinely empty error message can never be
+/// mistaken for a clean stop.
+struct StopSignal {};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -836,7 +841,7 @@ struct Machine::Impl {
         case Op::K::Ret:
           return;
         case Op::K::Stop:
-          throw RuntimeError{"", {}};  // unwinds to run(); empty = STOP
+          throw StopSignal{};  // unwinds to run()
       }
     }
   }
@@ -869,14 +874,12 @@ RunResult Machine::run(const RunOptions& opts) {
   try {
     impl.execute(frame);
     impl.result.ok = true;
+  } catch (const StopSignal&) {
+    impl.result.ok = true;  // STOP
   } catch (const RuntimeError& e) {
-    if (e.message.empty()) {
-      impl.result.ok = true;  // STOP
-    } else {
-      impl.result.ok = false;
-      impl.result.error = e.message;
-      impl.result.errorLoc = e.loc;
-    }
+    impl.result.ok = false;
+    impl.result.error = e.message;
+    impl.result.errorLoc = e.loc;
   }
   return std::move(impl.result);
 }

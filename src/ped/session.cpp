@@ -22,6 +22,19 @@ using fortran::StmtId;
 using fortran::StmtKind;
 using ir::Loop;
 
+std::string DegradationReport::str() const {
+  std::ostringstream out;
+  out << "degradation report: " << edges.size() << " degraded edge(s), fm="
+      << fmDegraded << " answers=" << degradedAnswers
+      << " linearize=" << linearizeDegraded
+      << " symbolic=" << symbolicTruncated << "\n";
+  for (const auto& e : edges) {
+    out << "  " << e.procedure << " dep#" << e.depId << " " << e.type
+        << " on " << e.variable << " level " << e.level << "\n";
+  }
+  return out.str();
+}
+
 std::unique_ptr<Session> Session::load(std::string_view source,
                                        DiagnosticEngine& diags) {
   auto session = std::unique_ptr<Session>(new Session());
@@ -74,6 +87,7 @@ dep::AnalysisContext Session::contextFor(const std::string& name) {
   ctx.useMemo = incrementalUpdates_;
   ctx.memo = incrementalUpdates_ ? memo_ : nullptr;
   ctx.statsSink = &stats_;
+  ctx.budget = budget_;
   return ctx;
 }
 
@@ -142,6 +156,134 @@ void Session::reapplyMarks(dep::DependenceGraph& g) const {
       d.reason = it->second.reason;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Transactions & invariant auditing
+// ---------------------------------------------------------------------------
+
+Session::Snapshot Session::takeSnapshot() const {
+  Snapshot snap;
+  snap.nextStmtId = program_->nextStmtId;
+  for (const auto& unit : program_->units) {
+    auto copy = std::make_unique<Procedure>();
+    copy->kind = unit->kind;
+    copy->name = unit->name;
+    copy->params = unit->params;
+    copy->returnType = unit->returnType;
+    copy->loc = unit->loc;
+    for (const auto& d : unit->decls) copy->decls.push_back(d.clone());
+    for (const auto& s : unit->body) copy->body.push_back(s->clone());
+    // Stmt::clone() deliberately drops ids; restore them by parallel
+    // pre-order traversal (clone preserves shape) so a rollback reproduces
+    // the exact pre-operation id assignment.
+    std::vector<StmtId> ids;
+    unit->forEachStmt([&](const Stmt& s) { ids.push_back(s.id); });
+    std::size_t i = 0;
+    copy->forEachStmtMutable([&](Stmt& s) {
+      if (i < ids.size()) s.id = ids[i];
+      ++i;
+    });
+    snap.units.push_back(std::move(copy));
+  }
+  return snap;
+}
+
+void Session::restoreSnapshot(Snapshot&& snap) {
+  // Restore pre-existing units *in place*: Workspaces hold references to
+  // these Procedure objects, so their addresses must survive the rollback.
+  for (std::size_t i = 0;
+       i < snap.units.size() && i < program_->units.size(); ++i) {
+    *program_->units[i] = std::move(*snap.units[i]);
+  }
+  // Units added since the snapshot (Loop Extraction creates one) are
+  // dropped, together with any workspace built over them.
+  while (program_->units.size() > snap.units.size()) {
+    workspaces_.erase(program_->units.back()->name);
+    oracles_.erase(program_->units.back()->name);
+    program_->units.pop_back();
+  }
+  program_->nextStmtId = snap.nextStmtId;
+
+  // Every derived structure may hold pointers into the replaced AST:
+  // rebuild summaries, drop oracles, and force each materialized workspace
+  // to a full (non-splice) reanalysis — the splice path would read the old
+  // graph's dangling Expr pointers.
+  summaries_ = std::make_unique<interproc::SummaryBuilder>(*program_);
+  oracles_.clear();
+  for (auto& [name, ws] : workspaces_) {
+    ws->actx = contextFor(name);
+    ws->graph.reset();
+    ws->reanalyze();
+    reapplyMarks(*ws->graph);
+  }
+}
+
+audit::Report Session::auditNow(bool deep) {
+  audit::Report rep;
+  audit::auditProgram(*program_, rep);
+  for (auto& [name, ws] : workspaces_) {
+    (void)name;
+    if (ws->model) audit::auditModel(*ws->model, rep);
+    if (ws->model && ws->graph) {
+      audit::auditGraph(*ws->graph, *ws->model, rep);
+    }
+  }
+  if (deep) audit::auditRoundTrip(*program_, rep);
+  return rep;
+}
+
+void Session::recordFailure(std::string operation, std::string detail,
+                            bool rolledBack) {
+  failures_.push_back(
+      {std::move(operation), std::move(detail), rolledBack});
+}
+
+bool Session::auditAfter(const std::string& operation, Snapshot* snap,
+                         std::string* error) {
+  if (auditMode_ == AuditMode::Off) return true;
+  audit::Report rep = auditNow(auditMode_ == AuditMode::Deep);
+  if (rep.ok()) return true;
+  if (snap) restoreSnapshot(std::move(*snap));
+  recordFailure(operation, "audit violation: " + rep.str(),
+                snap != nullptr);
+  if (error) {
+    *error = "invariant audit failed after " + operation +
+             (snap ? " (rolled back): " : ": ") + rep.str();
+  }
+  return false;
+}
+
+void Session::setAnalysisBudget(const dep::AnalysisBudget& b) {
+  if (budget_ == b) return;
+  budget_ = b;
+  // Memoized results carry their budget in the key, so stale cross-budget
+  // hits are impossible — but the materialized graphs were derived under
+  // the old budget and must be re-derived (full rebuild: the splice path
+  // would keep old-budget edges).
+  for (auto& [name, ws] : workspaces_) {
+    ws->actx = contextFor(name);
+    ws->graph.reset();
+    ws->reanalyze();
+    reapplyMarks(*ws->graph);
+  }
+}
+
+DegradationReport Session::degradationReport() const {
+  DegradationReport r;
+  for (const auto& [name, ws] : workspaces_) {
+    if (!ws->graph) continue;
+    for (const auto& d : ws->graph->all()) {
+      if (!d.degraded) continue;
+      r.edges.push_back(
+          {name, d.id, dep::depTypeName(d.type), d.variable, d.level});
+    }
+  }
+  r.fmDegraded = stats_.fmDegraded;
+  r.degradedAnswers = stats_.degradedAnswers;
+  r.linearizeDegraded = stats_.linearizeDegraded;
+  r.symbolicTruncated = stats_.symbolicTruncated;
+  return r;
 }
 
 // ---------------------------------------------------------------------------
@@ -671,11 +813,41 @@ bool Session::applyTransformation(const std::string& name,
   const auto* tr = transform::Registry::instance().byName(name);
   if (!tr) {
     if (error) *error = "unknown transformation " + name;
+    recordFailure(name, "unknown transformation", false);
     return false;
   }
-  if (!tr->apply(ws, target, error)) return false;
+
+  // Transactional apply: snapshot the whole program (statements, ids,
+  // labels, id counter) so any failure — the transformation's own, an
+  // injected fault, or a post-apply audit violation — restores the exact
+  // pre-apply state. Power steering must never leave a broken program.
+  Snapshot snap = takeSnapshot();
+  std::string localError;
+  if (!error) error = &localError;
+
+  bool ok = tr->apply(ws, target, error);
+
+  if (fault_ == Fault::MidApply) {
+    // Simulate a transformation that mutated the program and then died
+    // mid-flight: leave garbage behind (duplicate-id statement) and fail.
+    fault_ = Fault::None;
+    auto junk = fortran::makeStmt(StmtKind::Continue, {});
+    junk->id = ws.proc.body.empty() ? 1 : ws.proc.body.front()->id;
+    ws.proc.body.push_back(std::move(junk));
+    *error = "injected fault: apply aborted mid-flight";
+    ok = false;
+  }
+
+  if (!ok) {
+    // The mechanics may have partially mutated before failing; restore
+    // unconditionally so the graph and source are byte-identical to the
+    // pre-apply state.
+    restoreSnapshot(std::move(snap));
+    recordFailure(name, *error, true);
+    return false;
+  }
+
   reapplyMarks(*ws.graph);
-  ++counters_.transformationsApplied;
   // Interprocedural transformations add units: refresh summaries so other
   // procedures see them.
   if (name == "Loop Extraction" || name == "Loop Embedding") {
@@ -685,6 +857,19 @@ bool Session::applyTransformation(const std::string& name,
       w->actx = contextFor(n);
     }
   }
+
+  if (fault_ == Fault::CorruptState) {
+    // Corrupt the program after a successful apply: the post-apply audit
+    // must catch it and roll back.
+    fault_ = Fault::None;
+    if (ws.proc.body.size() >= 2) {
+      ws.proc.body.back()->id = ws.proc.body.front()->id;
+    }
+  }
+
+  if (!auditAfter(name, &snap, error)) return false;
+
+  ++counters_.transformationsApplied;
   return true;
 }
 
@@ -745,40 +930,62 @@ bool Session::editStatement(StmtId id, const std::string& newText) {
   transform::Workspace& ws = wsFor(current_);
   std::size_t index = 0;
   auto* container = ws.model->containerOf(id, &index);
-  if (!container) return false;
+  if (!container) {
+    recordFailure("editStatement", "no statement " + std::to_string(id),
+                  false);
+    return false;
+  }
   fortran::StmtPtr fresh =
       parseStatementInContext(ws.proc, newText, diags_);
-  if (!fresh) return false;
+  if (!fresh) {
+    // Parse failed before any mutation: diagnostics-only failure.
+    recordFailure("editStatement", "does not parse: " + newText, false);
+    return false;
+  }
+  Snapshot snap = takeSnapshot();
   fresh->label = (*container)[index]->label;  // labels survive edits
   (*container)[index] = std::move(fresh);
   ws.reanalyze();
   reapplyMarks(*ws.graph);
-  return true;
+  return auditAfter("editStatement", &snap, nullptr);
 }
 
 bool Session::insertStatementAfter(StmtId id, const std::string& text) {
   transform::Workspace& ws = wsFor(current_);
   std::size_t index = 0;
   auto* container = ws.model->containerOf(id, &index);
-  if (!container) return false;
+  if (!container) {
+    recordFailure("insertStatementAfter",
+                  "no statement " + std::to_string(id), false);
+    return false;
+  }
   fortran::StmtPtr fresh = parseStatementInContext(ws.proc, text, diags_);
-  if (!fresh) return false;
+  if (!fresh) {
+    recordFailure("insertStatementAfter", "does not parse: " + text, false);
+    return false;
+  }
+  Snapshot snap = takeSnapshot();
   container->insert(container->begin() + static_cast<long>(index + 1),
                     std::move(fresh));
   ws.reanalyze();
   reapplyMarks(*ws.graph);
-  return true;
+  return auditAfter("insertStatementAfter", &snap, nullptr);
 }
 
 bool Session::deleteStatement(StmtId id) {
   transform::Workspace& ws = wsFor(current_);
   std::size_t index = 0;
   auto* container = ws.model->containerOf(id, &index);
-  if (!container) return false;
+  if (!container) {
+    recordFailure("deleteStatement", "no statement " + std::to_string(id),
+                  false);
+    return false;
+  }
+  Snapshot snap = takeSnapshot();
   container->erase(container->begin() + static_cast<long>(index));
   ws.reanalyze();
   reapplyMarks(*ws.graph);
-  return true;
+  return auditAfter("deleteStatement", &snap, nullptr);
 }
 
 // ---------------------------------------------------------------------------

@@ -13,10 +13,65 @@
 #include "interproc/summaries.h"
 #include "ped/assertions.h"
 #include "ped/perfest.h"
+#include "support/audit.h"
 #include "support/diagnostics.h"
 #include "transform/transform.h"
 
 namespace ps::ped {
+
+/// How much invariant auditing runs after each edit / transformation /
+/// reanalysis. Cheap validates structural invariants (id uniqueness,
+/// loop-tree/AST agreement, dependence edges referencing live statements);
+/// Deep adds the pretty-print -> re-parse round trip.
+enum class AuditMode { Off, Cheap, Deep };
+
+/// Fault injection points for robustness tests. The fault fires once at the
+/// next matching operation, then disarms itself.
+enum class Fault {
+  None,
+  /// The transformation mutates the program, then reports failure — the
+  /// partial mutation must be rolled back.
+  MidApply,
+  /// State is corrupted (duplicate statement id) after a successful apply —
+  /// the post-apply audit must catch it and roll back.
+  CorruptState,
+};
+
+/// Structured record of a failed or rolled-back operation: PED's power
+/// steering promises the user a diagnosed failure, never a broken program.
+struct FailureReport {
+  std::string operation;  // "Loop Interchange", "editStatement", ...
+  std::string detail;     // transformation error text or audit violations
+  bool rolledBack = false;
+
+  [[nodiscard]] std::string str() const {
+    return operation + ": " + detail +
+           (rolledBack ? " [rolled back]" : "");
+  }
+};
+
+/// Every place the bounded analyses gave up this session: the degraded
+/// dependence edges still in the graphs plus the budget-exhaustion counters.
+struct DegradationReport {
+  struct Edge {
+    std::string procedure;
+    std::uint32_t depId = 0;
+    std::string type;
+    std::string variable;
+    int level = 0;
+  };
+  std::vector<Edge> edges;
+  long long fmDegraded = 0;
+  long long degradedAnswers = 0;
+  long long linearizeDegraded = 0;
+  long long symbolicTruncated = 0;
+
+  [[nodiscard]] bool empty() const {
+    return edges.empty() && fmDegraded == 0 && degradedAnswers == 0 &&
+           linearizeDegraded == 0 && symbolicTruncated == 0;
+  }
+  [[nodiscard]] std::string str() const;
+};
 
 /// Feature-usage counters, mirroring the rows of the paper's Table 2 so the
 /// scripted work-model sessions can report what they exercised.
@@ -256,11 +311,67 @@ class Session {
   void resetAnalysisStats() { stats_ = {}; }
   [[nodiscard]] const dep::DepMemo& memo() const { return *memo_; }
 
+  // ---------------------------------------------------------------------
+  // Robustness: transactions, invariant auditing, bounded analysis
+  // ---------------------------------------------------------------------
+
+  /// Auditing level applied after every transformation and edit. Default
+  /// Cheap: structural invariants always hold or the operation rolls back.
+  void setAuditMode(AuditMode m) { auditMode_ = m; }
+  [[nodiscard]] AuditMode auditMode() const { return auditMode_; }
+
+  /// Run the invariant auditor immediately over the program and every
+  /// materialized workspace (model + graph). `deep` adds the pretty-print ->
+  /// re-parse round trip.
+  [[nodiscard]] audit::Report auditNow(bool deep);
+
+  /// Failed or rolled-back operations, oldest first.
+  [[nodiscard]] const std::vector<FailureReport>& failures() const {
+    return failures_;
+  }
+  void clearFailures() { failures_.clear(); }
+
+  /// Arm a one-shot injected fault (tests only).
+  void injectFaultOnce(Fault f) { fault_ = f; }
+
+  /// Set the analysis work limits and rebuild every materialized workspace
+  /// under them (memoized results cannot leak across budgets — the budget is
+  /// part of the memo key — but the graphs must be re-derived).
+  void setAnalysisBudget(const dep::AnalysisBudget& b);
+  [[nodiscard]] const dep::AnalysisBudget& analysisBudget() const {
+    return budget_;
+  }
+
+  /// Everywhere the bounded analyses gave up: degraded edges per procedure
+  /// plus session-wide exhaustion counters.
+  [[nodiscard]] DegradationReport degradationReport() const;
+
  private:
   Session() = default;
   transform::Workspace& wsFor(const std::string& name);
   void invalidate(const std::string& name);
   dep::AnalysisContext contextFor(const std::string& name);
+
+  /// Id-preserving deep copy of the whole program (all units, statement ids,
+  /// labels, nextStmtId) taken before any mutating operation.
+  struct Snapshot {
+    std::vector<fortran::ProcedurePtr> units;
+    fortran::StmtId nextStmtId = 1;
+  };
+  [[nodiscard]] Snapshot takeSnapshot() const;
+  /// Restore the program from a snapshot *in place* — pre-existing Procedure
+  /// objects keep their addresses (Workspaces hold references to them) and
+  /// units added since the snapshot are dropped. Every materialized
+  /// workspace is rebuilt from scratch (its graph held pointers into the
+  /// replaced AST).
+  void restoreSnapshot(Snapshot&& snap);
+  /// Post-operation audit hook: runs the auditor per auditMode_; on a
+  /// violation rolls back to `snap` (when given), records a FailureReport
+  /// and returns false.
+  bool auditAfter(const std::string& operation, Snapshot* snap,
+                  std::string* error);
+  void recordFailure(std::string operation, std::string detail,
+                     bool rolledBack);
 
   std::unique_ptr<fortran::Program> program_;
   DiagnosticEngine diags_;
@@ -288,6 +399,11 @@ class Session {
   std::shared_ptr<dep::DepMemo> memo_ = std::make_shared<dep::DepMemo>();
   dep::TestStats stats_;
   bool incrementalUpdates_ = true;
+
+  AuditMode auditMode_ = AuditMode::Cheap;
+  Fault fault_ = Fault::None;
+  std::vector<FailureReport> failures_;
+  dep::AnalysisBudget budget_;
 
   std::string current_;
   fortran::StmtId currentLoop_ = fortran::kInvalidStmt;

@@ -1,0 +1,255 @@
+#include "support/audit.h"
+
+#include <map>
+#include <set>
+
+#include "fortran/parser.h"
+#include "fortran/pretty.h"
+
+namespace ps::audit {
+
+using fortran::Procedure;
+using fortran::Program;
+using fortran::Stmt;
+using fortran::StmtId;
+using fortran::StmtKind;
+
+std::string Report::str() const {
+  std::string out;
+  for (const auto& v : violations) {
+    out += v.str();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+const char* kindName(StmtKind k) {
+  switch (k) {
+    case StmtKind::Assign: return "Assign";
+    case StmtKind::Do: return "Do";
+    case StmtKind::If: return "If";
+    case StmtKind::ArithmeticIf: return "ArithmeticIf";
+    case StmtKind::Goto: return "Goto";
+    case StmtKind::Call: return "Call";
+    case StmtKind::Continue: return "Continue";
+    case StmtKind::Return: return "Return";
+    case StmtKind::Stop: return "Stop";
+    case StmtKind::Read: return "Read";
+    case StmtKind::Write: return "Write";
+    case StmtKind::Assertion: return "Assertion";
+  }
+  return "?";
+}
+
+std::string where(const Procedure& proc, const Stmt& s) {
+  return proc.name + " stmt#" + std::to_string(s.id) + " (" +
+         kindName(s.kind) + " at " + s.loc.str() + ")";
+}
+
+void checkShape(const Procedure& proc, const Stmt& s, Report& out) {
+  auto need = [&](bool cond, const char* what) {
+    if (!cond) {
+      out.add("ast-shape", where(proc, s) + " missing " + what);
+    }
+  };
+  switch (s.kind) {
+    case StmtKind::Assign:
+      need(s.lhs != nullptr, "lhs");
+      need(s.rhs != nullptr, "rhs");
+      break;
+    case StmtKind::Do:
+      need(!s.doVar.empty(), "induction variable");
+      need(s.doLo != nullptr, "lower bound");
+      need(s.doHi != nullptr, "upper bound");
+      break;
+    case StmtKind::If:
+      need(!s.arms.empty(), "arms");
+      for (std::size_t i = 0; i < s.arms.size(); ++i) {
+        // Only the final ELSE arm may lack a condition.
+        if (!s.arms[i].condition && i + 1 != s.arms.size()) {
+          out.add("ast-shape",
+                  where(proc, s) + " non-final arm without condition");
+        }
+      }
+      break;
+    case StmtKind::ArithmeticIf:
+      need(s.condExpr != nullptr, "condition");
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void auditProgram(const Program& prog, Report& out) {
+  std::set<StmtId> seen;
+  for (const auto& unit : prog.units) {
+    unit->forEachStmt([&](const Stmt& s) {
+      if (s.id == fortran::kInvalidStmt) {
+        out.add("stmt-id-valid", where(*unit, s) + " has invalid id");
+      } else {
+        if (s.id >= prog.nextStmtId) {
+          out.add("stmt-id-counter",
+                  where(*unit, s) + " id beyond program counter " +
+                      std::to_string(prog.nextStmtId));
+        }
+        if (!seen.insert(s.id).second) {
+          out.add("stmt-id-unique", where(*unit, s) + " duplicates an id");
+        }
+      }
+      checkShape(*unit, s, out);
+    });
+  }
+}
+
+void auditModel(const ir::ProcedureModel& model, Report& out) {
+  const Procedure& proc = model.procedure();
+  // The model's pre-order index must agree with a fresh traversal.
+  std::vector<const Stmt*> fresh;
+  proc.forEachStmt([&](const Stmt& s) { fresh.push_back(&s); });
+  const auto& indexed = model.allStmts();
+  if (fresh.size() != indexed.size()) {
+    out.add("model-stmt-index",
+            proc.name + ": model indexes " +
+                std::to_string(indexed.size()) + " statements, AST has " +
+                std::to_string(fresh.size()));
+  } else {
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      if (fresh[i] != indexed[i]) {
+        out.add("model-stmt-index",
+                proc.name + ": model statement " + std::to_string(i) +
+                    " diverges from AST pre-order (stale model?)");
+        break;
+      }
+    }
+  }
+  // Id lookups resolve to the very same nodes.
+  for (const Stmt* s : indexed) {
+    if (model.stmt(s->id) != s) {
+      out.add("model-id-lookup",
+              where(proc, *s) + " does not resolve to itself");
+    }
+  }
+  // Every DO statement owns exactly one loop node; links are consistent.
+  std::map<StmtId, int> doLoops;
+  for (const auto& loopPtr : model.loops()) {
+    const ir::Loop* l = loopPtr.get();
+    if (!l->stmt || l->stmt->kind != StmtKind::Do) {
+      out.add("loop-tree", proc.name + ": loop node without a DO statement");
+      continue;
+    }
+    ++doLoops[l->stmt->id];
+    int expected = l->parent ? l->parent->level + 1 : 1;
+    if (l->level != expected) {
+      out.add("loop-tree", where(proc, *l->stmt) + " level " +
+                               std::to_string(l->level) + ", expected " +
+                               std::to_string(expected));
+    }
+    if (l->parent && !l->parent->contains(l->stmt->id)) {
+      out.add("loop-tree",
+              where(proc, *l->stmt) + " not contained in its parent loop");
+    }
+    for (const Stmt* b : l->bodyStmts) {
+      if (model.stmt(b->id) != b) {
+        out.add("loop-tree",
+                where(proc, *l->stmt) + " body references a dead statement");
+        break;
+      }
+    }
+  }
+  for (const Stmt* s : indexed) {
+    if (s->kind != StmtKind::Do) continue;
+    auto it = doLoops.find(s->id);
+    if (it == doLoops.end()) {
+      out.add("loop-tree", where(proc, *s) + " has no loop-tree node");
+    } else if (it->second != 1) {
+      out.add("loop-tree", where(proc, *s) + " has " +
+                               std::to_string(it->second) +
+                               " loop-tree nodes");
+    }
+  }
+}
+
+void auditGraph(const dep::DependenceGraph& graph,
+                const ir::ProcedureModel& model, Report& out) {
+  const std::string& proc = model.procedure().name;
+  std::set<std::uint32_t> ids;
+  for (const dep::Dependence& d : graph.all()) {
+    std::string tag = proc + " dep#" + std::to_string(d.id) + " on " +
+                      (d.variable.empty() ? std::string("<control>")
+                                          : d.variable);
+    if (!ids.insert(d.id).second) {
+      out.add("dep-id-unique", tag + " duplicates an edge id");
+    }
+    if (!model.stmt(d.srcStmt)) {
+      out.add("dep-live-endpoint", tag + " source stmt#" +
+                                       std::to_string(d.srcStmt) +
+                                       " is not in the procedure");
+    }
+    if (!model.stmt(d.dstStmt)) {
+      out.add("dep-live-endpoint", tag + " sink stmt#" +
+                                       std::to_string(d.dstStmt) +
+                                       " is not in the procedure");
+    }
+    if (d.level < 0 ||
+        static_cast<std::size_t>(d.level) > d.vector.dirs.size()) {
+      out.add("dep-level", tag + " level " + std::to_string(d.level) +
+                               " outside its direction vector");
+    }
+    if (d.level > 0) {
+      if (d.carrierLoop == fortran::kInvalidStmt ||
+          !model.loopByDoStmt(d.carrierLoop)) {
+        out.add("dep-carrier", tag + " carried edge without a live carrier"
+                                     " loop");
+      }
+    }
+    if (d.commonLoop != fortran::kInvalidStmt &&
+        !model.loopByDoStmt(d.commonLoop)) {
+      out.add("dep-carrier", tag + " common loop stmt#" +
+                                 std::to_string(d.commonLoop) +
+                                 " is not a live loop");
+    }
+  }
+}
+
+void auditRoundTrip(const Program& prog, Report& out) {
+  const std::string printed = fortran::printProgram(prog);
+  DiagnosticEngine diags;
+  auto reparsed = fortran::parseSource(printed, diags);
+  if (diags.hasErrors()) {
+    out.add("round-trip",
+            "pretty-printed program does not re-parse:\n" + diags.dump());
+    return;
+  }
+  if (reparsed->units.size() != prog.units.size()) {
+    out.add("round-trip", "unit count changed: " +
+                              std::to_string(prog.units.size()) + " -> " +
+                              std::to_string(reparsed->units.size()));
+    return;
+  }
+  for (std::size_t u = 0; u < prog.units.size(); ++u) {
+    std::vector<StmtKind> before, after;
+    prog.units[u]->forEachStmt(
+        [&](const Stmt& s) { before.push_back(s.kind); });
+    reparsed->units[u]->forEachStmt(
+        [&](const Stmt& s) { after.push_back(s.kind); });
+    if (before != after) {
+      out.add("round-trip",
+              prog.units[u]->name + ": statement kind sequence changed (" +
+                  std::to_string(before.size()) + " -> " +
+                  std::to_string(after.size()) + " statements)");
+    }
+  }
+}
+
+Report auditAll(const Program& prog, Depth depth) {
+  Report out;
+  auditProgram(prog, out);
+  if (depth == Depth::Deep) auditRoundTrip(prog, out);
+  return out;
+}
+
+}  // namespace ps::audit

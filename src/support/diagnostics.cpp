@@ -14,19 +14,56 @@ const char* severityName(Severity s) {
 }  // namespace
 
 std::string Diagnostic::str() const {
-  return loc.str() + ": " + severityName(severity) + ": " + message;
+  std::string out = loc.str() + ": " + severityName(severity) + ": " + message;
+  if (!sourceLine.empty() && loc.valid()) {
+    out += "\n  ";
+    out += sourceLine;
+    out += "\n  ";
+    // Caret under the offending column (1-based; clamp into the line).
+    int col = loc.column > 0 ? loc.column : 1;
+    int max = static_cast<int>(sourceLine.size());
+    if (col > max + 1) col = max + 1;
+    for (int i = 1; i < col; ++i) {
+      out += sourceLine[static_cast<std::size_t>(i - 1)] == '\t' ? '\t' : ' ';
+    }
+    out += '^';
+  }
+  return out;
+}
+
+void DiagnosticEngine::setSourceText(std::string_view source) {
+  sourceLines_.clear();
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    std::size_t end = source.find('\n', start);
+    if (end == std::string_view::npos) {
+      if (start < source.size()) {
+        sourceLines_.emplace_back(source.substr(start));
+      }
+      break;
+    }
+    sourceLines_.emplace_back(source.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+std::string DiagnosticEngine::lineAt(int line) const {
+  if (line < 1 || static_cast<std::size_t>(line) > sourceLines_.size()) {
+    return {};
+  }
+  return sourceLines_[static_cast<std::size_t>(line - 1)];
 }
 
 void DiagnosticEngine::note(SourceLoc loc, std::string msg) {
-  diags_.push_back({Severity::Note, loc, std::move(msg)});
+  diags_.push_back({Severity::Note, loc, std::move(msg), lineAt(loc.line)});
 }
 
 void DiagnosticEngine::warning(SourceLoc loc, std::string msg) {
-  diags_.push_back({Severity::Warning, loc, std::move(msg)});
+  diags_.push_back({Severity::Warning, loc, std::move(msg), lineAt(loc.line)});
 }
 
 void DiagnosticEngine::error(SourceLoc loc, std::string msg) {
-  diags_.push_back({Severity::Error, loc, std::move(msg)});
+  diags_.push_back({Severity::Error, loc, std::move(msg), lineAt(loc.line)});
   ++errorCount_;
 }
 

@@ -2,6 +2,7 @@
 #define PS_SUPPORT_DIAGNOSTICS_H
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/source_loc.h"
@@ -15,7 +16,12 @@ struct Diagnostic {
   Severity severity = Severity::Error;
   SourceLoc loc;
   std::string message;
+  /// The offending source line, captured at report time when the engine
+  /// knows the source text; empty otherwise.
+  std::string sourceLine;
 
+  /// "line:col: severity: message", followed by the source line and a caret
+  /// under the offending column when the line is known.
   [[nodiscard]] std::string str() const;
 };
 
@@ -24,6 +30,12 @@ struct Diagnostic {
 /// the user is "immediately informed of any syntactic or semantic errors".
 class DiagnosticEngine {
  public:
+  /// Remember the source text so subsequent diagnostics can quote the
+  /// offending line with a caret marker. parseSource() installs the deck it
+  /// is given; diagnostics reported before (or without) a source text print
+  /// without the excerpt.
+  void setSourceText(std::string_view source);
+
   void note(SourceLoc loc, std::string msg);
   void warning(SourceLoc loc, std::string msg);
   void error(SourceLoc loc, std::string msg);
@@ -37,7 +49,10 @@ class DiagnosticEngine {
   [[nodiscard]] std::string dump() const;
 
  private:
+  [[nodiscard]] std::string lineAt(int line) const;
+
   std::vector<Diagnostic> diags_;
+  std::vector<std::string> sourceLines_;
   int errorCount_ = 0;
 };
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 #include "dependence/fm.h"
 #include "dependence/graph.h"
 #include "fortran/parser.h"
@@ -750,6 +753,94 @@ TEST(Graph, UpdateUnchangedSplicesEveryPair) {
     EXPECT_EQ(a.level, c.level);
     EXPECT_EQ(a.vector.str(), c.vector.str());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded analysis: budget exhaustion must coarsen answers (degraded,
+// conservative), never fabricate a disproof.
+// ---------------------------------------------------------------------------
+
+TEST(FM, EliminationBudgetExhaustionIsConservative) {
+  // x >= 5 and x <= 3 is infeasible, but proving it needs one elimination.
+  // With a zero elimination budget the engine must give up (degraded) and
+  // report "feasible" — the conservative answer — not a wrong disproof.
+  std::vector<Constraint> cs = {Constraint::ge0(lin({{"x", 1}}, -5)),
+                                Constraint::ge0(lin({{"x", -1}}, 3))};
+  FourierMotzkin full(cs);
+  EXPECT_TRUE(full.infeasible());
+  EXPECT_FALSE(full.degraded());
+
+  FmBudget starved;
+  starved.maxEliminations = 0;
+  FourierMotzkin fm(cs, starved);
+  EXPECT_FALSE(fm.infeasible());
+  EXPECT_TRUE(fm.degraded());
+}
+
+TEST(FM, ConstraintBlowupDegradesInsteadOfAnswering) {
+  // Same infeasible system, but cap the constraint set below what the
+  // elimination produces: the old silent kMaxConstraints bailout is now a
+  // reported degradation.
+  std::vector<Constraint> cs = {Constraint::ge0(lin({{"x", 1}}, -5)),
+                                Constraint::ge0(lin({{"x", -1}}, 3))};
+  FmBudget starved;
+  starved.maxConstraints = 0;
+  FourierMotzkin fm(cs, starved);
+  EXPECT_FALSE(fm.infeasible());
+  EXPECT_TRUE(fm.degraded());
+}
+
+// Constraint explosion at graph level: a starved budget may only *add*
+// (degraded) edges relative to the default budget — disproofs disappear,
+// they are never invented.
+TEST(Graph, StarvedBudgetYieldsConservativeSuperset) {
+  const char* src =
+      "      SUBROUTINE S(A, N)\n"
+      "      REAL A(N)\n"
+      "      DO I = 1, 10\n"
+      "        DO J = 1, 10\n"
+      "          A(I + J) = A(I + J + 50)\n"
+      "        ENDDO\n"
+      "      ENDDO\n"
+      "      END\n";
+  auto base = buildGraph(src);
+
+  AnalysisContext starvedCtx;
+  starvedCtx.budget.fmMaxConstraints = 1;
+  starvedCtx.budget.fmMaxEliminations = 0;
+  starvedCtx.budget.maxSubscriptNodes = 1;
+  starvedCtx.budget.maxSymbolicRelations = 0;
+  auto starved = buildGraph(src, starvedCtx);
+
+  auto key = [](const Dependence& d) {
+    return std::make_tuple(d.srcStmt, d.dstStmt, d.type, d.variable, d.level);
+  };
+  std::set<std::tuple<fortran::StmtId, fortran::StmtId, DepType, std::string,
+                      int>>
+      baseKeys, starvedKeys;
+  for (const auto& d : base.graph.all()) baseKeys.insert(key(d));
+  for (const auto& d : starved.graph.all()) starvedKeys.insert(key(d));
+
+  // Every edge the full analysis kept survives starvation (conservative).
+  for (const auto& k : baseKeys) {
+    EXPECT_TRUE(starvedKeys.count(k))
+        << "starved analysis lost an edge on " << std::get<3>(k);
+  }
+  // Starvation added edges (the FM disproof of the distance-50 pair is
+  // gone), and every added edge is flagged degraded.
+  EXPECT_GT(starvedKeys.size(), baseKeys.size());
+  for (const auto& d : starved.graph.all()) {
+    if (!baseKeys.count(key(d))) {
+      EXPECT_TRUE(d.degraded)
+          << "new edge on " << d.variable << " not flagged degraded";
+    }
+  }
+  // The exhaustion is visible in the stats and the summary.
+  const TestStats& st = starved.graph.stats();
+  EXPECT_GT(st.linearizeDegraded + st.fmDegraded, 0);
+  EXPECT_GT(st.degradedAnswers, 0);
+  EXPECT_GT(starved.graph.summary().degradedDeps, 0);
+  EXPECT_EQ(base.graph.summary().degradedDeps, 0);
 }
 
 // A changed fact base must defeat the splice (ctx signature mismatch) and
