@@ -1,0 +1,76 @@
+// Parallel analysis engine: sequential vs task-DAG-scheduled whole-program
+// analysis over the eight workshop decks. Reports, per thread count:
+//   wall time of the batch analysis phase, speedup over the sequential
+//   (nThreads = 1) reference, memo hit rate, and steal counts from the
+//   work-stealing pool.
+//
+// NOTE: speedup is bounded by the cores actually present. On a one-core
+// container every thread count collapses onto the same CPU and the parallel
+// path can only show its scheduling overhead; run on real hardware to see
+// the scaling the engine is built for.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "workloads/batch.h"
+
+namespace {
+
+/// One sequential reference measurement, shared across reports.
+double sequentialSeconds() {
+  static double seconds = [] {
+    // Warm one run to fault in code and parse caches, then measure.
+    (void)ps::workloads::analyzeAllDecks(1);
+    ps::workloads::BatchResult r = ps::workloads::analyzeAllDecks(1);
+    return r.seconds;
+  }();
+  return seconds;
+}
+
+void BM_BatchAnalysis(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  double seconds = 0.0;
+  std::uint64_t steals = 0, tasks = 0;
+  long long hits = 0, misses = 0;
+  std::size_t deps = 0;
+  for (auto _ : state) {
+    ps::workloads::BatchResult r = ps::workloads::analyzeAllDecks(threads);
+    seconds = r.seconds;
+    steals = r.steals;
+    tasks = r.tasksExecuted;
+    hits = r.memoHits();
+    misses = r.memoMisses();
+    deps = 0;
+    for (const auto& d : r.decks) deps += d.totalDeps;
+    benchmark::DoNotOptimize(deps);
+  }
+  const double seq = sequentialSeconds();
+  state.counters["analysis_ms"] = seconds * 1e3;
+  state.counters["speedup_vs_seq"] = seconds > 0 ? seq / seconds : 0;
+  state.counters["tasks"] = static_cast<double>(tasks);
+  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["memo_hit_rate"] =
+      (hits + misses) > 0 ? static_cast<double>(hits) / (hits + misses) : 0;
+  state.counters["total_deps"] = static_cast<double>(deps);
+}
+
+void BM_HardwareConcurrency(benchmark::State& state) {
+  // Records the core count alongside the numbers so a report read later
+  // knows what ceiling the speedup column was up against.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(std::thread::hardware_concurrency());
+  }
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+
+BENCHMARK(BM_HardwareConcurrency)->Iterations(1);
+BENCHMARK(BM_BatchAnalysis)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -14,3 +14,17 @@ ctest --test-dir build --output-on-failure
 # Deterministic — the seeds are baked into the tests; only the iteration
 # count is raised beyond the ctest default.
 PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" ./build/tests/fuzz_robustness_test
+
+# Parallel-path fuzz smoke: the same fixed-seed corpus, but every
+# whole-program analysis routed through the task-DAG engine at 4 threads.
+PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" PS_FUZZ_PARALLEL=4 \
+  ./build/tests/fuzz_robustness_test
+
+# ThreadSanitizer stage: rebuild the concurrency-sensitive targets with
+# -fsanitize=thread and run the parallel determinism suite plus the DepMemo
+# stress test. Any data race in the pool, the task DAG, the sharded memo or
+# the per-nest fan-out fails CI here.
+cmake -B build-tsan -S . -DPS_TSAN=ON
+cmake --build build-tsan -j --target parallel_analysis_test depmemo_concurrent_test
+./build-tsan/tests/depmemo_concurrent_test
+./build-tsan/tests/parallel_analysis_test

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <utility>
+
+#include "support/taskpool.h"
 
 #include "dataflow/constants.h"
 #include "dataflow/liveness.h"
@@ -68,6 +72,46 @@ std::vector<const Loop*> commonNest(const std::vector<const Loop*>& a,
 double secondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Construct an array-pair/scalar/call-site edge. The id is NOT assigned
+/// here: parallel per-nest tasks build edges into private vectors and the
+/// deterministic merge numbers them in enumeration order.
+Dependence makeDep(DepType type, const ARef& src, const ARef& dst,
+                   const std::vector<const Loop*>& nest, int level,
+                   const LevelResult& res, bool interproc, DepOrigin origin) {
+  Dependence d;
+  d.type = type;
+  d.srcStmt = src.stmt->id;
+  d.dstStmt = dst.stmt->id;
+  d.srcRef = src.expr;
+  d.dstRef = dst.expr;
+  d.variable = src.expr   ? src.expr->name
+               : dst.expr ? dst.expr->name
+                          : "";
+  d.level = level;
+  d.commonLoop = nest.empty() ? fortran::kInvalidStmt
+                              : nest.back()->stmt->id;
+  if (level > 0) {
+    d.carrierLoop = nest[static_cast<std::size_t>(level - 1)]->stmt->id;
+  }
+  d.vector.dirs.resize(nest.size(), Direction::Star);
+  d.vector.dists.resize(nest.size());
+  for (std::size_t k = 0; k < nest.size(); ++k) {
+    if (level == 0 || static_cast<int>(k) < level - 1) {
+      d.vector.dirs[k] = Direction::Eq;
+      d.vector.dists[k] = 0;
+    } else if (static_cast<int>(k) == level - 1) {
+      d.vector.dirs[k] = Direction::Lt;
+      if (res.distance) d.vector.dists[k] = res.distance;
+    }
+  }
+  d.mark = (res.answer == DepAnswer::DependenceExact) ? DepMark::Proven
+                                                      : DepMark::Pending;
+  d.origin = origin;
+  d.interprocedural = interproc;
+  d.degraded = res.degraded;
+  return d;
 }
 
 std::string serializeSubMap(
@@ -263,38 +307,8 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
                     const std::vector<const Loop*>& nest, int level,
                     const LevelResult& res, bool interproc,
                     DepOrigin origin) {
-    Dependence d;
+    Dependence d = makeDep(type, src, dst, nest, level, res, interproc, origin);
     d.id = g.nextId_++;
-    d.type = type;
-    d.srcStmt = src.stmt->id;
-    d.dstStmt = dst.stmt->id;
-    d.srcRef = src.expr;
-    d.dstRef = dst.expr;
-    d.variable = src.expr   ? src.expr->name
-                 : dst.expr ? dst.expr->name
-                            : "";
-    d.level = level;
-    d.commonLoop = nest.empty() ? fortran::kInvalidStmt
-                                : nest.back()->stmt->id;
-    if (level > 0) {
-      d.carrierLoop = nest[static_cast<std::size_t>(level - 1)]->stmt->id;
-    }
-    d.vector.dirs.resize(nest.size(), Direction::Star);
-    d.vector.dists.resize(nest.size());
-    for (std::size_t k = 0; k < nest.size(); ++k) {
-      if (level == 0 || static_cast<int>(k) < level - 1) {
-        d.vector.dirs[k] = Direction::Eq;
-        d.vector.dists[k] = 0;
-      } else if (static_cast<int>(k) == level - 1) {
-        d.vector.dirs[k] = Direction::Lt;
-        if (res.distance) d.vector.dists[k] = res.distance;
-      }
-    }
-    d.mark = (res.answer == DepAnswer::DependenceExact) ? DepMark::Proven
-                                                        : DepMark::Pending;
-    d.origin = origin;
-    d.interprocedural = interproc;
-    d.degraded = res.degraded;
     g.deps_.push_back(std::move(d));
   };
 
@@ -479,7 +493,8 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
            (position[r1.stmt->id] <= position[r2.stmt->id]);
   };
 
-  auto splicePair = [&](const ARef& r1, const ARef& r2) {
+  auto splicePair = [&](const ARef& r1, const ARef& r2,
+                        std::vector<Dependence>& out) {
     std::vector<const Dependence*> olds;
     auto itF = prevEdges.find({r1.expr, r2.expr});
     if (itF != prevEdges.end()) {
@@ -492,23 +507,42 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
       }
     }
     // Previous ids are creation-ordered; sorting restores the original
-    // interleaving of forward/reverse/loop-independent edges.
+    // interleaving of forward/reverse/loop-independent edges. The copies
+    // keep the old ids only until the merge renumbers them.
     std::sort(olds.begin(), olds.end(),
               [](const Dependence* a, const Dependence* b) {
                 return a->id < b->id;
               });
-    for (const Dependence* old : olds) {
-      Dependence d = *old;
-      d.id = g.nextId_++;
-      g.deps_.push_back(std::move(d));
-    }
+    for (const Dependence* old : olds) out.push_back(*old);
     ++g.stats_.pairsSpliced;
     g.stats_.edgesSpliced += static_cast<long long>(olds.size());
   };
 
+  // -------------------------------------------------------------------
+  // Pair enumeration, in the exact sequential order (array -> i -> j).
+  // Clean pairs splice immediately; dirty pairs become jobs grouped by
+  // common nest. Each nest group is an independent unit of work — its own
+  // tester, its own copy of the opaque-term table (symbols are a pure
+  // function of printed expression text, so copies intern identically),
+  // its own output slots and stats block — and may run on a TaskPool
+  // worker. Edge ids are assigned at the deterministic merge below, so
+  // the resulting graph is bit-identical for ANY thread count, including
+  // the fully sequential path.
+  // -------------------------------------------------------------------
+  struct PairJob {
+    ARef r1, r2;
+    bool self = false;
+    const std::string* array = nullptr;
+    std::vector<const Loop*> nest;
+    const std::map<std::string, LinearExpr>* sub1 = nullptr;
+    const std::map<std::string, LinearExpr>* sub2 = nullptr;
+  };
+  std::vector<PairJob> jobs;
+  std::vector<std::vector<Dependence>> jobEdges;
+  std::map<StmtId, std::vector<std::size_t>> nestGroups;
+
   const auto tPairs = std::chrono::steady_clock::now();
   for (auto& [array, refs] : refsByArray) {
-    (void)array;
     for (std::size_t i = 0; i < refs.size(); ++i) {
       for (std::size_t j = i; j < refs.size(); ++j) {
         const ARef& r1 = refs[i];
@@ -520,105 +554,175 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
         if (nest.empty()) continue;
 
         if (pairClean(r1, r2, nest)) {
-          splicePair(r1, r2);
+          jobs.emplace_back();
+          jobEdges.emplace_back();
+          splicePair(r1, r2, jobEdges.back());
           continue;
         }
         ++g.stats_.pairsTested;
 
-        DependenceTester& tester = testerFor(nest);
-        const auto& sub1 = subFor(r1.stmt);
-        const auto& sub2 = subFor(r2.stmt);
-
-        // Refine the direction at the level below the carrier (what loop
-        // interchange legality needs) by constrained re-tests. nullopt
-        // means all three inner directions were disproved: the plain
-        // level test was inexact and the edge does not actually exist.
-        auto refineInner =
-            [&](const RefPair& pair, int level) -> std::optional<Direction> {
-          if (level >= static_cast<int>(nest.size())) return Direction::Star;
-          bool lt = tester.test(pair, level, Direction::Lt).answer !=
-                    DepAnswer::NoDependence;
-          bool eq = tester.test(pair, level, Direction::Eq).answer !=
-                    DepAnswer::NoDependence;
-          bool gt = tester.test(pair, level, Direction::Gt).answer !=
-                    DepAnswer::NoDependence;
-          int count = (lt ? 1 : 0) + (eq ? 1 : 0) + (gt ? 1 : 0);
-          if (count == 0) return std::nullopt;
-          if (count != 1) {
-            if (lt && eq && !gt) return Direction::Le;
-            if (!lt && eq && gt) return Direction::Ge;
-            return Direction::Star;
-          }
-          if (lt) return Direction::Lt;
-          if (eq) return Direction::Eq;
-          return Direction::Gt;
-        };
-
-        // Attach the refined inner direction to the edge just added, or
-        // retract the edge when the constrained re-tests disproved every
-        // inner direction.
-        auto refineOrRetract = [&](const RefPair& pair, int level) {
-          if (static_cast<std::size_t>(level) >= nest.size()) return;
-          std::optional<Direction> dir = refineInner(pair, level);
-          if (!dir) {
-            g.deps_.pop_back();
-            --g.nextId_;
-            return;
-          }
-          g.deps_.back().vector.dirs[static_cast<std::size_t>(level)] = *dir;
-        };
-
-        // A user classification of the array as private w.r.t. a loop
-        // removes the dependences that loop carries (each iteration gets
-        // its own copy); loop-independent deps and inner-carried deps
-        // remain.
-        auto carrierPrivatized = [&](int level) {
-          const Loop* carrier = nest[static_cast<std::size_t>(level - 1)];
-          auto itL = ctx.classificationOverrides.find(carrier->stmt->id);
-          if (itL == ctx.classificationOverrides.end()) return false;
-          auto itV = itL->second.find(array);
-          return itV != itL->second.end() && itV->second;
-        };
-
-        for (int level = 1; level <= static_cast<int>(nest.size());
-             ++level) {
-          if (carrierPrivatized(level)) continue;
-          RefPair fwd{r1.expr, r2.expr, &sub1, &sub2};
-          LevelResult res = tester.test(fwd, level);
-          if (res.answer != DepAnswer::NoDependence) {
-            addDep(typeOf(r1.write, r2.write), r1, r2, nest, level, res,
-                   false, DepOrigin::ArrayPair);
-            refineOrRetract(fwd, level);
-          }
-          if (i != j) {
-            RefPair rev{r2.expr, r1.expr, &sub2, &sub1};
-            LevelResult rres = tester.test(rev, level);
-            if (rres.answer != DepAnswer::NoDependence) {
-              addDep(typeOf(r2.write, r1.write), r2, r1, nest, level, rres,
-                     false, DepOrigin::ArrayPair);
-              refineOrRetract(rev, level);
-            }
-          }
-        }
-        if (i != j) {
-          // Loop-independent: source is the statement executed first.
-          const ARef& first =
-              position[r1.stmt->id] <= position[r2.stmt->id] ? r1 : r2;
-          const ARef& second = (&first == &r1) ? r2 : r1;
-          if (first.stmt != second.stmt) {
-            LevelResult res = tester.test(
-                {first.expr, second.expr, &subFor(first.stmt),
-                 &subFor(second.stmt)},
-                0);
-            if (res.answer != DepAnswer::NoDependence) {
-              addDep(typeOf(first.write, second.write), first, second, nest,
-                     0, res, false, DepOrigin::ArrayPair);
-            }
-          }
-        }
+        PairJob jb;
+        jb.r1 = r1;
+        jb.r2 = r2;
+        jb.self = (i == j);
+        jb.array = &array;
+        // Resolve every shared lazy cache NOW, while still sequential:
+        // tasks must only read. The std::map nodes stay put under later
+        // insertions, so the pointers are stable.
+        jb.sub1 = &subFor(r1.stmt);
+        jb.sub2 = &subFor(r2.stmt);
+        for (const Loop* l : nest) contextOf(l);
+        jb.nest = std::move(nest);
+        nestGroups[jb.nest.back()->stmt->id].push_back(jobs.size());
+        jobs.push_back(std::move(jb));
+        jobEdges.emplace_back();
       }
     }
   }
+
+  // The per-pair test battery, writing edges (ids unassigned) to `out`.
+  auto processJob = [&](const PairJob& jb, DependenceTester& tester,
+                        std::vector<Dependence>& out) {
+    const ARef& r1 = jb.r1;
+    const ARef& r2 = jb.r2;
+    const std::vector<const Loop*>& nest = jb.nest;
+    const auto& sub1 = *jb.sub1;
+    const auto& sub2 = *jb.sub2;
+
+    // Refine the direction at the level below the carrier (what loop
+    // interchange legality needs) by constrained re-tests. nullopt
+    // means all three inner directions were disproved: the plain
+    // level test was inexact and the edge does not actually exist.
+    auto refineInner =
+        [&](const RefPair& pair, int level) -> std::optional<Direction> {
+      if (level >= static_cast<int>(nest.size())) return Direction::Star;
+      bool lt = tester.test(pair, level, Direction::Lt).answer !=
+                DepAnswer::NoDependence;
+      bool eq = tester.test(pair, level, Direction::Eq).answer !=
+                DepAnswer::NoDependence;
+      bool gt = tester.test(pair, level, Direction::Gt).answer !=
+                DepAnswer::NoDependence;
+      int count = (lt ? 1 : 0) + (eq ? 1 : 0) + (gt ? 1 : 0);
+      if (count == 0) return std::nullopt;
+      if (count != 1) {
+        if (lt && eq && !gt) return Direction::Le;
+        if (!lt && eq && gt) return Direction::Ge;
+        return Direction::Star;
+      }
+      if (lt) return Direction::Lt;
+      if (eq) return Direction::Eq;
+      return Direction::Gt;
+    };
+
+    // Attach the refined inner direction to the edge just added, or
+    // retract the edge when the constrained re-tests disproved every
+    // inner direction.
+    auto refineOrRetract = [&](const RefPair& pair, int level) {
+      if (static_cast<std::size_t>(level) >= nest.size()) return;
+      std::optional<Direction> dir = refineInner(pair, level);
+      if (!dir) {
+        out.pop_back();
+        return;
+      }
+      out.back().vector.dirs[static_cast<std::size_t>(level)] = *dir;
+    };
+
+    // A user classification of the array as private w.r.t. a loop
+    // removes the dependences that loop carries (each iteration gets
+    // its own copy); loop-independent deps and inner-carried deps
+    // remain.
+    auto carrierPrivatized = [&](int level) {
+      const Loop* carrier = nest[static_cast<std::size_t>(level - 1)];
+      auto itL = ctx.classificationOverrides.find(carrier->stmt->id);
+      if (itL == ctx.classificationOverrides.end()) return false;
+      auto itV = itL->second.find(*jb.array);
+      return itV != itL->second.end() && itV->second;
+    };
+
+    for (int level = 1; level <= static_cast<int>(nest.size()); ++level) {
+      if (carrierPrivatized(level)) continue;
+      RefPair fwd{r1.expr, r2.expr, &sub1, &sub2};
+      LevelResult res = tester.test(fwd, level);
+      if (res.answer != DepAnswer::NoDependence) {
+        out.push_back(makeDep(typeOf(r1.write, r2.write), r1, r2, nest,
+                              level, res, false, DepOrigin::ArrayPair));
+        refineOrRetract(fwd, level);
+      }
+      if (!jb.self) {
+        RefPair rev{r2.expr, r1.expr, &sub2, &sub1};
+        LevelResult rres = tester.test(rev, level);
+        if (rres.answer != DepAnswer::NoDependence) {
+          out.push_back(makeDep(typeOf(r2.write, r1.write), r2, r1, nest,
+                                level, rres, false, DepOrigin::ArrayPair));
+          refineOrRetract(rev, level);
+        }
+      }
+    }
+    if (!jb.self) {
+      // Loop-independent: source is the statement executed first.
+      const ARef& first = position.at(r1.stmt->id) <= position.at(r2.stmt->id)
+                              ? r1
+                              : r2;
+      const ARef& second = (&first == &r1) ? r2 : r1;
+      if (first.stmt != second.stmt) {
+        const auto* firstSub = (&first == &r1) ? &sub1 : &sub2;
+        const auto* secondSub = (&first == &r1) ? &sub2 : &sub1;
+        LevelResult res =
+            tester.test({first.expr, second.expr, firstSub, secondSub}, 0);
+        if (res.answer != DepAnswer::NoDependence) {
+          out.push_back(makeDep(typeOf(first.write, second.write), first,
+                                second, nest, 0, res, false,
+                                DepOrigin::ArrayPair));
+        }
+      }
+    }
+  };
+
+  // One unit of work per nest: private tester + opaque table + stats.
+  auto runGroup = [&](const std::vector<std::size_t>& idxs, TestStats& gs) {
+    const std::vector<const Loop*>& nest = jobs[idxs.front()].nest;
+    OpaqueTable groupOpaques = opaques;
+    std::vector<LoopContext> lctxs;
+    lctxs.reserve(nest.size());
+    for (const Loop* l : nest) lctxs.push_back(lcCache.at(l->stmt->id));
+    DependenceTester tester(std::move(lctxs), ctx.facts, ctx.indexFacts,
+                            groupOpaques, sym.definedIn(*nest.front()),
+                            ctx.cheapTestsFirst, memo, ctx.budget);
+    for (std::size_t idx : idxs) processJob(jobs[idx], tester, jobEdges[idx]);
+    gs.accumulate(tester.stats());
+  };
+
+  std::vector<TestStats> groupStats(nestGroups.size());
+  {
+    std::size_t gi = 0;
+    if (ctx.pool && nestGroups.size() > 1) {
+      std::vector<std::function<void()>> thunks;
+      thunks.reserve(nestGroups.size());
+      for (auto& [nid, idxs] : nestGroups) {
+        (void)nid;
+        const std::vector<std::size_t>* ix = &idxs;
+        TestStats* gs = &groupStats[gi++];
+        thunks.push_back([&runGroup, ix, gs] { runGroup(*ix, *gs); });
+      }
+      ctx.pool->runAll(std::move(thunks));
+    } else {
+      for (auto& [nid, idxs] : nestGroups) {
+        (void)nid;
+        runGroup(idxs, groupStats[gi++]);
+      }
+    }
+  }
+
+  // Deterministic merge: edges in enumeration order get consecutive ids
+  // (exactly what the sequential interleaved build produced); per-group
+  // tester stats fold in fixed nest order.
+  for (auto& edges : jobEdges) {
+    for (Dependence& d : edges) {
+      d.id = g.nextId_++;
+      g.deps_.push_back(std::move(d));
+    }
+  }
+  for (const TestStats& gs : groupStats) g.stats_.accumulate(gs);
   // Only array-pair edges exist so far; everything not spliced was rebuilt.
   g.stats_.edgesRebuilt =
       static_cast<long long>(g.deps_.size()) - g.stats_.edgesSpliced;

@@ -17,6 +17,10 @@
 #include "dependence/testsuite.h"
 #include "ir/model.h"
 
+namespace ps::support {
+class TaskPool;
+}
+
 namespace ps::dep {
 
 /// User-editable analysis context: assertions and variable classification
@@ -64,6 +68,16 @@ struct AnalysisContext {
   /// Optional sink accumulating per-tier/memo/splice counters across every
   /// build this context participates in (session-wide observability).
   TestStats* statsSink = nullptr;
+  /// When set, the per-nest dependence-test batteries of a build fan out as
+  /// tasks on this pool (each nest gets a private tester, opaque-term table
+  /// and stats block; edges merge back in deterministic enumeration order,
+  /// so the resulting graph is identical for any thread count). Null keeps
+  /// the build fully sequential.
+  support::TaskPool* pool = nullptr;
+  /// Skip the Program::assignIds() call in Workspace::reanalyze. Set only
+  /// by the parallel driver, which assigns ids once up front because the
+  /// Program is shared across concurrent per-procedure tasks.
+  bool idsPreassigned = false;
 };
 
 /// The dependence graph of one procedure, as PED computes and displays it.

@@ -63,14 +63,29 @@ void appendLinearKey(std::string& out, const LinearExpr& e) {
   out += ';';
 }
 
-const LevelResult* DepMemo::lookup(const std::string& key) const {
-  auto it = table_.find(key);
-  if (it == table_.end() || it->second.gen != generation_) return nullptr;
-  return &it->second.result;
+std::optional<LevelResult> DepMemo::lookup(const std::string& key,
+                                           std::uint64_t gen) const {
+  Shard& s = shardFor(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.table.find(key);
+  if (it == s.table.end() || it->second.gen != gen) return std::nullopt;
+  return it->second.result;
 }
 
-void DepMemo::insert(std::string key, const LevelResult& result) {
-  table_[std::move(key)] = Entry{result, generation_};
+void DepMemo::insert(const std::string& key, const LevelResult& result,
+                     std::uint64_t gen) {
+  Shard& s = shardFor(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.table[key] = Entry{result, gen};
+}
+
+std::size_t DepMemo::size() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.table.size();
+  }
+  return total;
 }
 
 DependenceTester::DependenceTester(std::vector<LoopContext> commonLoops,
@@ -89,6 +104,10 @@ DependenceTester::DependenceTester(std::vector<LoopContext> commonLoops,
       memo_(memo),
       budget_(budget) {
   if (!memo_) return;
+  // Capture the generation under which our facts were snapshot: lookups and
+  // inserts are pinned to it, so a concurrent invalidateAll() can never leak
+  // a pre-bump result to a post-bump tester or vice versa.
+  memoGen_ = memo_->generation();
   // Canonical prefix: every per-nest/per-context input that influences a
   // test result but is not part of the per-query subscript forms. Mutable
   // user state (classification overrides) deliberately does NOT appear: it
@@ -309,14 +328,14 @@ LevelResult DependenceTester::test(const RefPair& pair, int level,
   std::string key;
   if (memo_) {
     key = makeKey('t', level, static_cast<int>(innerDir), diffs);
-    if (const LevelResult* hit = memo_->lookup(key)) {
+    if (std::optional<LevelResult> hit = memo_->lookup(key, memoGen_)) {
       ++stats_.memoHits;
       return *hit;
     }
     ++stats_.memoMisses;
   }
   LevelResult result = runSuite(diffs, level, innerDir);
-  if (memo_) memo_->insert(std::move(key), result);
+  if (memo_) memo_->insert(key, result, memoGen_);
   return result;
 }
 
@@ -563,7 +582,7 @@ LevelResult DependenceTester::testSection(
     forms.reserve(cs.size());
     for (const Constraint& c : cs) forms.push_back(c.expr);
     key = makeKey('s', level, callIsSrc ? 1 : 0, forms);
-    if (const LevelResult* hit = memo_->lookup(key)) {
+    if (std::optional<LevelResult> hit = memo_->lookup(key, memoGen_)) {
       ++stats_.memoHits;
       return *hit;
     }
@@ -580,7 +599,7 @@ LevelResult DependenceTester::testSection(
       ++stats_.degradedAnswers;
     }
   }
-  if (memo_) memo_->insert(std::move(key), result);
+  if (memo_) memo_->insert(key, result, memoGen_);
   return result;
 }
 
@@ -627,7 +646,7 @@ LevelResult DependenceTester::testSections(
     forms.reserve(cs.size());
     for (const Constraint& c : cs) forms.push_back(c.expr);
     key = makeKey('b', level, 0, forms);
-    if (const LevelResult* hit = memo_->lookup(key)) {
+    if (std::optional<LevelResult> hit = memo_->lookup(key, memoGen_)) {
       ++stats_.memoHits;
       return *hit;
     }
@@ -644,7 +663,7 @@ LevelResult DependenceTester::testSections(
       ++stats_.degradedAnswers;
     }
   }
-  if (memo_) memo_->insert(std::move(key), result);
+  if (memo_) memo_->insert(key, result, memoGen_);
   return result;
 }
 

@@ -1,8 +1,11 @@
 #ifndef PS_DEPENDENCE_TESTSUITE_H
 #define PS_DEPENDENCE_TESTSUITE_H
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -154,23 +157,59 @@ struct TestStats {
 /// generation counter; bumping the generation (on any user edit that
 /// changes facts/indexFacts) invalidates every cached result at once
 /// without keying on mutable context state.
+/// Concurrent, generation-invalidated memo of dependence test results.
+///
+/// The table is striped into kShards independently-locked shards (hash of
+/// the key picks the shard) so parallel per-nest testers sharing one memo
+/// contend only when their keys collide on a stripe. Invalidation stays a
+/// single atomic generation bump: entries are stamped with the generation
+/// they were computed under and a lookup only hits when the stamp matches
+/// the generation the *caller* captured when it snapshot its analysis facts.
+/// A tester therefore never observes a result computed under different
+/// facts, even if invalidateAll() lands mid-flight between its lookup and a
+/// concurrent insert (the insert carries the stale stamp and is simply never
+/// returned to post-bump readers).
 class DepMemo {
  public:
-  /// Returns the cached result for `key`, or null on miss/stale entry.
-  [[nodiscard]] const LevelResult* lookup(const std::string& key) const;
-  void insert(std::string key, const LevelResult& result);
+  DepMemo() = default;
+  DepMemo(const DepMemo&) = delete;
+  DepMemo& operator=(const DepMemo&) = delete;
+
+  /// Returns a copy of the cached result for `key` if it was inserted under
+  /// generation `gen`; nullopt on miss or generation mismatch. Returned by
+  /// value: a pointer into the table would not survive concurrent rehash.
+  [[nodiscard]] std::optional<LevelResult> lookup(const std::string& key,
+                                                  std::uint64_t gen) const;
+  /// Record `result` computed under generation `gen` (the generation the
+  /// inserting tester captured at construction, NOT the current one).
+  void insert(const std::string& key, const LevelResult& result,
+              std::uint64_t gen);
   /// Invalidate every entry (lazily, via the generation stamp).
-  void invalidateAll() { ++generation_; }
-  [[nodiscard]] std::uint64_t generation() const { return generation_; }
-  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  void invalidateAll() { generation_.fetch_add(1, std::memory_order_acq_rel); }
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] static constexpr std::size_t shardCount() { return kShards; }
 
  private:
+  static constexpr std::size_t kShards = 16;
+
   struct Entry {
     LevelResult result;
     std::uint64_t gen = 0;
   };
-  std::unordered_map<std::string, Entry> table_;
-  std::uint64_t generation_ = 0;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> table;
+  };
+
+  [[nodiscard]] Shard& shardFor(const std::string& key) const {
+    return shards_[std::hash<std::string>{}(key) % kShards];
+  }
+
+  mutable std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 /// Append a canonical rendering of a linear form to a memo key.
@@ -255,6 +294,8 @@ class DependenceTester {
   std::set<std::string> variantVars_;
   bool cheapFirst_;
   DepMemo* memo_ = nullptr;
+  std::uint64_t memoGen_ = 0;  // memo generation captured when facts were
+                               // snapshot; all lookups/inserts use it
   AnalysisBudget budget_;
   std::string keyPrefix_;  // canonical nest shape + facts, set when memoized
   TestStats stats_;

@@ -228,6 +228,24 @@ SummaryBuilder::SummaryBuilder(fortran::Program& program)
   for (const std::string& name : callGraph_.bottomUpOrder()) {
     if (Procedure* proc = program_.findUnit(name)) summarize(*proc);
   }
+  finalize();
+}
+
+SummaryBuilder::SummaryBuilder(fortran::Program& program, Deferred)
+    : program_(program), callGraph_(CallGraph::build(program)) {
+  // Reserve a node per summarizable procedure up front: summarizeOne then
+  // only assigns into existing slots, so the map structure is immutable
+  // during the parallel phase and lock-free concurrent reads are safe.
+  for (const std::string& name : callGraph_.bottomUpOrder()) {
+    summaries_[name].name = name;
+  }
+}
+
+void SummaryBuilder::summarizeOne(const std::string& name) {
+  if (Procedure* proc = program_.findUnit(name)) summarize(*proc);
+}
+
+void SummaryBuilder::finalize() {
   // Recursive procedures: worst-case summary (every formal and COMMON var
   // may be read and written, sections unknown).
   for (const std::string& name : callGraph_.recursive()) {

@@ -53,6 +53,23 @@ class SummaryBuilder {
  public:
   explicit SummaryBuilder(fortran::Program& program);
 
+  /// Deferred construction for the parallel analysis driver. Builds the
+  /// call graph and pre-inserts one summary slot per non-recursive
+  /// procedure — so concurrent summarizeOne() calls assign into existing
+  /// map nodes and never mutate the map structure — but computes nothing.
+  /// The driver must call summarizeOne() for every bottomUpOrder() name,
+  /// sequenced callee-before-caller (the call-graph DAG), then finalize()
+  /// exactly once. The result is identical to the eager constructor.
+  struct Deferred {};
+  SummaryBuilder(fortran::Program& program, Deferred);
+
+  /// Summarize one procedure. Safe to call concurrently for different
+  /// procedures provided every callee's summarizeOne happened-before.
+  void summarizeOne(const std::string& name);
+  /// Sequential epilogue: worst-case summaries for recursive procedures +
+  /// whole-program constant/relation propagation.
+  void finalize();
+
   [[nodiscard]] const ProcSummary* summaryOf(const std::string& name) const;
   [[nodiscard]] const CallGraph& callGraph() const { return callGraph_; }
 

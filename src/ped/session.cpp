@@ -1,6 +1,7 @@
 #include "ped/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <sstream>
 
@@ -67,15 +68,12 @@ std::unique_ptr<Session> Session::load(std::string_view source,
 // Workspaces & analysis context
 // ---------------------------------------------------------------------------
 
-dep::AnalysisContext Session::contextFor(const std::string& name) {
+dep::AnalysisContext Session::makeContext(const std::string& name,
+                                          const dep::SideEffectOracle* oracle,
+                                          dep::TestStats* sink,
+                                          support::TaskPool* pool) const {
   dep::AnalysisContext ctx;
-  auto itOracle = oracles_.find(name);
-  if (itOracle == oracles_.end()) {
-    Procedure* proc = program_->findUnit(name);
-    oracles_[name] = std::make_unique<interproc::InterproceduralOracle>(
-        *summaries_, *proc);
-  }
-  ctx.oracle = oracles_[name].get();
+  ctx.oracle = oracle;
   applyAssertions(assertions_, &ctx);
   auto itOv = overrides_.find(name);
   if (itOv != overrides_.end()) ctx.classificationOverrides = itOv->second;
@@ -86,9 +84,21 @@ dep::AnalysisContext Session::contextFor(const std::string& name) {
   ctx.incrementalUpdates = incrementalUpdates_;
   ctx.useMemo = incrementalUpdates_;
   ctx.memo = incrementalUpdates_ ? memo_ : nullptr;
-  ctx.statsSink = &stats_;
+  ctx.statsSink = sink;
   ctx.budget = budget_;
+  ctx.pool = pool;
+  ctx.idsPreassigned = pool != nullptr;
   return ctx;
+}
+
+dep::AnalysisContext Session::contextFor(const std::string& name) {
+  auto itOracle = oracles_.find(name);
+  if (itOracle == oracles_.end()) {
+    Procedure* proc = program_->findUnit(name);
+    oracles_[name] = std::make_unique<interproc::InterproceduralOracle>(
+        *summaries_, *proc);
+  }
+  return makeContext(name, oracles_[name].get(), &stats_, nullptr);
 }
 
 transform::Workspace& Session::wsFor(const std::string& name) {
@@ -117,6 +127,102 @@ void Session::fullReanalysis() {
   for (const auto& u : program_->units) {
     (void)wsFor(u->name);
   }
+}
+
+ParallelReport Session::analyzeParallel(int nThreads) {
+  support::TaskPool pool(nThreads);
+  return analyzeOn(pool);
+}
+
+ParallelReport Session::analyzeOn(support::TaskPool& pool) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t tasks0 = pool.tasksExecuted();
+  const std::uint64_t steals0 = pool.steals();
+
+  workspaces_.clear();
+  oracles_.clear();
+  memo_->invalidateAll();
+  // Statement ids are assigned once, up front: the Program is shared by
+  // every concurrent per-procedure task, so the lazy assignment inside
+  // Workspace::reanalyze is disabled (ctx.idsPreassigned) for the tasks.
+  program_->assignIds();
+
+  summaries_ = std::make_unique<interproc::SummaryBuilder>(
+      *program_, interproc::SummaryBuilder::Deferred{});
+  const interproc::CallGraph& cg = summaries_->callGraph();
+
+  // One DAG drives both phases. Summary tasks are sequenced
+  // callee-before-caller by the call-graph edges; a finalize barrier runs
+  // the sequential epilogue (recursive worst-cases + global facts); every
+  // per-procedure analysis task is gated on it. With a 1-thread pool the
+  // FIFO executes summaries in bottomUpOrder and analyses in unit order —
+  // exactly the fullReanalysis() sequence.
+  support::TaskGraph graph;
+  std::map<std::string, std::size_t> summaryNode;
+  for (const std::string& name : cg.bottomUpOrder()) {
+    summaryNode[name] =
+        graph.add([this, &name] { summaries_->summarizeOne(name); });
+  }
+  for (const interproc::CallSite& site : cg.callSites()) {
+    auto callee = summaryNode.find(site.callee);
+    auto caller = summaryNode.find(site.caller);
+    if (callee == summaryNode.end() || caller == summaryNode.end()) continue;
+    if (callee->second == caller->second) continue;
+    graph.addEdge(callee->second, caller->second);
+  }
+  std::size_t finalizeNode = graph.add([this] { summaries_->finalize(); });
+  for (const auto& [name, node] : summaryNode) {
+    (void)name;
+    graph.addEdge(node, finalizeNode);
+  }
+
+  struct ProcResult {
+    std::unique_ptr<interproc::InterproceduralOracle> oracle;
+    std::unique_ptr<transform::Workspace> ws;
+    dep::TestStats stats;
+  };
+  std::vector<ProcResult> results(program_->units.size());
+  for (std::size_t i = 0; i < program_->units.size(); ++i) {
+    std::size_t node = graph.add([this, i, &results, &pool] {
+      Procedure* proc = program_->units[i].get();
+      ProcResult& r = results[i];
+      r.oracle = std::make_unique<interproc::InterproceduralOracle>(
+          *summaries_, *proc);
+      r.ws = std::make_unique<transform::Workspace>(
+          *program_, *proc,
+          makeContext(proc->name, r.oracle.get(), &r.stats, &pool));
+    });
+    graph.addEdge(finalizeNode, node);
+  }
+  graph.run(pool);
+
+  // Deterministic merge, in unit order (the fullReanalysis order): fold
+  // per-task stats into the session counters, adopt the oracles and
+  // workspaces, and rebind each context to the sequential defaults so
+  // later incremental edits behave exactly as in a sequential session.
+  for (std::size_t i = 0; i < program_->units.size(); ++i) {
+    ProcResult& r = results[i];
+    const std::string& name = program_->units[i]->name;
+    stats_.accumulate(r.stats);
+    r.ws->actx.statsSink = &stats_;
+    r.ws->actx.pool = nullptr;
+    r.ws->actx.idsPreassigned = false;
+    oracles_[name] = std::move(r.oracle);
+    reapplyMarks(*r.ws->graph);
+    ++reanalyses_;
+    workspaces_.emplace(name, std::move(r.ws));
+  }
+
+  ParallelReport report;
+  report.threads = pool.threadCount();
+  report.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  report.procedures = program_->units.size();
+  report.summaryTasks = summaryNode.size();
+  report.tasksExecuted = pool.tasksExecuted() - tasks0;
+  report.steals = pool.steals() - steals0;
+  return report;
 }
 
 void Session::setIncrementalUpdates(bool on) {

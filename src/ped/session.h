@@ -15,6 +15,7 @@
 #include "ped/perfest.h"
 #include "support/audit.h"
 #include "support/diagnostics.h"
+#include "support/taskpool.h"
 #include "transform/transform.h"
 
 namespace ps::ped {
@@ -71,6 +72,18 @@ struct DegradationReport {
            linearizeDegraded == 0 && symbolicTruncated == 0;
   }
   [[nodiscard]] std::string str() const;
+};
+
+/// What one parallel whole-program analysis did: thread count, wall time,
+/// and scheduler counters (tasks include the per-nest fan-out inside each
+/// per-procedure build).
+struct ParallelReport {
+  int threads = 1;
+  double seconds = 0.0;
+  std::size_t procedures = 0;
+  std::size_t summaryTasks = 0;
+  std::uint64_t tasksExecuted = 0;
+  std::uint64_t steals = 0;
 };
 
 /// Feature-usage counters, mirroring the rows of the paper's Table 2 so the
@@ -292,6 +305,20 @@ class Session {
   /// incremental updates only touch the edited procedure. Also empties the
   /// cross-build dependence-test memo.
   void fullReanalysis();
+
+  /// Whole-program analysis as a task DAG on a thread pool: interprocedural
+  /// summary tasks sequenced callee-before-caller by the call graph, then
+  /// one analysis task per procedure (CFG, dominators, dataflow, dependence
+  /// testing) with per-loop-nest dependence batteries fanned out as
+  /// subtasks. Per-task TestStats merge into the session counters in fixed
+  /// unit order. Semantics match fullReanalysis(); nThreads == 1 (a poolless
+  /// FIFO) is bit-identical to it — graphs, edge ids and stats.
+  /// nThreads == 0 uses hardware_concurrency().
+  ParallelReport analyzeParallel(int nThreads = 0);
+  /// Same, scheduling onto a caller-owned pool (the eight-deck batch driver
+  /// runs several sessions' analyses concurrently on one pool).
+  ParallelReport analyzeOn(support::TaskPool& pool);
+
   [[nodiscard]] int reanalysisCount() const;
 
   /// Toggle the incremental machinery as a whole: per-nest edge splicing in
@@ -351,6 +378,14 @@ class Session {
   transform::Workspace& wsFor(const std::string& name);
   void invalidate(const std::string& name);
   dep::AnalysisContext contextFor(const std::string& name);
+  /// Pure variant of contextFor for parallel per-procedure tasks: the
+  /// oracle and stats sink are supplied by the caller, so nothing in the
+  /// session is mutated (contextFor lazily populates oracles_, which is
+  /// not safe under concurrency).
+  dep::AnalysisContext makeContext(const std::string& name,
+                                   const dep::SideEffectOracle* oracle,
+                                   dep::TestStats* sink,
+                                   support::TaskPool* pool) const;
 
   /// Id-preserving deep copy of the whole program (all units, statement ids,
   /// labels, nextStmtId) taken before any mutating operation.

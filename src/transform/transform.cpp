@@ -19,7 +19,10 @@ Workspace::Workspace(fortran::Program& programIn, fortran::Procedure& procIn,
 }
 
 void Workspace::reanalyze() {
-  program.assignIds();
+  // The parallel driver assigns ids once before fanning out per-procedure
+  // tasks (the Program is shared across them); everywhere else the
+  // assignment is idempotent and cheap.
+  if (!actx.idsPreassigned) program.assignIds();
   model = std::make_unique<ir::ProcedureModel>(proc);
   if (actx.incrementalUpdates && graph) {
     // Incremental path: splice the previous graph's edges for every

@@ -35,6 +35,22 @@ int fuzzIterations() {
   return 520;
 }
 
+// PS_FUZZ_PARALLEL=<n> (n > 0) routes the harness's whole-program analyses
+// through the task-DAG engine with n worker threads, so the mutated-deck
+// corpus also hammers the parallel path. Unset/0 keeps the lazy sequential
+// analysis this harness originally exercised.
+int fuzzParallelThreads() {
+  if (const char* env = std::getenv("PS_FUZZ_PARALLEL")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 0;
+}
+
+void maybeParallelAnalyze(ped::Session& s) {
+  if (int n = fuzzParallelThreads()) (void)s.analyzeParallel(n);
+}
+
 // ---------------------------------------------------------------------------
 // Source mutators. Each takes the rng and returns a mutated copy; all are
 // byte-level so they can produce every flavor of malformed fixed-form deck:
@@ -190,6 +206,7 @@ TEST(FuzzRobustness, MutatedSourceLoadsNeverCrashOrCorrupt) {
     // Exercise the analysis stack on a sample: progressive disclosure over
     // a mutated deck must still produce a coherent model + graph.
     if (i % 4 == 0) {
+      maybeParallelAnalyze(*session);
       (void)session->loops();
       audit::Report after = session->auditNow(false);
       EXPECT_TRUE(after.ok())
@@ -220,6 +237,7 @@ TEST(FuzzRobustness, FaultInjectedTransformCyclesRollBackCleanly) {
     ASSERT_NE(session, nullptr) << w.name;
 
     // Materialize the analysis and pick a loop to torture.
+    maybeParallelAnalyze(*session);
     auto loops = session->loops();
     if (loops.empty()) continue;
     auto loopId = loops[pick(rng, loops.size())].id;
