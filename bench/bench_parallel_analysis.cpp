@@ -71,6 +71,47 @@ BENCHMARK(BM_BatchAnalysis)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// Steal-latency telemetry: per-worker idle histograms for a batch run.
+// Long bouts with few steals = tasks too coarse to keep the pool fed;
+// many sub-millisecond bouts = tasks too fine (steal overhead dominates).
+// ---------------------------------------------------------------------------
+
+void printIdleHistograms(int threads) {
+  ps::workloads::BatchResult r = ps::workloads::analyzeAllDecks(threads);
+  std::printf("steal-latency histogram, %d threads (%llu tasks, %llu steals, "
+              "%.1fms analysis):\n",
+              r.threads, static_cast<unsigned long long>(r.tasksExecuted),
+              static_cast<unsigned long long>(r.steals), r.seconds * 1e3);
+  std::printf("  %-10s %7s %9s  %s\n", "", "bouts", "idle-ms",
+              "bout-length buckets <1us..>16ms (log2)");
+  for (std::size_t i = 0; i < r.idle.size(); ++i) {
+    const auto& row = r.idle[i];
+    char label[16];
+    if (i + 1 == r.idle.size()) {
+      std::snprintf(label, sizeof label, "waiters");
+    } else {
+      std::snprintf(label, sizeof label, "worker %zu", i);
+    }
+    std::printf("  %-10s %7llu %9.2f  [", label,
+                static_cast<unsigned long long>(row.bouts),
+                static_cast<double>(row.idleNanos) / 1e6);
+    for (std::size_t b = 0; b < row.histogram.size(); ++b) {
+      std::printf("%s%llu", b ? " " : "",
+                  static_cast<unsigned long long>(row.histogram[b]));
+    }
+    std::printf("]\n");
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf("Parallel batch analysis: steal-latency telemetry\n\n");
+  for (int threads : {2, 4, 8}) printIdleHistograms(threads);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

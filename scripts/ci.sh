@@ -21,10 +21,12 @@ PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" PS_FUZZ_PARALLEL=4 \
   ./build/tests/fuzz_robustness_test
 
 # ThreadSanitizer stage: rebuild the concurrency-sensitive targets with
-# -fsanitize=thread and run the parallel determinism suite plus the DepMemo
-# stress test. Any data race in the pool, the task DAG, the sharded memo or
-# the per-nest fan-out fails CI here.
+# -fsanitize=thread and run the parallel determinism suites (whole-program
+# batch + incremental edit storm) plus the DepMemo stress test. Any data
+# race in the pool, the task DAG, the sharded memo, the pipelined summary
+# nodes or the per-nest fan-out fails CI here.
 cmake -B build-tsan -S . -DPS_TSAN=ON
-cmake --build build-tsan -j --target parallel_analysis_test depmemo_concurrent_test
+cmake --build build-tsan -j --target parallel_analysis_test edit_storm_test depmemo_concurrent_test
 ./build-tsan/tests/depmemo_concurrent_test
 ./build-tsan/tests/parallel_analysis_test
+./build-tsan/tests/edit_storm_test

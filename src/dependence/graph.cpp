@@ -521,13 +521,13 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
   // -------------------------------------------------------------------
   // Pair enumeration, in the exact sequential order (array -> i -> j).
   // Clean pairs splice immediately; dirty pairs become jobs grouped by
-  // common nest. Each nest group is an independent unit of work — its own
-  // tester, its own copy of the opaque-term table (symbols are a pure
-  // function of printed expression text, so copies intern identically),
-  // its own output slots and stats block — and may run on a TaskPool
-  // worker. Edge ids are assigned at the deterministic merge below, so
-  // the resulting graph is bit-identical for ANY thread count, including
-  // the fully sequential path.
+  // common nest and then cut into fixed-size batches. Each batch is an
+  // independent unit of work — its own tester, its own copy of the
+  // opaque-term table (symbols are a pure function of printed expression
+  // text, so copies intern identically), its own output slots and stats
+  // block — and may run on a TaskPool worker. Edge ids are assigned at the
+  // deterministic merge below, so the resulting graph is bit-identical for
+  // ANY thread count, including the fully sequential path.
   // -------------------------------------------------------------------
   struct PairJob {
     ARef r1, r2;
@@ -678,8 +678,27 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
     }
   };
 
-  // One unit of work per nest: private tester + opaque table + stats.
-  auto runGroup = [&](const std::vector<std::size_t>& idxs, TestStats& gs) {
+  // One unit of work per batch: private tester + opaque table + stats. A
+  // nest group is further split into fixed-size batches so that an
+  // incremental update whose dirty pairs all land in ONE nest (the common
+  // single-statement-edit case) still exposes parallelism. Batching is a
+  // pure function of the enumeration order — never of the pool or thread
+  // count — and every batch clones the same pre-phase opaque table (symbols
+  // intern identically from printed text), so the merged graph is the same
+  // for any batch schedule, including the fully sequential one.
+  static constexpr std::size_t kPairBatch = 8;
+  std::vector<std::vector<std::size_t>> batches;
+  for (auto& [nid, idxs] : nestGroups) {
+    (void)nid;
+    for (std::size_t b = 0; b < idxs.size(); b += kPairBatch) {
+      const std::size_t e = std::min(idxs.size(), b + kPairBatch);
+      batches.emplace_back(idxs.begin() + static_cast<std::ptrdiff_t>(b),
+                           idxs.begin() + static_cast<std::ptrdiff_t>(e));
+    }
+  }
+  g.stats_.pairBatches = static_cast<long long>(batches.size());
+
+  auto runBatch = [&](const std::vector<std::size_t>& idxs, TestStats& gs) {
     const std::vector<const Loop*>& nest = jobs[idxs.front()].nest;
     OpaqueTable groupOpaques = opaques;
     std::vector<LoopContext> lctxs;
@@ -692,23 +711,20 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
     gs.accumulate(tester.stats());
   };
 
-  std::vector<TestStats> groupStats(nestGroups.size());
+  std::vector<TestStats> batchStats(batches.size());
   {
-    std::size_t gi = 0;
-    if (ctx.pool && nestGroups.size() > 1) {
+    if (ctx.pool && batches.size() > 1) {
       std::vector<std::function<void()>> thunks;
-      thunks.reserve(nestGroups.size());
-      for (auto& [nid, idxs] : nestGroups) {
-        (void)nid;
-        const std::vector<std::size_t>* ix = &idxs;
-        TestStats* gs = &groupStats[gi++];
-        thunks.push_back([&runGroup, ix, gs] { runGroup(*ix, *gs); });
+      thunks.reserve(batches.size());
+      for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+        const std::vector<std::size_t>* ix = &batches[bi];
+        TestStats* gs = &batchStats[bi];
+        thunks.push_back([&runBatch, ix, gs] { runBatch(*ix, *gs); });
       }
       ctx.pool->runAll(std::move(thunks));
     } else {
-      for (auto& [nid, idxs] : nestGroups) {
-        (void)nid;
-        runGroup(idxs, groupStats[gi++]);
+      for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+        runBatch(batches[bi], batchStats[bi]);
       }
     }
   }
@@ -722,7 +738,7 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
       g.deps_.push_back(std::move(d));
     }
   }
-  for (const TestStats& gs : groupStats) g.stats_.accumulate(gs);
+  for (const TestStats& gs : batchStats) g.stats_.accumulate(gs);
   // Only array-pair edges exist so far; everything not spliced was rebuilt.
   g.stats_.edgesRebuilt =
       static_cast<long long>(g.deps_.size()) - g.stats_.edgesSpliced;

@@ -42,6 +42,7 @@ void TestStats::accumulate(const TestStats& o) {
   memoHits += o.memoHits;
   memoMisses += o.memoMisses;
   pairsTested += o.pairsTested;
+  pairBatches += o.pairBatches;
   pairsSpliced += o.pairsSpliced;
   edgesSpliced += o.edgesSpliced;
   edgesRebuilt += o.edgesRebuilt;

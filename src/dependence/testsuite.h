@@ -127,6 +127,10 @@ struct TestStats {
 
   /// Reference pairs whose test battery actually ran this build.
   long long pairsTested = 0;
+  /// Fixed-size batches the dirty pairs were partitioned into. Each batch is
+  /// an independently schedulable unit (private tester/opaque copies), so
+  /// this is the array-pair phase's available parallelism for one build.
+  long long pairBatches = 0;
   /// Reference pairs skipped by the incremental update (inputs unchanged).
   long long pairsSpliced = 0;
   /// Edges copied over from the previous graph by the incremental update.

@@ -221,10 +221,55 @@ ExprPtr substituteFormals(const Expr& e,
   }
 }
 
+/// Canonical text of a section option, for structural comparison.
+std::string sectionKey(const std::optional<dep::Section>& s) {
+  return s ? s->str() : std::string("<none>");
+}
+
+/// Call-graph "shape": the procedure set, their topological/recursive
+/// classification, and the (caller, callee) call-site multiset. Argument
+/// expressions are NOT part of the shape (they feed formal constants,
+/// which are recomputed on every update anyway).
+bool sameShape(const CallGraph& a, const CallGraph& b) {
+  if (a.bottomUpOrder() != b.bottomUpOrder()) return false;
+  if (a.recursive() != b.recursive()) return false;
+  if (a.unresolved() != b.unresolved()) return false;
+  auto edges = [](const CallGraph& g) {
+    std::vector<std::pair<std::string, std::string>> e;
+    e.reserve(g.callSites().size());
+    for (const CallSite& s : g.callSites()) e.emplace_back(s.caller, s.callee);
+    std::sort(e.begin(), e.end());
+    return e;
+  };
+  return edges(a) == edges(b);
+}
+
 }  // namespace
+
+bool operator==(const VarEffect& a, const VarEffect& b) {
+  return a.isArray == b.isArray && a.mayRead == b.mayRead &&
+         a.mayWrite == b.mayWrite && a.kills == b.kills &&
+         a.exposedRead == b.exposedRead &&
+         sectionKey(a.readSection) == sectionKey(b.readSection) &&
+         sectionKey(a.writeSection) == sectionKey(b.writeSection);
+}
+
+bool operator==(const ProcSummary& a, const ProcSummary& b) {
+  if (a.name != b.name || a.formals != b.formals) return false;
+  if (a.effects.size() != b.effects.size()) return false;
+  auto ib = b.effects.begin();
+  for (auto ia = a.effects.begin(); ia != a.effects.end(); ++ia, ++ib) {
+    if (ia->first != ib->first || !(ia->second == ib->second)) return false;
+  }
+  return true;
+}
 
 SummaryBuilder::SummaryBuilder(fortran::Program& program)
     : program_(program), callGraph_(CallGraph::build(program)) {
+  recursiveNames_.insert(callGraph_.recursive().begin(),
+                         callGraph_.recursive().end());
+  preinsertSlots();
+  computeFormalConstants();
   for (const std::string& name : callGraph_.bottomUpOrder()) {
     if (Procedure* proc = program_.findUnit(name)) summarize(*proc);
   }
@@ -233,11 +278,24 @@ SummaryBuilder::SummaryBuilder(fortran::Program& program)
 
 SummaryBuilder::SummaryBuilder(fortran::Program& program, Deferred)
     : program_(program), callGraph_(CallGraph::build(program)) {
-  // Reserve a node per summarizable procedure up front: summarizeOne then
-  // only assigns into existing slots, so the map structure is immutable
-  // during the parallel phase and lock-free concurrent reads are safe.
+  // Reserve a node per summarizable procedure up front: summarizeOne and
+  // finalizeRecursiveOne then only assign into existing slots, so the map
+  // structure is immutable during the parallel phase and lock-free
+  // concurrent reads are safe. Formal constants are call-site literals —
+  // pure AST — so they are computed here once and are immutable while the
+  // driver's tasks read them.
+  recursiveNames_.insert(callGraph_.recursive().begin(),
+                         callGraph_.recursive().end());
+  preinsertSlots();
+  computeFormalConstants();
+}
+
+void SummaryBuilder::preinsertSlots() {
   for (const std::string& name : callGraph_.bottomUpOrder()) {
-    summaries_[name].name = name;
+    if (program_.findUnit(name)) summaries_[name].name = name;
+  }
+  for (const std::string& name : callGraph_.recursive()) {
+    if (program_.findUnit(name)) summaries_[name].name = name;
   }
 }
 
@@ -245,34 +303,138 @@ void SummaryBuilder::summarizeOne(const std::string& name) {
   if (Procedure* proc = program_.findUnit(name)) summarize(*proc);
 }
 
+ProcSummary SummaryBuilder::worstCaseSummary(const std::string& name,
+                                             const Procedure& proc) const {
+  // Worst case: every formal and COMMON var may be read and written,
+  // sections unknown.
+  ProcSummary s;
+  s.name = name;
+  s.formals = proc.params;
+  for (const auto& p : proc.params) {
+    const fortran::VarDecl* d = proc.findDecl(p);
+    VarEffect e;
+    e.isArray = d && d->isArray();
+    e.mayRead = e.mayWrite = true;
+    e.exposedRead = true;
+    s.effects[p] = std::move(e);
+  }
+  for (const auto& d : proc.decls) {
+    if (d.commonBlock.empty()) continue;
+    VarEffect e;
+    e.isArray = d.isArray();
+    e.mayRead = e.mayWrite = true;
+    e.exposedRead = true;
+    s.effects[d.name] = std::move(e);
+  }
+  return s;
+}
+
+void SummaryBuilder::finalizeRecursiveOne(const std::string& name) {
+  Procedure* proc = program_.findUnit(name);
+  if (!proc) return;
+  summaries_[name] = worstCaseSummary(name, *proc);
+}
+
 void SummaryBuilder::finalize() {
-  // Recursive procedures: worst-case summary (every formal and COMMON var
-  // may be read and written, sections unknown).
+  for (const std::string& name : callGraph_.recursive()) {
+    finalizeRecursiveOne(name);
+  }
+  computeGlobalFacts();
+}
+
+const ProcSummary* SummaryBuilder::phaseSummaryOf(
+    const std::string& name) const {
+  // The recursive-name check comes FIRST: during the parallel phase a
+  // finalizeRecursiveOne task may be assigning that very slot.
+  if (recursiveNames_.count(name)) return nullptr;
+  return summaryOf(name);
+}
+
+SummaryBuilder::Update SummaryBuilder::applyEdit(
+    const std::set<std::string>& editedProcs) {
+  Update up;
+  CallGraph fresh = CallGraph::build(program_);
+  const bool shapeKept = sameShape(callGraph_, fresh);
+  // Always adopt the fresh graph: CallSite::stmt pointers must track the
+  // live AST (the old ones dangle after statement replacement).
+  callGraph_ = std::move(fresh);
+  recursiveNames_.clear();
+  recursiveNames_.insert(callGraph_.recursive().begin(),
+                         callGraph_.recursive().end());
+
+  if (!shapeKept) {
+    // Procedures or call edges appeared/disappeared: rebuild everything
+    // from scratch (rare for statement-level edits).
+    up.structureChanged = true;
+    summaries_.clear();
+    preinsertSlots();
+    computeFormalConstants();
+    for (const std::string& name : callGraph_.bottomUpOrder()) {
+      if (Procedure* proc = program_.findUnit(name)) summarize(*proc);
+    }
+    finalize();
+    for (const auto& [name, s] : summaries_) {
+      (void)s;
+      up.changedSummaries.insert(name);
+      up.resummarized.insert(name);
+    }
+    for (const auto& u : program_.units) up.staleAnalyses.insert(u->name);
+    return up;
+  }
+
+  computeFormalConstants();
+
+  // Recursive worst-case summaries track the procedure's current AST
+  // (formals + COMMON decls); rebuild and diff them in place.
   for (const std::string& name : callGraph_.recursive()) {
     Procedure* proc = program_.findUnit(name);
     if (!proc) continue;
-    ProcSummary s;
-    s.name = name;
-    s.formals = proc->params;
-    for (const auto& p : proc->params) {
-      const fortran::VarDecl* d = proc->findDecl(p);
-      VarEffect e;
-      e.isArray = d && d->isArray();
-      e.mayRead = e.mayWrite = true;
-      e.exposedRead = true;
-      s.effects[p] = std::move(e);
-    }
-    for (const auto& d : proc->decls) {
-      if (d.commonBlock.empty()) continue;
-      VarEffect e;
-      e.isArray = d.isArray();
-      e.mayRead = e.mayWrite = true;
-      e.exposedRead = true;
-      s.effects[d.name] = std::move(e);
-    }
-    summaries_[name] = std::move(s);
+    ProcSummary ns = worstCaseSummary(name, *proc);
+    if (!(ns == summaries_[name])) up.changedSummaries.insert(name);
+    summaries_[name] = std::move(ns);
   }
+
+  // Bottom-up: re-summarize the edited procedures plus every procedure one
+  // of whose resolved callee summaries actually changed. Everything else
+  // keeps its summary — summarize() is a pure function of the procedure's
+  // AST and its direct callee summaries (recursive callees filtered to
+  // unknown either way), so the untouched fixed point is what a fresh
+  // eager build would recompute.
+  for (const std::string& name : callGraph_.bottomUpOrder()) {
+    Procedure* proc = program_.findUnit(name);
+    if (!proc) continue;
+    bool dirty = editedProcs.count(name) > 0;
+    if (!dirty) {
+      for (const CallSite* cs : callGraph_.callsFrom(name)) {
+        if (up.changedSummaries.count(cs->callee)) {
+          dirty = true;
+          break;
+        }
+      }
+    }
+    if (!dirty) continue;
+    up.resummarized.insert(name);
+    ProcSummary old = std::move(summaries_[name]);
+    summarize(*proc);
+    if (!(summaries_[name] == old)) up.changedSummaries.insert(name);
+  }
+
+  // The census is a cheap whole-program AST scan; rerun it unconditionally.
+  // Callers diff inherited facts per procedure to find contexts that
+  // actually changed.
   computeGlobalFacts();
+
+  up.staleAnalyses = editedProcs;
+  for (const auto& u : program_.units) {
+    if (up.staleAnalyses.count(u->name)) continue;
+    for (const CallSite* cs : callGraph_.callsFrom(u->name)) {
+      if (up.changedSummaries.count(cs->callee)) {
+        up.staleAnalyses.insert(u->name);
+        break;
+      }
+    }
+  }
+  return up;
 }
 
 const ProcSummary* SummaryBuilder::summaryOf(const std::string& name) const {
@@ -280,11 +442,13 @@ const ProcSummary* SummaryBuilder::summaryOf(const std::string& name) const {
   return it == summaries_.end() ? nullptr : &it->second;
 }
 
-bool SummaryBuilder::refMayWrite(const Stmt& s, const ir::Ref& r) const {
+bool SummaryBuilder::refMayWrite(const Stmt& s, const ir::Ref& r,
+                                 bool duringSummarize) const {
   // Resolve a CallActual's write status through the callee summaries; true
   // (conservative) when any callee is unknown or reports MOD.
   for (const std::string& callee : ir::calledFunctions(s)) {
-    const ProcSummary* cs = summaryOf(callee);
+    const ProcSummary* cs =
+        duringSummarize ? phaseSummaryOf(callee) : summaryOf(callee);
     if (!cs) return true;
     const std::vector<ExprPtr>* args = nullptr;
     if (s.kind == StmtKind::Call && s.callee == callee) {
@@ -335,7 +499,7 @@ void SummaryBuilder::summarize(Procedure& proc) {
     for (const Ref& r : ir::collectRefs(*s)) {
       if (!r.isWrite()) continue;
       if (r.kind == RefKind::CallActual) {
-        if (!refMayWrite(*s, r)) continue;
+        if (!refMayWrite(*s, r, /*duringSummarize=*/true)) continue;
       }
       writtenSomewhere.insert(r.name);
     }
@@ -395,7 +559,7 @@ void SummaryBuilder::summarize(Procedure& proc) {
   // Effects of nested calls, translated into this scope.
   for (const Stmt* s : model.allStmts()) {
     for (const std::string& callee : ir::calledFunctions(*s)) {
-      const ProcSummary* cs = summaryOf(callee);
+      const ProcSummary* cs = phaseSummaryOf(callee);
       auto chain = loopChainOf(s);
       // Argument expressions at this call.
       const std::vector<ExprPtr>* args = nullptr;
@@ -578,7 +742,7 @@ void SummaryBuilder::summarize(Procedure& proc) {
           }
           // A nested call's KILL set propagates.
           for (const std::string& callee : ir::calledFunctions(*s)) {
-            const ProcSummary* cs = summaryOf(callee);
+            const ProcSummary* cs = phaseSummaryOf(callee);
             if (!cs) continue;
             const std::vector<ExprPtr>* args =
                 (s->kind == StmtKind::Call) ? &s->args : nullptr;
@@ -646,7 +810,7 @@ void SummaryBuilder::summarize(Procedure& proc) {
               // call.
               bool calleeExposed = true, calleeKills = false;
               for (const std::string& callee : ir::calledFunctions(*s)) {
-                const ProcSummary* cs = summaryOf(callee);
+                const ProcSummary* cs = phaseSummaryOf(callee);
                 if (!cs) continue;
                 const std::vector<ExprPtr>* args =
                     (s->kind == StmtKind::Call) ? &s->args : nullptr;
@@ -721,6 +885,8 @@ void SummaryBuilder::computeGlobalFacts() {
   // global constants/relations. The paper's arc3d case: "in the
   // initialization routine, the assignment JM = JMAX - 1 occurs, and this
   // relation holds for the rest of the program."
+  globalConstants_.clear();
+  globalRelations_.clear();
   std::set<std::string> commonNames;
   for (const auto& u : program_.units) {
     for (const auto& d : u->decls) {
@@ -757,7 +923,10 @@ void SummaryBuilder::computeGlobalFacts() {
     u->forEachStmt([&](const Stmt& s) {
       for (const Ref& r : ir::collectRefs(s)) {
         if (!r.isWrite() || !commonNames.count(r.name)) continue;
-        if (r.kind == RefKind::CallActual && !refMayWrite(s, r)) continue;
+        if (r.kind == RefKind::CallActual &&
+            !refMayWrite(s, r, /*duringSummarize=*/false)) {
+          continue;
+        }
         WriteInfo& w = writes[r.name];
         ++w.count;
         w.stmt = &s;
@@ -798,8 +967,12 @@ void SummaryBuilder::computeGlobalFacts() {
       globalRelations_.push_back({name, form});
     }
   }
+}
 
-  // Formal constants: every call site passes the same literal.
+void SummaryBuilder::computeFormalConstants() {
+  // Formal constants: every call site passes the same literal. Pure AST +
+  // call graph — no summaries — so this is valid before summarization.
+  formalConstants_.clear();
   for (const auto& u : program_.units) {
     auto calls = callGraph_.callsTo(u->name);
     if (calls.empty()) continue;
@@ -833,6 +1006,15 @@ void SummaryBuilder::computeGlobalFacts() {
   }
 }
 
+bool SummaryBuilder::usesGlobalFacts(const std::string& procName) const {
+  const Procedure* proc = program_.findUnit(procName);
+  if (!proc) return false;
+  for (const auto& d : proc->decls) {
+    if (!d.commonBlock.empty()) return true;
+  }
+  return false;
+}
+
 std::map<std::string, long long> SummaryBuilder::inheritedConstantsFor(
     const std::string& procName) const {
   std::map<std::string, long long> out;
@@ -861,6 +1043,10 @@ std::vector<dataflow::Relation> SummaryBuilder::inheritedRelationsFor(
     if (u->name == procName) proc = u.get();
   }
   if (!proc) return out;
+  // Without a COMMON declaration nothing below can match; returning early
+  // also keeps this readable concurrently with the census task (a
+  // no-COMMON procedure's analysis need not wait for computeGlobalFacts).
+  if (!usesGlobalFacts(procName)) return out;
   for (const auto& r : globalRelations_) {
     // The relation's variable must be visible here, and the procedure must
     // not be the one performing the assignment... single-assignment already

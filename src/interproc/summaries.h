@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,10 @@ struct VarEffect {
   std::optional<dep::Section> writeSection;
 };
 
+/// Structural equality (sections compared by their canonical rendering) —
+/// the incremental updater's "did this summary actually change" check.
+[[nodiscard]] bool operator==(const VarEffect& a, const VarEffect& b);
+
 /// Interprocedural summary of one procedure: flow-insensitive MOD/REF
 /// [Banning 79], flow-sensitive KILL [Callahan 88], and bounded regular
 /// sections [Havlak–Kennedy 91] — the suite the paper credits as "one of
@@ -46,6 +51,8 @@ struct ProcSummary {
   }
 };
 
+[[nodiscard]] bool operator==(const ProcSummary& a, const ProcSummary& b);
+
 /// Builds summaries bottom-up over the call graph. Procedures on recursive
 /// cycles and calls to unresolved (library) routines get worst-case
 /// summaries.
@@ -54,12 +61,15 @@ class SummaryBuilder {
   explicit SummaryBuilder(fortran::Program& program);
 
   /// Deferred construction for the parallel analysis driver. Builds the
-  /// call graph and pre-inserts one summary slot per non-recursive
-  /// procedure — so concurrent summarizeOne() calls assign into existing
-  /// map nodes and never mutate the map structure — but computes nothing.
-  /// The driver must call summarizeOne() for every bottomUpOrder() name,
-  /// sequenced callee-before-caller (the call-graph DAG), then finalize()
-  /// exactly once. The result is identical to the eager constructor.
+  /// call graph, pre-inserts one summary slot per summarizable procedure —
+  /// so concurrent summarizeOne()/finalizeRecursiveOne() calls assign into
+  /// existing map nodes and never mutate the map structure — and computes
+  /// the (immutable, AST-only) formal constants, but summarizes nothing.
+  /// The driver must call summarizeOne() for every bottomUpOrder() name
+  /// sequenced callee-before-caller (the call-graph DAG) and
+  /// finalizeRecursiveOne() for every recursive() name (no ordering
+  /// constraint), then computeGlobalFacts() after all of those. The result
+  /// is identical to the eager constructor.
   struct Deferred {};
   SummaryBuilder(fortran::Program& program, Deferred);
 
@@ -69,6 +79,48 @@ class SummaryBuilder {
   /// Sequential epilogue: worst-case summaries for recursive procedures +
   /// whole-program constant/relation propagation.
   void finalize();
+
+  /// Per-procedure slice of finalize(): install the worst-case summary of
+  /// ONE recursive procedure. Depends only on that procedure's AST, so the
+  /// parallel driver may run these concurrently with summarizeOne() calls —
+  /// summarization never reads recursive slots (they are filtered to
+  /// worst-case regardless), and the slot was pre-inserted by the
+  /// constructor so no map node is created.
+  void finalizeRecursiveOne(const std::string& name);
+  /// The whole-program constant/relation census (the other half of
+  /// finalize()). Must run after every summarizeOne()/finalizeRecursiveOne()
+  /// — it resolves call actuals through the final summaries.
+  void computeGlobalFacts();
+  /// True when `procName` declares any COMMON variable, i.e. its inherited
+  /// facts can depend on computeGlobalFacts(). Procedures without COMMON
+  /// need not wait for the census (their inherited constants come from the
+  /// call-site-literal scan, which is immutable once constructed).
+  [[nodiscard]] bool usesGlobalFacts(const std::string& procName) const;
+
+  /// Result of an incremental summary update after a source edit.
+  struct Update {
+    /// The call graph's shape changed (procedures or call sites added or
+    /// removed): every summary was rebuilt and every analysis is stale.
+    bool structureChanged = false;
+    /// Procedures whose ProcSummary differs from the pre-edit one.
+    std::set<std::string> changedSummaries;
+    /// Procedures that were re-run through summarization.
+    std::set<std::string> resummarized;
+    /// Procedures whose dependence analysis is invalidated by the edit:
+    /// the edited procedures plus every procedure with a call site whose
+    /// callee summary changed. (Inherited-fact changes are diffed by the
+    /// caller per materialized workspace.)
+    std::set<std::string> staleAnalyses;
+  };
+
+  /// Re-establish all summaries after `editedProcs` had statements edited,
+  /// re-summarizing only the edited procedures and the callers transitively
+  /// reached by actual summary changes. The call graph is rebuilt
+  /// unconditionally (its CallSite::stmt pointers must track the live AST).
+  /// Post-state is bit-identical to a from-scratch eager build. Summaries
+  /// are updated in place, so InterproceduralOracles holding a reference to
+  /// this builder stay valid.
+  Update applyEdit(const std::set<std::string>& editedProcs);
 
   [[nodiscard]] const ProcSummary* summaryOf(const std::string& name) const;
   [[nodiscard]] const CallGraph& callGraph() const { return callGraph_; }
@@ -89,14 +141,32 @@ class SummaryBuilder {
 
  private:
   void summarize(fortran::Procedure& proc);
-  void computeGlobalFacts();
+  /// Formal constants from call-site literals (AST + call graph only, no
+  /// summaries involved) — computed at construction so the parallel driver
+  /// can read inherited constants concurrently with the census.
+  void computeFormalConstants();
+  /// Pre-insert one summary slot per summarizable procedure so the map
+  /// structure never changes while summaries are assigned concurrently.
+  void preinsertSlots();
+  /// The callee-summary view DURING summarization: recursive procedures
+  /// read as unknown (worst case) even when their slot is already filled,
+  /// exactly as in the sequential eager build where finalize() ran last.
+  /// Keeps re-summarization bit-identical to a fresh build, and keeps
+  /// concurrent finalizeRecursiveOne() writes out of summarize()'s reads.
+  [[nodiscard]] const ProcSummary* phaseSummaryOf(
+      const std::string& name) const;
+  [[nodiscard]] ProcSummary worstCaseSummary(
+      const std::string& name, const fortran::Procedure& proc) const;
   /// True when a CallActual reference may actually be written, per the
-  /// callee summaries (conservative for unknown callees).
-  [[nodiscard]] bool refMayWrite(const fortran::Stmt& s,
-                                 const ir::Ref& r) const;
+  /// callee summaries (conservative for unknown callees). During
+  /// summarization recursive callees read as unknown (see phaseSummaryOf);
+  /// the census sees their worst-case summaries.
+  [[nodiscard]] bool refMayWrite(const fortran::Stmt& s, const ir::Ref& r,
+                                 bool duringSummarize) const;
 
   fortran::Program& program_;
   CallGraph callGraph_;
+  std::set<std::string> recursiveNames_;  // callGraph_.recursive(), as a set
   std::map<std::string, ProcSummary> summaries_;
   std::map<std::string, long long> globalConstants_;       // COMMON var -> value
   std::vector<dataflow::Relation> globalRelations_;        // COMMON relations

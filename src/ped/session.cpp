@@ -103,13 +103,57 @@ dep::AnalysisContext Session::contextFor(const std::string& name) {
 
 transform::Workspace& Session::wsFor(const std::string& name) {
   auto it = workspaces_.find(name);
-  if (it != workspaces_.end()) return *it->second;
+  if (it != workspaces_.end()) {
+    // Deferred edits leave materialized graphs stale; settle on access so
+    // every reader sees analysis results consistent with the current AST.
+    if (pendingDirty_.count(name)) settleOne(name, *it->second);
+    return *it->second;
+  }
   Procedure* proc = program_->findUnit(name);
   auto ws = std::make_unique<transform::Workspace>(*program_, *proc,
                                                    contextFor(name));
   reapplyMarks(*ws->graph);
   ++reanalyses_;
+  pendingDirty_.erase(name);  // a fresh build is up to date by construction
   return *workspaces_.emplace(name, std::move(ws)).first->second;
+}
+
+transform::Workspace& Session::wsForEdit(const std::string& name) {
+  auto it = workspaces_.find(name);
+  // No settle: edits only need the statement model, which finishEdit keeps
+  // fresh across deferred edits; settling here would serialize the graph
+  // rebuild that deferral exists to postpone.
+  if (it != workspaces_.end()) return *it->second;
+  return wsFor(name);
+}
+
+void Session::settleOne(const std::string& name, transform::Workspace& ws) {
+  ws.actx.inheritedConstants = summaries_->inheritedConstantsFor(name);
+  ws.actx.inheritedRelations = summaries_->inheritedRelationsFor(name);
+  ws.reanalyze();
+  reapplyMarks(*ws.graph);
+  pendingDirty_.erase(name);
+}
+
+void Session::settleEdits() {
+  if (pendingDirty_.empty()) return;
+  // Unit order — the deterministic reference order the parallel incremental
+  // path reproduces. Unmaterialized dirty procedures have no stale state;
+  // they rebuild fresh (with the already-updated summaries) on first access.
+  for (const auto& u : program_->units) {
+    if (!pendingDirty_.count(u->name)) continue;
+    auto it = workspaces_.find(u->name);
+    if (it != workspaces_.end()) {
+      settleOne(u->name, *it->second);
+    } else {
+      pendingDirty_.erase(u->name);
+    }
+  }
+}
+
+void Session::setDeferredAnalysis(bool on) {
+  deferredAnalysis_ = on;
+  if (!on) settleEdits();
 }
 
 void Session::invalidate(const std::string& name) {
@@ -123,6 +167,8 @@ void Session::fullReanalysis() {
   workspaces_.clear();
   oracles_.clear();
   memo_->invalidateAll();
+  pendingDirty_.clear();  // the rebuild below covers any pending edits
+  program_->assignIds();
   summaries_ = std::make_unique<interproc::SummaryBuilder>(*program_);
   for (const auto& u : program_->units) {
     (void)wsFor(u->name);
@@ -135,13 +181,23 @@ ParallelReport Session::analyzeParallel(int nThreads) {
 }
 
 ParallelReport Session::analyzeOn(support::TaskPool& pool) {
+  // Deferred edits + incremental updates: schedule only the dirty set,
+  // splicing clean nests and reusing the warm memo. With incremental
+  // updates off (the A2 baseline) every analysis is rebuilt regardless of
+  // how small the edit was — the full path below.
+  if (incrementalUpdates_ && !pendingDirty_.empty()) {
+    return incrementalAnalyzeOn(pool);
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t tasks0 = pool.tasksExecuted();
   const std::uint64_t steals0 = pool.steals();
+  const std::vector<support::TaskPool::IdleStats> idle0 = pool.idleStats();
 
   workspaces_.clear();
   oracles_.clear();
   memo_->invalidateAll();
+  pendingDirty_.clear();  // the full rebuild covers any pending edits
   // Statement ids are assigned once, up front: the Program is shared by
   // every concurrent per-procedure task, so the lazy assignment inside
   // Workspace::reanalyze is disabled (ctx.idsPreassigned) for the tasks.
@@ -151,29 +207,44 @@ ParallelReport Session::analyzeOn(support::TaskPool& pool) {
       *program_, interproc::SummaryBuilder::Deferred{});
   const interproc::CallGraph& cg = summaries_->callGraph();
 
-  // One DAG drives both phases. Summary tasks are sequenced
-  // callee-before-caller by the call-graph edges; a finalize barrier runs
-  // the sequential epilogue (recursive worst-cases + global facts); every
-  // per-procedure analysis task is gated on it. With a 1-thread pool the
-  // FIFO executes summaries in bottomUpOrder and analyses in unit order —
-  // exactly the fullReanalysis() sequence.
+  // One DAG drives both phases, with the summary finalize split per
+  // procedure instead of a global barrier. Summarize tasks are sequenced
+  // callee-before-caller where the caller actually reads the callee's
+  // summary; recursive procedures get independent worst-case tasks
+  // (summarization reads them as worst-case either way — phaseSummaryOf);
+  // the global-facts census waits on every summary; and each analysis task
+  // is gated on its own callees' summaries plus the census only when the
+  // procedure declares COMMON. A procedure whose callees are final starts
+  // its array-pair phase while unrelated call-graph regions summarize.
   support::TaskGraph graph;
   std::map<std::string, std::size_t> summaryNode;
+  const std::set<std::string> recursiveSet(cg.recursive().begin(),
+                                           cg.recursive().end());
   for (const std::string& name : cg.bottomUpOrder()) {
     summaryNode[name] =
         graph.add([this, &name] { summaries_->summarizeOne(name); });
   }
+  for (const std::string& name : cg.recursive()) {
+    summaryNode[name] =
+        graph.add([this, &name] { summaries_->finalizeRecursiveOne(name); });
+  }
   for (const interproc::CallSite& site : cg.callSites()) {
+    // A recursive caller's worst-case task reads only its own AST; a
+    // recursive callee is read as worst-case during summarization. Neither
+    // constrains the summarize phase.
+    if (recursiveSet.count(site.caller) || recursiveSet.count(site.callee))
+      continue;
     auto callee = summaryNode.find(site.callee);
     auto caller = summaryNode.find(site.caller);
     if (callee == summaryNode.end() || caller == summaryNode.end()) continue;
     if (callee->second == caller->second) continue;
     graph.addEdge(callee->second, caller->second);
   }
-  std::size_t finalizeNode = graph.add([this] { summaries_->finalize(); });
+  std::size_t censusNode =
+      graph.add([this] { summaries_->computeGlobalFacts(); });
   for (const auto& [name, node] : summaryNode) {
     (void)name;
-    graph.addEdge(node, finalizeNode);
+    graph.addEdge(node, censusNode);
   }
 
   struct ProcResult {
@@ -192,7 +263,19 @@ ParallelReport Session::analyzeOn(support::TaskPool& pool) {
           *program_, *proc,
           makeContext(proc->name, r.oracle.get(), &r.stats, &pool));
     });
-    graph.addEdge(finalizeNode, node);
+    // The oracle resolves this procedure's call sites through its direct
+    // callees' (final) summaries; sections already fold in transitive
+    // effects, so direct-callee edges are the whole input set.
+    for (const interproc::CallSite* site :
+         cg.callsFrom(program_->units[i]->name)) {
+      auto callee = summaryNode.find(site->callee);
+      if (callee != summaryNode.end()) graph.addEdge(callee->second, node);
+    }
+    // Inherited facts: formal constants are immutable after construction;
+    // the COMMON census is only read by procedures that declare COMMON.
+    if (summaries_->usesGlobalFacts(program_->units[i]->name)) {
+      graph.addEdge(censusNode, node);
+    }
   }
   graph.run(pool);
 
@@ -222,6 +305,96 @@ ParallelReport Session::analyzeOn(support::TaskPool& pool) {
   report.summaryTasks = summaryNode.size();
   report.tasksExecuted = pool.tasksExecuted() - tasks0;
   report.steals = pool.steals() - steals0;
+  const std::vector<support::TaskPool::IdleStats> idle1 = pool.idleStats();
+  for (std::size_t i = 0; i < idle1.size(); ++i) {
+    report.idle.push_back(i < idle0.size() ? idle1[i].since(idle0[i])
+                                           : idle1[i]);
+  }
+  return report;
+}
+
+ParallelReport Session::incrementalAnalyzeOn(support::TaskPool& pool) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t tasks0 = pool.tasksExecuted();
+  const std::uint64_t steals0 = pool.steals();
+  const std::vector<support::TaskPool::IdleStats> idle0 = pool.idleStats();
+
+  // NO memo invalidation and NO summary rebuild here: applyEdit already
+  // re-established the summaries in place at edit time, and the memo's
+  // generation protocol keeps every still-valid test result warm. The only
+  // work left is re-deriving the dirty procedures' dependence graphs —
+  // each of which splices every loop nest whose splice signature survived
+  // the edit from its existing graph.
+  program_->assignIds();
+
+  // The dirty set in unit order — the order settleEdits() uses, which the
+  // 1-thread FIFO reproduces exactly. Unmaterialized procedures carry no
+  // stale state; they rebuild fresh (current summaries) on first access.
+  std::vector<std::string> dirty;
+  for (const auto& u : program_->units) {
+    if (!pendingDirty_.count(u->name)) continue;
+    if (workspaces_.count(u->name)) dirty.push_back(u->name);
+  }
+  pendingDirty_.clear();
+
+  // Oracles are lazily created by contextFor, which mutates oracles_ —
+  // materialize them up front so the concurrent tasks only read the map.
+  std::vector<const interproc::InterproceduralOracle*> oracles;
+  oracles.reserve(dirty.size());
+  for (const std::string& name : dirty) {
+    auto it = oracles_.find(name);
+    if (it == oracles_.end()) {
+      Procedure* proc = program_->findUnit(name);
+      it = oracles_
+               .emplace(name,
+                        std::make_unique<interproc::InterproceduralOracle>(
+                            *summaries_, *proc))
+               .first;
+    }
+    oracles.push_back(it->second.get());
+  }
+
+  std::vector<dep::TestStats> taskStats(dirty.size());
+  std::vector<std::function<void()>> thunks;
+  thunks.reserve(dirty.size());
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    thunks.push_back([this, i, &dirty, &oracles, &taskStats, &pool] {
+      const std::string& name = dirty[i];
+      transform::Workspace& ws = *workspaces_.at(name);
+      // Fresh context = fresh inherited facts. When the edit moved them,
+      // the context signature changes and the splice path degrades to a
+      // full rebuild for this procedure — same as the sequential settle.
+      ws.actx = makeContext(name, oracles[i], &taskStats[i], &pool);
+      ws.reanalyze();
+    });
+  }
+  pool.runAll(std::move(thunks));
+
+  // Deterministic merge in unit order — the same fold settleEdits performs.
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    transform::Workspace& ws = *workspaces_.at(dirty[i]);
+    stats_.accumulate(taskStats[i]);
+    ws.actx.statsSink = &stats_;
+    ws.actx.pool = nullptr;
+    ws.actx.idsPreassigned = false;
+    reapplyMarks(*ws.graph);
+  }
+
+  ParallelReport report;
+  report.threads = pool.threadCount();
+  report.incremental = true;
+  report.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  report.procedures = dirty.size();
+  report.summaryTasks = 0;  // summaries were updated in place at edit time
+  report.tasksExecuted = pool.tasksExecuted() - tasks0;
+  report.steals = pool.steals() - steals0;
+  const std::vector<support::TaskPool::IdleStats> idle1 = pool.idleStats();
+  for (std::size_t i = 0; i < idle1.size(); ++i) {
+    report.idle.push_back(i < idle0.size() ? idle1[i].since(idle0[i])
+                                           : idle1[i]);
+  }
   return report;
 }
 
@@ -317,6 +490,7 @@ void Session::restoreSnapshot(Snapshot&& snap) {
   // graph's dangling Expr pointers.
   summaries_ = std::make_unique<interproc::SummaryBuilder>(*program_);
   oracles_.clear();
+  pendingDirty_.clear();  // every workspace is rebuilt right here
   for (auto& [name, ws] : workspaces_) {
     ws->actx = contextFor(name);
     ws->graph.reset();
@@ -329,8 +503,11 @@ audit::Report Session::auditNow(bool deep) {
   audit::Report rep;
   audit::auditProgram(*program_, rep);
   for (auto& [name, ws] : workspaces_) {
-    (void)name;
     if (ws->model) audit::auditModel(*ws->model, rep);
+    // A dirty workspace's graph predates the pending edit (deferred mode):
+    // it may reference statements the edit replaced, which is exactly the
+    // staleness the settle will repair — not an invariant violation.
+    if (pendingDirty_.count(name)) continue;
     if (ws->model && ws->graph) {
       audit::auditGraph(*ws->graph, *ws->model, rep);
     }
@@ -1032,8 +1209,53 @@ fortran::StmtPtr parseStatementInContext(const Procedure& proc,
 
 }  // namespace
 
+bool Session::finishEdit(const std::string& operation,
+                         transform::Workspace& ws, Snapshot& snap) {
+  // Fresh statements were minted with invalid ids; assign program-wide
+  // before anything derives state from the AST.
+  program_->assignIds();
+
+  // Update the interprocedural summaries in place (oracles hold references
+  // into the builder, so they stay valid) and compute the invalidated set:
+  // the edited procedure, every procedure with a call site whose callee
+  // summary actually changed, and — below — every materialized workspace
+  // whose inherited facts moved (the census can shift without any summary
+  // changing, e.g. a COMMON variable losing its single-assignment status).
+  interproc::SummaryBuilder::Update up = summaries_->applyEdit({current_});
+  if (up.structureChanged) {
+    for (const auto& u : program_->units) pendingDirty_.insert(u->name);
+  } else {
+    pendingDirty_.insert(up.staleAnalyses.begin(), up.staleAnalyses.end());
+    for (const auto& [name, w] : workspaces_) {
+      if (pendingDirty_.count(name)) continue;
+      bool same = w->actx.inheritedConstants ==
+                  summaries_->inheritedConstantsFor(name);
+      if (same) {
+        std::vector<dataflow::Relation> rels =
+            summaries_->inheritedRelationsFor(name);
+        same = rels.size() == w->actx.inheritedRelations.size();
+        for (std::size_t i = 0; same && i < rels.size(); ++i) {
+          same = rels[i].name == w->actx.inheritedRelations[i].name &&
+                 rels[i].value == w->actx.inheritedRelations[i].value;
+        }
+      }
+      if (!same) pendingDirty_.insert(name);
+    }
+  }
+
+  if (deferredAnalysis_) {
+    // Panes, containerOf and the auditor need a statement model over the
+    // post-edit AST; the expensive part — the dependence graphs — is what
+    // stays pending until settleEdits()/analyzeParallel().
+    ws.model = std::make_unique<ir::ProcedureModel>(ws.proc);
+  } else {
+    settleEdits();
+  }
+  return auditAfter(operation, &snap, nullptr);
+}
+
 bool Session::editStatement(StmtId id, const std::string& newText) {
-  transform::Workspace& ws = wsFor(current_);
+  transform::Workspace& ws = wsForEdit(current_);
   std::size_t index = 0;
   auto* container = ws.model->containerOf(id, &index);
   if (!container) {
@@ -1051,13 +1273,11 @@ bool Session::editStatement(StmtId id, const std::string& newText) {
   Snapshot snap = takeSnapshot();
   fresh->label = (*container)[index]->label;  // labels survive edits
   (*container)[index] = std::move(fresh);
-  ws.reanalyze();
-  reapplyMarks(*ws.graph);
-  return auditAfter("editStatement", &snap, nullptr);
+  return finishEdit("editStatement", ws, snap);
 }
 
 bool Session::insertStatementAfter(StmtId id, const std::string& text) {
-  transform::Workspace& ws = wsFor(current_);
+  transform::Workspace& ws = wsForEdit(current_);
   std::size_t index = 0;
   auto* container = ws.model->containerOf(id, &index);
   if (!container) {
@@ -1073,13 +1293,11 @@ bool Session::insertStatementAfter(StmtId id, const std::string& text) {
   Snapshot snap = takeSnapshot();
   container->insert(container->begin() + static_cast<long>(index + 1),
                     std::move(fresh));
-  ws.reanalyze();
-  reapplyMarks(*ws.graph);
-  return auditAfter("insertStatementAfter", &snap, nullptr);
+  return finishEdit("insertStatementAfter", ws, snap);
 }
 
 bool Session::deleteStatement(StmtId id) {
-  transform::Workspace& ws = wsFor(current_);
+  transform::Workspace& ws = wsForEdit(current_);
   std::size_t index = 0;
   auto* container = ws.model->containerOf(id, &index);
   if (!container) {
@@ -1089,9 +1307,7 @@ bool Session::deleteStatement(StmtId id) {
   }
   Snapshot snap = takeSnapshot();
   container->erase(container->begin() + static_cast<long>(index));
-  ws.reanalyze();
-  reapplyMarks(*ws.graph);
-  return auditAfter("deleteStatement", &snap, nullptr);
+  return finishEdit("deleteStatement", ws, snap);
 }
 
 // ---------------------------------------------------------------------------

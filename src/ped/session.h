@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -74,16 +75,23 @@ struct DegradationReport {
   [[nodiscard]] std::string str() const;
 };
 
-/// What one parallel whole-program analysis did: thread count, wall time,
-/// and scheduler counters (tasks include the per-nest fan-out inside each
-/// per-procedure build).
+/// What one parallel analysis did: thread count, wall time, and scheduler
+/// counters (tasks include the per-nest fan-out inside each per-procedure
+/// build). `incremental` is set when the run consumed a pending dirty set
+/// instead of rebuilding the whole program; `procedures` then counts only
+/// the re-analyzed ones.
 struct ParallelReport {
   int threads = 1;
+  bool incremental = false;
   double seconds = 0.0;
   std::size_t procedures = 0;
   std::size_t summaryTasks = 0;
   std::uint64_t tasksExecuted = 0;
   std::uint64_t steals = 0;
+  /// Steal-latency telemetry for this run: per-worker idle-bout histograms
+  /// (rows 0..threads-1) plus one row for external waiters, diffed against
+  /// the pool's counters at the start of the run.
+  std::vector<support::TaskPool::IdleStats> idle;
 };
 
 /// Feature-usage counters, mirroring the rows of the paper's Table 2 so the
@@ -306,24 +314,65 @@ class Session {
   /// cross-build dependence-test memo.
   void fullReanalysis();
 
-  /// Whole-program analysis as a task DAG on a thread pool: interprocedural
-  /// summary tasks sequenced callee-before-caller by the call graph, then
-  /// one analysis task per procedure (CFG, dominators, dataflow, dependence
-  /// testing) with per-loop-nest dependence batteries fanned out as
-  /// subtasks. Per-task TestStats merge into the session counters in fixed
-  /// unit order. Semantics match fullReanalysis(); nThreads == 1 (a poolless
-  /// FIFO) is bit-identical to it — graphs, edge ids and stats.
+  /// Whole-program analysis as a task DAG on a thread pool. The full path
+  /// pipelines the interprocedural summary phase per procedure: summary
+  /// tasks are sequenced callee-before-caller by the call graph, recursive
+  /// procedures get independent worst-case tasks, and each per-procedure
+  /// analysis task (CFG, dominators, dataflow, dependence testing, with
+  /// per-nest dependence batteries fanned out as subtasks) is gated only on
+  /// its own callees' summaries — plus the global-facts census when the
+  /// procedure declares COMMON — so analysis of one call-graph region
+  /// starts while unrelated regions are still summarizing.
+  ///
+  /// Interaction with setIncrementalUpdates: when incremental updates are
+  /// on and deferred edits left a dirty set pending, only the dirty
+  /// procedures are scheduled, splicing every unchanged loop nest from the
+  /// existing graphs and reusing the warm dependence-test memo (the
+  /// summaries were already updated in place at edit time). With
+  /// incremental updates off the parallel path always rebuilds everything,
+  /// exactly like the sequential A2 baseline.
+  ///
+  /// Per-task TestStats merge into the session counters in fixed unit
+  /// order. Semantics match fullReanalysis() (full path) or a sequential
+  /// settleEdits() (incremental path); nThreads == 1 (a poolless FIFO) is
+  /// bit-identical to the sequential path — graphs, edge ids and stats.
   /// nThreads == 0 uses hardware_concurrency().
   ParallelReport analyzeParallel(int nThreads = 0);
   /// Same, scheduling onto a caller-owned pool (the eight-deck batch driver
   /// runs several sessions' analyses concurrently on one pool).
   ParallelReport analyzeOn(support::TaskPool& pool);
 
+  // ---------------------------------------------------------------------
+  // Deferred re-analysis (dirty-set accumulation across edits)
+  // ---------------------------------------------------------------------
+
+  /// With deferred analysis on, source edits still re-parse, update the
+  /// interprocedural summaries in place and refresh the edited procedure's
+  /// statement model (so panes and audits stay live), but the dependence
+  /// re-analysis is postponed: invalidated procedures accumulate in a dirty
+  /// set until settleEdits() or an analyzeParallel()/analyzeOn() run —
+  /// which, with incremental updates on, schedules exactly the dirty set.
+  /// Turning deferral off settles any pending edits immediately.
+  void setDeferredAnalysis(bool on);
+  [[nodiscard]] bool deferredAnalysis() const { return deferredAnalysis_; }
+  /// Settle all pending deferred edits sequentially (unit order): refresh
+  /// each dirty materialized workspace's inherited facts and reanalyze it.
+  /// The reference semantics for the parallel incremental path.
+  void settleEdits();
+  /// Procedures whose dependence analysis is invalidated by edits not yet
+  /// settled (deferred mode only; empty otherwise).
+  [[nodiscard]] const std::set<std::string>& dirtyProcedures() const {
+    return pendingDirty_;
+  }
+
   [[nodiscard]] int reanalysisCount() const;
 
   /// Toggle the incremental machinery as a whole: per-nest edge splicing in
   /// Workspace::reanalyze AND the session-shared dependence-test memo. Off =
-  /// the A2 rebuild-all baseline (every edit re-runs every test).
+  /// the A2 rebuild-all baseline (every edit re-runs every test). The
+  /// parallel path respects this flag too: with it off, analyzeParallel/
+  /// analyzeOn always take the full-rebuild route (no memo, no splicing)
+  /// even when deferred edits left a dirty set pending.
   void setIncrementalUpdates(bool on);
   [[nodiscard]] bool incrementalUpdates() const {
     return incrementalUpdates_;
@@ -376,7 +425,17 @@ class Session {
  private:
   Session() = default;
   transform::Workspace& wsFor(const std::string& name);
+  /// wsFor without the settle-on-access: edits only need a live statement
+  /// model (kept fresh across deferred edits), not a settled graph.
+  transform::Workspace& wsForEdit(const std::string& name);
   void invalidate(const std::string& name);
+  /// Settle one dirty materialized workspace: refresh its inherited facts
+  /// (a change flips the context signature, so the splice path degrades to
+  /// a full rebuild for that procedure automatically) and reanalyze.
+  void settleOne(const std::string& name, transform::Workspace& ws);
+  /// Incremental parallel path: schedule exactly the dirty procedures on
+  /// the pool, keeping the warm memo and splicing clean nests per graph.
+  ParallelReport incrementalAnalyzeOn(support::TaskPool& pool);
   dep::AnalysisContext contextFor(const std::string& name);
   /// Pure variant of contextFor for parallel per-procedure tasks: the
   /// oracle and stats sink are supplied by the caller, so nothing in the
@@ -407,6 +466,13 @@ class Session {
                   std::string* error);
   void recordFailure(std::string operation, std::string detail,
                      bool rolledBack);
+  /// Shared tail of the three edit operations: re-assign statement ids,
+  /// update the interprocedural summaries in place, fold the resulting
+  /// invalidation set (stale analyses + materialized workspaces whose
+  /// inherited facts moved) into pendingDirty_, then either settle now or
+  /// leave the set pending (deferred mode). Ends with the post-edit audit.
+  bool finishEdit(const std::string& operation, transform::Workspace& ws,
+                  Snapshot& snap);
 
   std::unique_ptr<fortran::Program> program_;
   DiagnosticEngine diags_;
@@ -434,6 +500,14 @@ class Session {
   std::shared_ptr<dep::DepMemo> memo_ = std::make_shared<dep::DepMemo>();
   dep::TestStats stats_;
   bool incrementalUpdates_ = true;
+
+  /// Deferred-edit state: when deferredAnalysis_ is on, edits accumulate
+  /// the procedures whose dependence graphs are stale here instead of
+  /// settling them inline. Materialized workspaces named in this set have a
+  /// live model but a stale graph (audits skip the graph); unmaterialized
+  /// names simply rebuild fresh on first access.
+  bool deferredAnalysis_ = false;
+  std::set<std::string> pendingDirty_;
 
   AuditMode auditMode_ = AuditMode::Cheap;
   Fault fault_ = Fault::None;

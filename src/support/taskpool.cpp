@@ -69,12 +69,31 @@ thread_local WorkerIdentity tlsWorker;
 
 }  // namespace
 
+void TaskPool::IdleStats::accumulate(const IdleStats& o) {
+  bouts += o.bouts;
+  idleNanos += o.idleNanos;
+  for (int i = 0; i < kBuckets; ++i) histogram[static_cast<std::size_t>(i)] +=
+      o.histogram[static_cast<std::size_t>(i)];
+}
+
+TaskPool::IdleStats TaskPool::IdleStats::since(const IdleStats& start) const {
+  IdleStats d;
+  d.bouts = bouts - start.bouts;
+  d.idleNanos = idleNanos - start.idleNanos;
+  for (int i = 0; i < kBuckets; ++i) {
+    auto u = static_cast<std::size_t>(i);
+    d.histogram[u] = histogram[u] - start.histogram[u];
+  }
+  return d;
+}
+
 TaskPool::TaskPool(int nThreads) {
   if (nThreads <= 0) {
     unsigned hw = std::thread::hardware_concurrency();
     nThreads = hw == 0 ? 1 : static_cast<int>(hw);
   }
   threadCount_ = nThreads;
+  idle_.resize(static_cast<std::size_t>(threadCount_) + 1);
   if (threadCount_ == 1) {
     // Deterministic reference path: one FIFO, no workers; wait() drains the
     // queue inline in exact submission order.
@@ -158,13 +177,34 @@ bool TaskPool::tryRunOne(int preferredSlot) {
   return true;
 }
 
+void TaskPool::recordIdle(std::size_t row, std::uint64_t nanos) {
+  IdleStats& s = idle_[row];
+  ++s.bouts;
+  s.idleNanos += nanos;
+  const std::uint64_t us = nanos / 1000;
+  int b = 0;
+  while (b + 1 < IdleStats::kBuckets && us >= (std::uint64_t{1} << b)) ++b;
+  ++s.histogram[static_cast<std::size_t>(b)];
+}
+
+std::vector<TaskPool::IdleStats> TaskPool::idleStats() const {
+  std::lock_guard<std::mutex> lk(idleMu_);
+  return idle_;
+}
+
 void TaskPool::workerLoop(int slot) {
   tlsWorker = WorkerIdentity{this, slot};
   while (!stop_.load(std::memory_order_acquire)) {
     if (tryRunOne(slot)) continue;
     std::unique_lock<std::mutex> lk(idleMu_);
     if (stop_.load(std::memory_order_acquire)) break;
+    const auto t0 = std::chrono::steady_clock::now();
     idleCv_.wait_for(lk, std::chrono::milliseconds(2));
+    recordIdle(static_cast<std::size_t>(slot),
+               static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count()));
   }
   tlsWorker = WorkerIdentity{};
 }
@@ -176,11 +216,22 @@ void TaskPool::wait(WaitGroup& wg) {
   } else if (threadCount_ == 1) {
     slot = 0;  // single-queue pool: the waiting thread is the executor
   }
+  // Workers idle into their own telemetry row; any other waiting thread
+  // (the session thread driving runAll, a helper) shares the final row.
+  const std::size_t idleRow = slot >= 0 && tlsWorker.pool == this
+                                  ? static_cast<std::size_t>(slot)
+                                  : static_cast<std::size_t>(threadCount_);
   while (wg.pending() > 0) {
     if (tryRunOne(slot)) continue;
     std::unique_lock<std::mutex> lk(idleMu_);
+    const auto t0 = std::chrono::steady_clock::now();
     idleCv_.wait_for(lk, std::chrono::milliseconds(1),
                      [&] { return wg.pending() == 0; });
+    recordIdle(idleRow,
+               static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count()));
   }
   std::lock_guard<std::mutex> lk(wg.mu_);
   if (wg.error_) {

@@ -26,6 +26,7 @@
 // order exactly. That makes the 1-thread parallel path bit-identical to the
 // sequential path — the property Session::analyzeParallel(1) relies on.
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -161,6 +162,29 @@ class TaskPool {
     return executed_.load(std::memory_order_relaxed);
   }
 
+  /// Steal-latency telemetry for one executor: how often it went idle (no
+  /// runnable or stealable task anywhere) and for how long. `histogram[i]`
+  /// counts idle bouts of [2^(i-1), 2^i) microseconds (bucket 0 = sub-µs;
+  /// the last bucket absorbs everything longer). Sizing per-nest task
+  /// granularity: long bouts with few steals mean tasks are too coarse to
+  /// keep the pool fed, many sub-ms bouts mean they are too fine.
+  struct IdleStats {
+    static constexpr int kBuckets = 16;
+    std::uint64_t bouts = 0;
+    std::uint64_t idleNanos = 0;
+    std::array<std::uint64_t, kBuckets> histogram{};
+
+    void accumulate(const IdleStats& o);
+    /// Counter difference vs an earlier snapshot of the same row.
+    [[nodiscard]] IdleStats since(const IdleStats& start) const;
+  };
+
+  /// One row per worker (0..threadCount()-1) plus a final row aggregating
+  /// external waiters (threads blocked in wait() that are not pool
+  /// workers — e.g. the session thread driving runAll). Counters are
+  /// cumulative over the pool's lifetime; callers diff snapshots.
+  [[nodiscard]] std::vector<IdleStats> idleStats() const;
+
   /// Enqueue a task accounted against `wg`.
   void submit(WaitGroup& wg, std::function<void()> fn);
 
@@ -185,6 +209,8 @@ class TaskPool {
   void workerLoop(int slot);
   bool tryRunOne(int preferredSlot);
   void runTask(Task&& task);
+  /// Requires idleMu_ held (both call sites already own it for the condvar).
+  void recordIdle(std::size_t row, std::uint64_t nanos);
 
   int threadCount_ = 1;
   std::vector<std::unique_ptr<Queue>> queues_;
@@ -193,8 +219,9 @@ class TaskPool {
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> nextQueue_{0};
   std::atomic<bool> stop_{false};
-  std::mutex idleMu_;
+  mutable std::mutex idleMu_;
   std::condition_variable idleCv_;
+  std::vector<IdleStats> idle_;  // workers + 1 external row; under idleMu_
 };
 
 // ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@ BatchResult analyzeAllDecks(
   result.threads = pool.threadCount();
   const std::uint64_t tasks0 = pool.tasksExecuted();
   const std::uint64_t steals0 = pool.steals();
+  const std::vector<support::TaskPool::IdleStats> idle0 = pool.idleStats();
 
   // One task per deck; each deck's analyzeOn fans its own per-procedure and
   // per-nest tasks into the same pool, and the deck task helps execute them
@@ -53,6 +54,11 @@ BatchResult analyzeAllDecks(
           .count();
   result.tasksExecuted = pool.tasksExecuted() - tasks0;
   result.steals = pool.steals() - steals0;
+  const std::vector<support::TaskPool::IdleStats> idle1 = pool.idleStats();
+  for (std::size_t i = 0; i < idle1.size(); ++i) {
+    result.idle.push_back(i < idle0.size() ? idle1[i].since(idle0[i])
+                                           : idle1[i]);
+  }
 
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     BatchDeck& deck = result.decks[i];

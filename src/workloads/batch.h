@@ -15,6 +15,7 @@
 
 #include "dependence/testsuite.h"
 #include "ped/session.h"
+#include "support/taskpool.h"
 
 namespace ps::workloads {
 
@@ -31,6 +32,9 @@ struct BatchResult {
   double seconds = 0.0;        // wall time of the analysis phase only
   std::uint64_t tasksExecuted = 0;
   std::uint64_t steals = 0;
+  /// Steal-latency telemetry: one row per worker plus the external-waiter
+  /// row, covering the analysis phase only (see TaskPool::idleStats).
+  std::vector<support::TaskPool::IdleStats> idle;
   std::vector<BatchDeck> decks;  // Table 1 order
 
   [[nodiscard]] long long memoHits() const {
