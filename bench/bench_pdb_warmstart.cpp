@@ -1,0 +1,124 @@
+// Persistent program database: cold session open (parse + full analysis)
+// vs warm open (parse + rebind from the on-disk store) across all eight
+// workshop decks. Reports, per deck:
+//   cold and warm wall time, the warm/cold ratio, dependence tests
+//   actually run on each path, store bytes on disk, and the record hit
+//   rate the warm open achieved.
+//
+// The store is written once per deck (outside the timed region); each warm
+// iteration re-reads it from disk, so the measurement includes I/O,
+// checksum verification, and statement rebinding — everything a fresh
+// editor session would pay.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.h"
+#include "support/diagnostics.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace ps;
+
+struct StoreFixture {
+  std::string path;
+  double coldSeconds = 0.0;
+  long long coldTests = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Analyze the deck cold once, persist its store, and remember the cold
+/// numbers the warm path is compared against.
+const StoreFixture& storeFor(const std::string& deck) {
+  static std::map<std::string, StoreFixture> cache;
+  auto it = cache.find(deck);
+  if (it != cache.end()) return it->second;
+  StoreFixture fx;
+  fx.path = deck + ".bench.pspdb";
+  auto s = bench::loadWorkload(deck);
+  if (s) {
+    benchmark::DoNotOptimize(s.get());
+    auto begin = std::chrono::steady_clock::now();
+    auto timed = bench::loadWorkload(deck);
+    timed->analyzeParallel(1);
+    fx.coldSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    fx.coldTests = timed->analysisStats().testsRequested;
+    timed->savePdb(fx.path);
+    fx.bytes = timed->pdbStats().bytesWritten;
+  }
+  return cache.emplace(deck, std::move(fx)).first->second;
+}
+
+void BM_ColdOpen(benchmark::State& state, const std::string& deck) {
+  long long tests = 0;
+  for (auto _ : state) {
+    auto s = bench::loadWorkload(deck);
+    if (!s) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    s->analyzeParallel(1);
+    tests = s->analysisStats().testsRequested;
+    benchmark::DoNotOptimize(s.get());
+  }
+  state.counters["dep_tests"] = static_cast<double>(tests);
+}
+
+void BM_WarmOpen(benchmark::State& state, const std::string& deck) {
+  const StoreFixture& fx = storeFor(deck);
+  const workloads::Workload* w = workloads::byName(deck);
+  if (!w || fx.path.empty()) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  double warmSeconds = 0.0;
+  ped::PdbStats ps;
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto begin = std::chrono::steady_clock::now();
+    auto s = ped::Session::openWarm(w->source, fx.path, diags, 1);
+    warmSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    if (!s || s->pdbStats().storeRejected) {
+      state.SkipWithError("warm open failed");
+      return;
+    }
+    ps = s->pdbStats();
+    benchmark::DoNotOptimize(s.get());
+  }
+  const std::size_t hits = ps.summaryHits + ps.graphHits;
+  const std::size_t probes =
+      hits + ps.summaryMisses + ps.graphMisses;
+  state.counters["warm_ms"] = warmSeconds * 1e3;
+  state.counters["cold_ms"] = fx.coldSeconds * 1e3;
+  state.counters["warm_over_cold"] =
+      fx.coldSeconds > 0 ? warmSeconds / fx.coldSeconds : 0;
+  state.counters["dep_tests_cold"] = static_cast<double>(fx.coldTests);
+  state.counters["dep_tests_warm"] = static_cast<double>(ps.testsRunLive);
+  state.counters["store_bytes"] = static_cast<double>(fx.bytes);
+  state.counters["hit_rate"] =
+      probes > 0 ? static_cast<double>(hits) / static_cast<double>(probes) : 0;
+}
+
+int registerAll() {
+  for (const workloads::Workload& w : workloads::all()) {
+    benchmark::RegisterBenchmark(("BM_ColdOpen/" + w.name).c_str(),
+                                 BM_ColdOpen, w.name);
+    benchmark::RegisterBenchmark(("BM_WarmOpen/" + w.name).c_str(),
+                                 BM_WarmOpen, w.name);
+  }
+  return 0;
+}
+
+[[maybe_unused]] const int registered = registerAll();
+
+}  // namespace
+
+BENCHMARK_MAIN();

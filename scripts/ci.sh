@@ -5,9 +5,29 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Scrub persistent-program-database artifacts so every stage starts cold:
+# a stale store must never leak analysis state across CI stages (or across
+# reruns on a dirty tree).
+scrub_pdb_cache() {
+  rm -rf .pscache
+  find . -name '*.pspdb' -not -path './build*' -delete 2>/dev/null || true
+  find build build-tsan -name '*.pspdb' -delete 2>/dev/null || true
+}
+scrub_pdb_cache
+
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure
+scrub_pdb_cache
+
+# Warm-start stage: cold-analyze every deck and persist its store + cold
+# snapshot, then reopen every store in a FRESH process and require pure
+# reuse (zero live dependence tests, zero quarantines) with byte-identical
+# snapshots. Two separate invocations so nothing warm survives in memory.
+mkdir -p .pscache
+./build/tools/pdb_check save .pscache
+./build/tools/pdb_check open .pscache
+scrub_pdb_cache
 
 # Fuzz smoke stage: a fixed-seed, elevated-iteration pass of the robustness
 # harness (mutated decks, fault-injected transforms, starvation budgets).
@@ -26,7 +46,13 @@ PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" PS_FUZZ_PARALLEL=4 \
 # race in the pool, the task DAG, the sharded memo, the pipelined summary
 # nodes or the per-nest fan-out fails CI here.
 cmake -B build-tsan -S . -DPS_TSAN=ON
-cmake --build build-tsan -j --target parallel_analysis_test edit_storm_test depmemo_concurrent_test
+cmake --build build-tsan -j --target parallel_analysis_test edit_storm_test depmemo_concurrent_test warm_start_test pdb_persistence_test
 ./build-tsan/tests/depmemo_concurrent_test
 ./build-tsan/tests/parallel_analysis_test
 ./build-tsan/tests/edit_storm_test
+# Warm-open settle path (dirty-set re-analysis seeded from disk) and the
+# corruption-recovery suite, both under TSan: rebinding and quarantine run
+# concurrently with the task pool.
+./build-tsan/tests/warm_start_test
+./build-tsan/tests/pdb_persistence_test
+scrub_pdb_cache

@@ -132,6 +132,16 @@ DependenceGraph DependenceGraph::build(ir::ProcedureModel& model,
   return buildImpl(model, ctx, nullptr);
 }
 
+DependenceGraph DependenceGraph::restore(ir::ProcedureModel& model,
+                                         std::vector<Dependence> deps,
+                                         std::uint32_t nextEdgeId) {
+  DependenceGraph g;
+  g.model_ = &model;
+  g.deps_ = std::move(deps);
+  g.nextId_ = nextEdgeId;
+  return g;
+}
+
 DependenceGraph DependenceGraph::update(ir::ProcedureModel& model,
                                         const AnalysisContext& ctx,
                                         const DependenceGraph& previous) {

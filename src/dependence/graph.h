@@ -136,6 +136,21 @@ class DependenceGraph {
   };
   [[nodiscard]] Summary summary() const;
 
+  /// Adopt a deserialized edge set (persistent-program-database warm
+  /// start). The caller has already proven, via the store's content-hash
+  /// key, that `deps` came from an identical build over an identical
+  /// procedure and context. Stats stay zero (no tests ran here) and the
+  /// incremental state stays empty, so the next update() takes the
+  /// full-rebuild path rather than trusting unverifiable splice
+  /// signatures.
+  static DependenceGraph restore(ir::ProcedureModel& model,
+                                 std::vector<Dependence> deps,
+                                 std::uint32_t nextEdgeId);
+
+  /// The id the next inserted edge would receive (persisted so a restored
+  /// graph keeps minting unique ids).
+  [[nodiscard]] std::uint32_t nextEdgeId() const { return nextId_; }
+
  private:
   /// Per-statement/per-loop input fingerprints recorded by a build so the
   /// next update() can prove which reference pairs are unaffected by an

@@ -1,0 +1,408 @@
+#include "dependence/persist.h"
+
+#include <map>
+
+#include "ir/stable_id.h"
+
+namespace ps::dep {
+
+namespace {
+
+// The statement-ordinal sentinel for kInvalidStmt endpoints.
+constexpr std::uint32_t kNoStmt = 0xFFFFFFFFU;
+// Hard caps on deserialized structure sizes: far above anything a real
+// deck produces, low enough that a corrupt count cannot balloon memory.
+constexpr std::uint32_t kMaxEdges = 1U << 22;
+constexpr std::uint32_t kMaxVectorLen = 64;
+constexpr std::uint32_t kMaxMemoEntries = 1U << 24;
+constexpr int kMaxExprDepth = 200;
+
+struct ExprBudget {
+  int nodes = 1 << 20;
+};
+
+fortran::ExprPtr readExprImpl(pdb::Reader& r, int depth, ExprBudget& budget) {
+  if (depth > kMaxExprDepth || --budget.nodes < 0) {
+    r.markFail();
+    return nullptr;
+  }
+  const std::uint8_t rawKind = r.u8();
+  if (!r.ok() || rawKind > static_cast<std::uint8_t>(
+                               fortran::ExprKind::FuncCall)) {
+    r.markFail();
+    return nullptr;
+  }
+  auto e = std::make_unique<fortran::Expr>();
+  e->kind = static_cast<fortran::ExprKind>(rawKind);
+  switch (e->kind) {
+    case fortran::ExprKind::IntConst:
+      e->intValue = r.i64();
+      break;
+    case fortran::ExprKind::RealConst:
+      e->realValue = r.f64();
+      break;
+    case fortran::ExprKind::LogicalConst:
+      e->logicalValue = r.u8() != 0;
+      break;
+    case fortran::ExprKind::StringConst:
+      e->stringValue = r.str();
+      break;
+    case fortran::ExprKind::VarRef:
+      e->name = r.str();
+      break;
+    case fortran::ExprKind::ArrayRef:
+    case fortran::ExprKind::FuncCall: {
+      e->name = r.str();
+      const std::uint32_t n = r.u32();
+      if (!r.ok() || n > static_cast<std::uint32_t>(budget.nodes)) {
+        r.markFail();
+        return nullptr;
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        auto arg = readExprImpl(r, depth + 1, budget);
+        if (!arg) return nullptr;
+        e->args.push_back(std::move(arg));
+      }
+      break;
+    }
+    case fortran::ExprKind::Binary: {
+      const std::uint8_t op = r.u8();
+      if (op > static_cast<std::uint8_t>(fortran::BinOp::Neqv)) {
+        r.markFail();
+        return nullptr;
+      }
+      e->binOp = static_cast<fortran::BinOp>(op);
+      e->lhs = readExprImpl(r, depth + 1, budget);
+      e->rhs = readExprImpl(r, depth + 1, budget);
+      if (!e->lhs || !e->rhs) return nullptr;
+      break;
+    }
+    case fortran::ExprKind::Unary: {
+      const std::uint8_t op = r.u8();
+      if (op > static_cast<std::uint8_t>(fortran::UnOp::Not)) {
+        r.markFail();
+        return nullptr;
+      }
+      e->unOp = static_cast<fortran::UnOp>(op);
+      e->lhs = readExprImpl(r, depth + 1, budget);
+      if (!e->lhs) return nullptr;
+      break;
+    }
+  }
+  if (!r.ok()) return nullptr;
+  return e;
+}
+
+void writeOptExpr(pdb::Writer& w, const fortran::ExprPtr& e) {
+  w.u8(e ? 1 : 0);
+  if (e) writeExpr(w, e.get());
+}
+
+bool readOptExpr(pdb::Reader& r, fortran::ExprPtr* out) {
+  const std::uint8_t has = r.u8();
+  if (!r.ok() || has > 1) return false;
+  if (has) {
+    *out = readExpr(r);
+    if (!*out) return false;
+  } else {
+    out->reset();
+  }
+  return true;
+}
+
+}  // namespace
+
+void writeExpr(pdb::Writer& w, const fortran::Expr* e) {
+  w.u8(static_cast<std::uint8_t>(e->kind));
+  switch (e->kind) {
+    case fortran::ExprKind::IntConst:
+      w.i64(e->intValue);
+      break;
+    case fortran::ExprKind::RealConst:
+      w.f64(e->realValue);
+      break;
+    case fortran::ExprKind::LogicalConst:
+      w.u8(e->logicalValue ? 1 : 0);
+      break;
+    case fortran::ExprKind::StringConst:
+      w.str(e->stringValue);
+      break;
+    case fortran::ExprKind::VarRef:
+      w.str(e->name);
+      break;
+    case fortran::ExprKind::ArrayRef:
+    case fortran::ExprKind::FuncCall:
+      w.str(e->name);
+      w.u32(static_cast<std::uint32_t>(e->args.size()));
+      for (const auto& a : e->args) writeExpr(w, a.get());
+      break;
+    case fortran::ExprKind::Binary:
+      w.u8(static_cast<std::uint8_t>(e->binOp));
+      writeExpr(w, e->lhs.get());
+      writeExpr(w, e->rhs.get());
+      break;
+    case fortran::ExprKind::Unary:
+      w.u8(static_cast<std::uint8_t>(e->unOp));
+      writeExpr(w, e->lhs.get());
+      break;
+  }
+}
+
+fortran::ExprPtr readExpr(pdb::Reader& r) {
+  ExprBudget budget;
+  return readExprImpl(r, 0, budget);
+}
+
+void writeSection(pdb::Writer& w, const Section& s) {
+  w.str(s.array);
+  w.u32(static_cast<std::uint32_t>(s.dims.size()));
+  for (const auto& d : s.dims) {
+    w.u8(d.has_value() ? 1 : 0);
+    if (d) {
+      writeOptExpr(w, d->lo);
+      writeOptExpr(w, d->hi);
+    }
+  }
+}
+
+bool readSection(pdb::Reader& r, Section* out) {
+  out->array = r.str();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > 32) return false;
+  out->dims.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint8_t has = r.u8();
+    if (!r.ok() || has > 1) return false;
+    if (!has) {
+      out->dims.emplace_back();
+      continue;
+    }
+    SectionDim d;
+    if (!readOptExpr(r, &d.lo) || !readOptExpr(r, &d.hi)) return false;
+    out->dims.emplace_back(std::move(d));
+  }
+  return r.ok();
+}
+
+bool writeGraphSlice(pdb::Writer& w, const fortran::Procedure& proc,
+                     const DependenceGraph& g) {
+  const auto ordinals = ir::stableOrdinals(proc);
+  const auto stmts = ir::preorderStatements(proc);
+
+  auto ordinalOf = [&](fortran::StmtId id, std::uint32_t* out) {
+    if (id == fortran::kInvalidStmt) {
+      *out = kNoStmt;
+      return true;
+    }
+    auto it = ordinals.find(id);
+    if (it == ordinals.end()) return false;
+    *out = it->second;
+    return true;
+  };
+
+  const auto& deps = g.all();
+  w.u32(g.nextEdgeId());
+  w.u32(static_cast<std::uint32_t>(deps.size()));
+  for (const Dependence& d : deps) {
+    std::uint32_t src, dst, carrier, common;
+    if (!ordinalOf(d.srcStmt, &src) || !ordinalOf(d.dstStmt, &dst) ||
+        !ordinalOf(d.carrierLoop, &carrier) ||
+        !ordinalOf(d.commonLoop, &common)) {
+      return false;
+    }
+    int srcRefIdx = -1, dstRefIdx = -1;
+    if (d.srcRef) {
+      if (src == kNoStmt) return false;
+      srcRefIdx = ir::exprIndexIn(*stmts[src], *d.srcRef);
+      if (srcRefIdx < 0) return false;
+    }
+    if (d.dstRef) {
+      if (dst == kNoStmt) return false;
+      dstRefIdx = ir::exprIndexIn(*stmts[dst], *d.dstRef);
+      if (dstRefIdx < 0) return false;
+    }
+
+    w.u32(d.id);
+    w.u8(static_cast<std::uint8_t>(d.type));
+    w.u32(src);
+    w.u32(dst);
+    w.u8(d.srcRef ? 1 : 0);
+    w.u32(d.srcRef ? static_cast<std::uint32_t>(srcRefIdx) : 0);
+    w.u8(d.dstRef ? 1 : 0);
+    w.u32(d.dstRef ? static_cast<std::uint32_t>(dstRefIdx) : 0);
+    w.str(d.variable);
+    w.u32(static_cast<std::uint32_t>(d.level));
+    w.u32(carrier);
+    w.u32(common);
+    w.u32(static_cast<std::uint32_t>(d.vector.dirs.size()));
+    for (Direction dir : d.vector.dirs) {
+      w.u8(static_cast<std::uint8_t>(dir));
+    }
+    w.u32(static_cast<std::uint32_t>(d.vector.dists.size()));
+    for (const auto& dist : d.vector.dists) {
+      w.u8(dist.has_value() ? 1 : 0);
+      w.i64(dist.value_or(0));
+    }
+    w.u8(static_cast<std::uint8_t>(d.mark));
+    w.u8(static_cast<std::uint8_t>(d.origin));
+    w.str(d.reason);
+    w.u8(d.interprocedural ? 1 : 0);
+    w.u8(d.degraded ? 1 : 0);
+  }
+  return true;
+}
+
+bool readGraphSlice(pdb::Reader& r, const fortran::Procedure& proc,
+                    RestoredSlice* out) {
+  const auto stmts = ir::preorderStatements(proc);
+
+  auto stmtOf = [&](std::uint32_t ordinal, fortran::StmtId* id,
+                    const fortran::Stmt** stmt) {
+    if (ordinal == kNoStmt) {
+      *id = fortran::kInvalidStmt;
+      if (stmt) *stmt = nullptr;
+      return true;
+    }
+    if (ordinal >= stmts.size()) return false;
+    *id = stmts[ordinal]->id;
+    if (stmt) *stmt = stmts[ordinal];
+    return true;
+  };
+
+  out->nextEdgeId = r.u32();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxEdges) return false;
+  out->deps.clear();
+  out->deps.reserve(n);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Dependence d;
+    d.id = r.u32();
+    if (d.id == 0 || d.id >= out->nextEdgeId) return false;
+
+    const std::uint8_t type = r.u8();
+    if (type > static_cast<std::uint8_t>(DepType::Control)) return false;
+    d.type = static_cast<DepType>(type);
+
+    const std::uint32_t srcOrd = r.u32();
+    const std::uint32_t dstOrd = r.u32();
+    const fortran::Stmt* srcStmt = nullptr;
+    const fortran::Stmt* dstStmt = nullptr;
+    if (!stmtOf(srcOrd, &d.srcStmt, &srcStmt) ||
+        !stmtOf(dstOrd, &d.dstStmt, &dstStmt)) {
+      return false;
+    }
+
+    const std::uint8_t hasSrcRef = r.u8();
+    const std::uint32_t srcRefIdx = r.u32();
+    const std::uint8_t hasDstRef = r.u8();
+    const std::uint32_t dstRefIdx = r.u32();
+    if (hasSrcRef > 1 || hasDstRef > 1) return false;
+    if (hasSrcRef) {
+      if (!srcStmt) return false;
+      d.srcRef = ir::exprAtIndex(*srcStmt, srcRefIdx);
+      if (!d.srcRef) return false;
+    }
+    if (hasDstRef) {
+      if (!dstStmt) return false;
+      d.dstRef = ir::exprAtIndex(*dstStmt, dstRefIdx);
+      if (!d.dstRef) return false;
+    }
+
+    d.variable = r.str();
+    const std::uint32_t level = r.u32();
+    if (level > kMaxVectorLen) return false;
+    d.level = static_cast<int>(level);
+
+    std::uint32_t carrierOrd = r.u32();
+    std::uint32_t commonOrd = r.u32();
+    const fortran::Stmt* carrierStmt = nullptr;
+    const fortran::Stmt* commonStmt = nullptr;
+    if (!stmtOf(carrierOrd, &d.carrierLoop, &carrierStmt) ||
+        !stmtOf(commonOrd, &d.commonLoop, &commonStmt)) {
+      return false;
+    }
+    if (carrierStmt && carrierStmt->kind != fortran::StmtKind::Do) {
+      return false;
+    }
+    if (commonStmt && commonStmt->kind != fortran::StmtKind::Do) {
+      return false;
+    }
+
+    const std::uint32_t nDirs = r.u32();
+    if (!r.ok() || nDirs > kMaxVectorLen) return false;
+    for (std::uint32_t k = 0; k < nDirs; ++k) {
+      const std::uint8_t dir = r.u8();
+      if (dir > static_cast<std::uint8_t>(Direction::Star)) return false;
+      d.vector.dirs.push_back(static_cast<Direction>(dir));
+    }
+    const std::uint32_t nDists = r.u32();
+    if (!r.ok() || nDists > kMaxVectorLen) return false;
+    for (std::uint32_t k = 0; k < nDists; ++k) {
+      const std::uint8_t has = r.u8();
+      const long long v = r.i64();
+      if (has > 1) return false;
+      d.vector.dists.push_back(has ? std::optional<long long>(v)
+                                   : std::nullopt);
+    }
+    if (static_cast<std::size_t>(d.level) > d.vector.dirs.size()) {
+      return false;
+    }
+
+    const std::uint8_t mark = r.u8();
+    if (mark > static_cast<std::uint8_t>(DepMark::Rejected)) return false;
+    d.mark = static_cast<DepMark>(mark);
+    const std::uint8_t origin = r.u8();
+    if (origin > static_cast<std::uint8_t>(DepOrigin::CallSite)) return false;
+    d.origin = static_cast<DepOrigin>(origin);
+    d.reason = r.str();
+    const std::uint8_t interproc = r.u8();
+    const std::uint8_t degraded = r.u8();
+    if (!r.ok() || interproc > 1 || degraded > 1) return false;
+    d.interprocedural = interproc != 0;
+    d.degraded = degraded != 0;
+
+    out->deps.push_back(std::move(d));
+  }
+  return r.ok();
+}
+
+void writeMemoEntries(
+    pdb::Writer& w,
+    const std::vector<std::pair<std::string, LevelResult>>& entries) {
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [key, result] : entries) {
+    w.str(key);
+    w.u8(static_cast<std::uint8_t>(result.answer));
+    w.u8(result.distance.has_value() ? 1 : 0);
+    w.i64(result.distance.value_or(0));
+    w.u8(result.degraded ? 1 : 0);
+  }
+}
+
+bool readMemoEntries(pdb::Reader& r,
+                     std::vector<std::pair<std::string, LevelResult>>* out) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxMemoEntries) return false;
+  out->clear();
+  out->reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    LevelResult result;
+    const std::uint8_t answer = r.u8();
+    if (answer > static_cast<std::uint8_t>(DepAnswer::DependenceAssumed)) {
+      return false;
+    }
+    result.answer = static_cast<DepAnswer>(answer);
+    const std::uint8_t hasDist = r.u8();
+    const long long dist = r.i64();
+    const std::uint8_t degraded = r.u8();
+    if (!r.ok() || hasDist > 1 || degraded > 1) return false;
+    if (hasDist) result.distance = dist;
+    result.degraded = degraded != 0;
+    out->emplace_back(std::move(key), result);
+  }
+  return r.ok();
+}
+
+}  // namespace ps::dep

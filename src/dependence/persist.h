@@ -1,0 +1,74 @@
+#ifndef PS_DEPENDENCE_PERSIST_H
+#define PS_DEPENDENCE_PERSIST_H
+
+// (De)serialization of dependence-analysis results for the persistent
+// program database: expression trees (section bounds), per-procedure
+// dependence-graph slices, and DepMemo snapshots.
+//
+// Graph slices store edge endpoints as pre-order statement ordinals and
+// per-statement expression indices (ir/stable_id.h), never as StmtIds —
+// ids are reassigned on every parse. Rebinding is only attempted after the
+// store's content-hash key has already proven the procedure's pretty-
+// printed text unchanged, which makes the ordinal spaces of the saved and
+// the freshly parsed AST identical. Every readGraphSlice is nevertheless
+// fully validated (ordinal ranges, expression indices, enum domains,
+// direction-vector/level agreement): a payload that passes the checksum
+// layer but violates any structural invariant is rejected wholesale so a
+// hash collision can never seat a foreign edge in a live graph.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dependence/dep.h"
+#include "dependence/graph.h"
+#include "dependence/section.h"
+#include "dependence/testsuite.h"
+#include "fortran/ast.h"
+#include "pdb/serial.h"
+
+namespace ps::dep {
+
+// --- Expression trees (used by summary sections) --------------------------
+
+void writeExpr(pdb::Writer& w, const fortran::Expr* e);
+/// Null on malformed input; never throws. Depth- and node-capped so a
+/// corrupt payload cannot trigger unbounded recursion.
+[[nodiscard]] fortran::ExprPtr readExpr(pdb::Reader& r);
+
+void writeSection(pdb::Writer& w, const Section& s);
+[[nodiscard]] bool readSection(pdb::Reader& r, Section* out);
+
+// --- Dependence-graph slices ----------------------------------------------
+
+/// Serialize every edge of `g` with endpoints rebased onto `proc`'s stable
+/// ordinals. False when an edge references a statement or expression that
+/// cannot be located (never expected for a graph built from `proc`; the
+/// caller then simply skips persisting this procedure).
+[[nodiscard]] bool writeGraphSlice(pdb::Writer& w,
+                                   const fortran::Procedure& proc,
+                                   const DependenceGraph& g);
+
+struct RestoredSlice {
+  std::vector<Dependence> deps;
+  std::uint32_t nextEdgeId = 1;
+};
+
+/// Rebind a serialized slice against the freshly parsed `proc`. False on
+/// any structural violation (the quarantine path).
+[[nodiscard]] bool readGraphSlice(pdb::Reader& r,
+                                  const fortran::Procedure& proc,
+                                  RestoredSlice* out);
+
+// --- DepMemo snapshots ----------------------------------------------------
+
+void writeMemoEntries(
+    pdb::Writer& w,
+    const std::vector<std::pair<std::string, LevelResult>>& entries);
+[[nodiscard]] bool readMemoEntries(
+    pdb::Reader& r, std::vector<std::pair<std::string, LevelResult>>* out);
+
+}  // namespace ps::dep
+
+#endif  // PS_DEPENDENCE_PERSIST_H

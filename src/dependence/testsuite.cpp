@@ -89,6 +89,27 @@ std::size_t DepMemo::size() const {
   return total;
 }
 
+std::vector<std::pair<std::string, LevelResult>> DepMemo::exportEntries()
+    const {
+  const std::uint64_t gen = generation();
+  std::vector<std::pair<std::string, LevelResult>> out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [key, entry] : s.table) {
+      if (entry.gen == gen) out.emplace_back(key, entry.result);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void DepMemo::preWarm(
+    const std::vector<std::pair<std::string, LevelResult>>& entries) {
+  const std::uint64_t gen = generation();
+  for (const auto& [key, result] : entries) insert(key, result, gen);
+}
+
 DependenceTester::DependenceTester(std::vector<LoopContext> commonLoops,
                                    std::vector<Fact> facts,
                                    IndexArrayFacts indexFacts,

@@ -196,6 +196,16 @@ class DepMemo {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] static constexpr std::size_t shardCount() { return kShards; }
 
+  /// Every CURRENT-generation entry, sorted by key (deterministic bytes for
+  /// the persistent program database's memo record).
+  [[nodiscard]] std::vector<std::pair<std::string, LevelResult>>
+  exportEntries() const;
+  /// Seed entries at the current generation (warm start). The caller must
+  /// have verified — via the store's fact/budget digest — that the entries
+  /// were computed under an identical fact base.
+  void preWarm(
+      const std::vector<std::pair<std::string, LevelResult>>& entries);
+
  private:
   static constexpr std::size_t kShards = 16;
 

@@ -1,0 +1,87 @@
+#include "interproc/persist.h"
+
+#include "dependence/persist.h"
+#include "support/hash.h"
+
+namespace ps::interproc {
+
+namespace {
+
+constexpr std::uint32_t kMaxNames = 1U << 20;
+
+void writeOptSection(pdb::Writer& w, const std::optional<dep::Section>& s) {
+  w.u8(s.has_value() ? 1 : 0);
+  if (s) dep::writeSection(w, *s);
+}
+
+bool readOptSection(pdb::Reader& r, std::optional<dep::Section>* out) {
+  const std::uint8_t has = r.u8();
+  if (!r.ok() || has > 1) return false;
+  if (!has) {
+    out->reset();
+    return true;
+  }
+  dep::Section s;
+  if (!dep::readSection(r, &s)) return false;
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace
+
+void writeSummary(pdb::Writer& w, const ProcSummary& s) {
+  w.str(s.name);
+  w.u32(static_cast<std::uint32_t>(s.formals.size()));
+  for (const auto& f : s.formals) w.str(f);
+  w.u32(static_cast<std::uint32_t>(s.effects.size()));
+  for (const auto& [var, e] : s.effects) {
+    w.str(var);
+    std::uint8_t flags = 0;
+    if (e.isArray) flags |= 1U;
+    if (e.mayRead) flags |= 2U;
+    if (e.mayWrite) flags |= 4U;
+    if (e.kills) flags |= 8U;
+    if (e.exposedRead) flags |= 16U;
+    w.u8(flags);
+    writeOptSection(w, e.readSection);
+    writeOptSection(w, e.writeSection);
+  }
+}
+
+bool readSummary(pdb::Reader& r, ProcSummary* out) {
+  out->name = r.str();
+  const std::uint32_t nFormals = r.u32();
+  if (!r.ok() || nFormals > kMaxNames) return false;
+  out->formals.clear();
+  for (std::uint32_t i = 0; i < nFormals; ++i) {
+    out->formals.push_back(r.str());
+  }
+  const std::uint32_t nEffects = r.u32();
+  if (!r.ok() || nEffects > kMaxNames) return false;
+  out->effects.clear();
+  for (std::uint32_t i = 0; i < nEffects; ++i) {
+    std::string var = r.str();
+    const std::uint8_t flags = r.u8();
+    if (!r.ok() || flags > 31) return false;
+    VarEffect e;
+    e.isArray = (flags & 1U) != 0;
+    e.mayRead = (flags & 2U) != 0;
+    e.mayWrite = (flags & 4U) != 0;
+    e.kills = (flags & 8U) != 0;
+    e.exposedRead = (flags & 16U) != 0;
+    if (!readOptSection(r, &e.readSection) ||
+        !readOptSection(r, &e.writeSection)) {
+      return false;
+    }
+    out->effects.emplace(std::move(var), std::move(e));
+  }
+  return r.ok();
+}
+
+std::uint64_t summaryFingerprint(const ProcSummary& s) {
+  pdb::Writer w;
+  writeSummary(w, s);
+  return support::xxh64(w.data());
+}
+
+}  // namespace ps::interproc

@@ -1,0 +1,28 @@
+#ifndef PS_INTERPROC_PERSIST_H
+#define PS_INTERPROC_PERSIST_H
+
+// (De)serialization of interprocedural summaries for the persistent
+// program database. The encoding is canonical — effects are a std::map,
+// sections render through the expression serializer — so byte equality of
+// two serialized summaries coincides with ProcSummary equality. The store
+// exploits that: a procedure's content key chains the xxh64 of each direct
+// callee's serialized summary, giving Merkle-style invalidation up the
+// call graph.
+
+#include "interproc/summaries.h"
+#include "pdb/serial.h"
+
+namespace ps::interproc {
+
+void writeSummary(pdb::Writer& w, const ProcSummary& s);
+
+/// False on malformed input (quarantine path); never throws.
+[[nodiscard]] bool readSummary(pdb::Reader& r, ProcSummary* out);
+
+/// The xxh64 fingerprint of the canonical encoding (the store's callee
+/// hash-chain link).
+[[nodiscard]] std::uint64_t summaryFingerprint(const ProcSummary& s);
+
+}  // namespace ps::interproc
+
+#endif  // PS_INTERPROC_PERSIST_H

@@ -442,6 +442,13 @@ const ProcSummary* SummaryBuilder::summaryOf(const std::string& name) const {
   return it == summaries_.end() ? nullptr : &it->second;
 }
 
+bool SummaryBuilder::installSummary(const std::string& name, ProcSummary s) {
+  auto it = summaries_.find(name);
+  if (it == summaries_.end()) return false;
+  it->second = std::move(s);
+  return true;
+}
+
 bool SummaryBuilder::refMayWrite(const Stmt& s, const ir::Ref& r,
                                  bool duringSummarize) const {
   // Resolve a CallActual's write status through the callee summaries; true

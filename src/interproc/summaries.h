@@ -125,6 +125,15 @@ class SummaryBuilder {
   [[nodiscard]] const ProcSummary* summaryOf(const std::string& name) const;
   [[nodiscard]] const CallGraph& callGraph() const { return callGraph_; }
 
+  /// Warm-start shortcut: assign a deserialized summary into `name`'s
+  /// pre-inserted slot instead of running summarizeOne(). Only valid on a
+  /// Deferred builder, under the same callee-before-caller sequencing as
+  /// summarizeOne (the persistent store's content key chains callee
+  /// summary hashes, so a verified hit guarantees the bytes equal what
+  /// summarizeOne would produce). False when `name` has no slot (not a
+  /// summarizable procedure) — the caller must fall back to summarizeOne.
+  bool installSummary(const std::string& name, ProcSummary s);
+
   /// Constants inherited by each procedure from its call sites: a formal
   /// receives a constant when every call site passes the same literal.
   /// COMMON variables receive one when the whole program assigns them a

@@ -1,0 +1,41 @@
+#include "ir/stable_id.h"
+
+namespace ps::ir {
+
+std::vector<const fortran::Stmt*> preorderStatements(
+    const fortran::Procedure& proc) {
+  std::vector<const fortran::Stmt*> out;
+  proc.forEachStmt([&](const fortran::Stmt& s) { out.push_back(&s); });
+  return out;
+}
+
+std::map<fortran::StmtId, std::uint32_t> stableOrdinals(
+    const fortran::Procedure& proc) {
+  std::map<fortran::StmtId, std::uint32_t> out;
+  std::uint32_t next = 0;
+  proc.forEachStmt([&](const fortran::Stmt& s) { out[s.id] = next++; });
+  return out;
+}
+
+int exprIndexIn(const fortran::Stmt& s, const fortran::Expr& target) {
+  int found = -1;
+  int index = 0;
+  s.forEachExpr([&](const fortran::Expr& e) {
+    if (&e == &target && found < 0) found = index;
+    ++index;
+  });
+  return found;
+}
+
+const fortran::Expr* exprAtIndex(const fortran::Stmt& s,
+                                 std::uint32_t index) {
+  const fortran::Expr* found = nullptr;
+  std::uint32_t i = 0;
+  s.forEachExpr([&](const fortran::Expr& e) {
+    if (i == index && !found) found = &e;
+    ++i;
+  });
+  return found;
+}
+
+}  // namespace ps::ir

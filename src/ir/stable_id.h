@@ -1,0 +1,43 @@
+#ifndef PS_IR_STABLE_ID_H
+#define PS_IR_STABLE_ID_H
+
+// Stable statement identity across a save/reparse cycle. StmtIds are
+// assigned by parse order and grow monotonically under editing, so the ids
+// inside a saved session never match a fresh parse of the same text. The
+// persistent program database instead names a statement by its PRE-ORDER
+// ORDINAL within its procedure, and an expression by its pre-order index
+// within its statement's own expressions (Stmt::forEachExpr order). Two
+// ASTs whose pretty-printed text is identical — the property the store's
+// content-hash key already enforces before any rebinding happens —
+// enumerate identical sequences, so ordinal k denotes "the same" statement
+// in both.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fortran/ast.h"
+
+namespace ps::ir {
+
+/// The procedure's statements in pre-order (Procedure::forEachStmt order).
+[[nodiscard]] std::vector<const fortran::Stmt*> preorderStatements(
+    const fortran::Procedure& proc);
+
+/// StmtId -> pre-order ordinal for every statement in the procedure.
+[[nodiscard]] std::map<fortran::StmtId, std::uint32_t> stableOrdinals(
+    const fortran::Procedure& proc);
+
+/// Pre-order index of `target` among the statement's own expressions
+/// (sub-statements excluded); -1 when the node is not reachable from `s`.
+[[nodiscard]] int exprIndexIn(const fortran::Stmt& s,
+                              const fortran::Expr& target);
+
+/// Inverse of exprIndexIn: the statement's index-th expression, or null
+/// when out of range.
+[[nodiscard]] const fortran::Expr* exprAtIndex(const fortran::Stmt& s,
+                                               std::uint32_t index);
+
+}  // namespace ps::ir
+
+#endif  // PS_IR_STABLE_ID_H

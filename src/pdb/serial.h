@@ -1,0 +1,142 @@
+#ifndef PS_PDB_SERIAL_H
+#define PS_PDB_SERIAL_H
+
+// The persistent program database's binary serialization primitives.
+//
+// All multi-byte values are written little-endian by explicit byte
+// composition, so a store written on any host reads identically on any
+// other. The Reader is fully bounds-checked and NEVER throws: any overrun
+// or malformed length latches a sticky fail flag and every subsequent read
+// returns a zero value. Deserializers therefore run to completion on
+// arbitrary garbage and report one boolean at the end — the quarantine
+// protocol's foundation.
+//
+// Header-only on purpose: lower layers (interproc, dependence) serialize
+// their own types by including this file without taking a link-time
+// dependency on the pdb store itself.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ps::pdb {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+    }
+  }
+
+  void i64(long long v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+
+  /// Length-prefixed string: u32 byte count + raw bytes.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  [[nodiscard]] const std::string& data() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  long long i64() { return static_cast<long long>(u64()); }
+
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  std::string str() {
+    std::uint32_t n = u32();
+    if (!need(n)) return {};
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// Raw byte run without a length prefix (header magic).
+  std::string bytes(std::size_t n) {
+    if (!need(n)) return {};
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return !fail_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool atEnd() const { return pos_ == data_.size(); }
+  void markFail() { fail_ = true; }
+
+ private:
+  bool need(std::size_t n) {
+    if (fail_ || n > data_.size() - pos_) {
+      fail_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+}  // namespace ps::pdb
+
+#endif  // PS_PDB_SERIAL_H

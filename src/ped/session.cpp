@@ -8,10 +8,16 @@
 #include "cfg/flow_graph.h"
 #include "dataflow/liveness.h"
 #include "dataflow/privatize.h"
+#include "dependence/persist.h"
 #include "fortran/lexer.h"
 #include "fortran/parser.h"
 #include "fortran/pretty.h"
+#include "interproc/persist.h"
 #include "ir/refs.h"
+#include "ir/stable_id.h"
+#include "pdb/pdb.h"
+#include "support/hash.h"
+#include "support/io.h"
 
 namespace ps::ped {
 
@@ -61,6 +67,340 @@ std::unique_ptr<Session> Session::load(std::string_view source,
     });
   }
   for (const auto& p : payloads) session->addAssertion(p);
+  return session;
+}
+
+// ---------------------------------------------------------------------------
+// Persistent program database
+// ---------------------------------------------------------------------------
+
+std::string PdbStats::str() const {
+  std::ostringstream out;
+  out << "pdb: summaries " << summaryHits << "/" << (summaryHits +
+      summaryMisses) << " hit, graphs " << graphHits << "/"
+      << (graphHits + graphMisses) << " hit, memo " << memoPrewarmed
+      << " prewarmed, quarantined " << quarantined
+      << (storeRejected ? ", store REJECTED" : "") << ", read " << bytesRead
+      << "B written " << bytesWritten << "B, live tests " << testsRunLive;
+  return out.str();
+}
+
+std::string Session::pdbSummaryMaterial(const std::string& name) const {
+  // Everything summarizeOne(name) reads: the procedure's normalized text
+  // and, for each direct callee, either its (already final, bottom-up)
+  // summary bytes, a recursion marker (recursive callees read as unknown
+  // during summarization), or an external marker. Chaining callee summary
+  // FINGERPRINTS makes the key Merkle-like: a change anywhere below the
+  // procedure in the call graph flips its key.
+  const Procedure* proc = program_->findUnit(name);
+  std::string m = "SUM|";
+  m += fortran::printProcedure(*proc);
+  m += "|CALLEES|";
+  const interproc::CallGraph& cg = summaries_->callGraph();
+  const std::set<std::string> recSet(cg.recursive().begin(),
+                                     cg.recursive().end());
+  std::set<std::string> callees;
+  for (const interproc::CallSite* s : cg.callsFrom(name)) {
+    callees.insert(s->callee);
+  }
+  for (const auto& c : callees) {
+    m += c;
+    m += '=';
+    if (recSet.count(c)) {
+      m += "REC";
+    } else if (const interproc::ProcSummary* cs = summaries_->summaryOf(c)) {
+      m += std::to_string(interproc::summaryFingerprint(*cs));
+    } else {
+      m += "EXTERN";
+    }
+    m += ';';
+  }
+  return m;
+}
+
+namespace {
+
+void appendBudgetKey(std::string& m, const dep::AnalysisBudget& b) {
+  m += "|BUDGET|";
+  m += std::to_string(b.fmMaxConstraints);
+  m += ',';
+  m += std::to_string(b.fmMaxEliminations);
+  m += ',';
+  m += std::to_string(b.maxSubscriptNodes);
+  m += ',';
+  m += std::to_string(b.maxSymbolicRelations);
+}
+
+}  // namespace
+
+std::string Session::pdbGraphMaterial(const std::string& name) const {
+  // Everything a from-scratch DependenceGraph::build of this procedure
+  // reads under this session: normalized text, the session fact base
+  // (assertions), inherited interprocedural facts, the analysis budget,
+  // classification overrides (loop ids rendered as stable ordinals), the
+  // persistent dependence marks (reapplyMarks mutates stored edges), and
+  // the final summaries of every direct callee (the side-effect oracle's
+  // inputs).
+  const Procedure* proc = program_->findUnit(name);
+  std::string m = "GRAPH|";
+  m += fortran::printProcedure(*proc);
+  m += "|ASSERT|";
+  for (const auto& a : assertions_) {
+    m += a.text;
+    m += ';';
+  }
+  m += "|CONST|";
+  for (const auto& [var, value] : summaries_->inheritedConstantsFor(name)) {
+    m += var;
+    m += '=';
+    m += std::to_string(value);
+    m += ';';
+  }
+  m += "|REL|";
+  for (const auto& rel : summaries_->inheritedRelationsFor(name)) {
+    m += rel.name;
+    m += '=';
+    dep::appendLinearKey(m, rel.value);
+    m += ';';
+  }
+  appendBudgetKey(m, budget_);
+  m += "|OVR|";
+  auto itOv = overrides_.find(name);
+  if (itOv != overrides_.end()) {
+    const auto ordinals = ir::stableOrdinals(*proc);
+    for (const auto& [stmtId, vars] : itOv->second) {
+      auto io = ordinals.find(stmtId);
+      m += io != ordinals.end() ? std::to_string(io->second) : "?";
+      m += ':';
+      for (const auto& [var, shared] : vars) {
+        m += var;
+        m += shared ? "=1," : "=0,";
+      }
+      m += ';';
+    }
+  }
+  m += "|MARKS|";
+  for (const auto& [sig, rec] : marks_) {
+    m += sig;
+    m += '=';
+    m += std::to_string(static_cast<int>(rec.mark));
+    m += ',';
+    m += rec.reason;
+    m += ';';
+  }
+  m += "|SUMS|";
+  const interproc::CallGraph& cg = summaries_->callGraph();
+  std::set<std::string> callees;
+  for (const interproc::CallSite* s : cg.callsFrom(name)) {
+    callees.insert(s->callee);
+  }
+  for (const auto& c : callees) {
+    m += c;
+    m += '=';
+    if (const interproc::ProcSummary* cs = summaries_->summaryOf(c)) {
+      m += std::to_string(interproc::summaryFingerprint(*cs));
+    } else {
+      m += "EXTERN";
+    }
+    m += ';';
+  }
+  return m;
+}
+
+std::string Session::pdbMemoMaterial() const {
+  // Memo entry keys already render the tested pair's full input (loop
+  // bounds with inherited facts substituted, fact base, flags) — see
+  // DependenceTester::keyPrefix_. What they do NOT render is the session
+  // state that feeds those renderings wholesale: the assertion list and the
+  // budget. Digesting both here means a prewarmed entry can only be looked
+  // up in a session whose fact base matches the saving one.
+  std::string m = "MEMO|ASSERT|";
+  for (const auto& a : assertions_) {
+    m += a.text;
+    m += ';';
+  }
+  appendBudgetKey(m, budget_);
+  return m;
+}
+
+bool Session::savePdb(const std::string& path) {
+  pdb::StoreWriter store;
+  const interproc::CallGraph& cg = summaries_->callGraph();
+  const std::set<std::string> recSet(cg.recursive().begin(),
+                                     cg.recursive().end());
+  for (const auto& u : program_->units) {
+    const std::string& name = u->name;
+    // Summaries: skip recursive procedures — their worst-case summaries
+    // are cheap to recompute and read as unknown during summarization, so
+    // caching them buys nothing and would complicate the key chain.
+    const interproc::ProcSummary* summary = summaries_->summaryOf(name);
+    if (summary && !recSet.count(name)) {
+      const std::string material = pdbSummaryMaterial(name);
+      pdb::Writer w;
+      interproc::writeSummary(w, *summary);
+      store.add(pdb::RecordType::Summary, pdb::contentKey(material),
+                pdb::sealPayload(material, w.data()));
+    }
+    // Graph slices: only settled materialized workspaces (a dirty graph is
+    // stale by definition).
+    auto it = workspaces_.find(name);
+    if (it == workspaces_.end() || !it->second->graph ||
+        pendingDirty_.count(name)) {
+      continue;
+    }
+    pdb::Writer w;
+    if (!dep::writeGraphSlice(w, *u, *it->second->graph)) continue;
+    const std::string material = pdbGraphMaterial(name);
+    store.add(pdb::RecordType::Graph, pdb::contentKey(material),
+              pdb::sealPayload(material, w.data()));
+  }
+  if (incrementalUpdates_) {
+    const std::string material = pdbMemoMaterial();
+    pdb::Writer w;
+    dep::writeMemoEntries(w, memo_->exportEntries());
+    store.add(pdb::RecordType::Memo, pdb::contentKey(material),
+              pdb::sealPayload(material, w.data()));
+  }
+  if (!support::writeFileAtomic(path, store.bytes())) return false;
+  pdbStats_.bytesWritten += store.bytes().size();
+  return true;
+}
+
+std::unique_ptr<Session> Session::openWarm(std::string_view source,
+                                           const std::string& pdbPath,
+                                           DiagnosticEngine& diags,
+                                           int nThreads) {
+  auto session = std::unique_ptr<Session>(new Session());
+  session->program_ = fortran::parseSource(source, session->diags_);
+  for (const auto& d : session->diags_.all()) {
+    if (d.severity == Severity::Error) diags.error(d.loc, d.message);
+  }
+  if (session->program_->units.empty()) {
+    diags.error({}, "no program units");
+    return nullptr;
+  }
+  session->current_ = session->program_->units[0]->name;
+  session->program_->assignIds();
+  PdbStats& ps = session->pdbStats_;
+
+  // The store. Unreadable or header-skewed (magic, format version, endian,
+  // build stamp): run entirely cold — same result, no reuse.
+  std::string image;
+  const bool haveFile = support::readFile(pdbPath, &image);
+  pdb::StoreReader store(haveFile ? std::move(image) : std::string());
+  if (!haveFile || store.stats().rejected) {
+    ps.storeRejected = true;
+  } else {
+    ps.bytesRead = store.byteSize();
+  }
+  const bool usable = !ps.storeRejected;
+
+  // Interprocedural summaries, callee-before-caller: a verified store hit
+  // installs the recorded summary; anything else (miss, quarantine,
+  // rejected store) summarizes live. Recursive procedures always take the
+  // live path — exactly mirroring the eager builder's phases.
+  session->summaries_ = std::make_unique<interproc::SummaryBuilder>(
+      *session->program_, interproc::SummaryBuilder::Deferred{});
+  const interproc::CallGraph& cg = session->summaries_->callGraph();
+  for (const std::string& name : cg.bottomUpOrder()) {
+    bool installed = false;
+    if (usable) {
+      const std::string material = session->pdbSummaryMaterial(name);
+      if (auto body =
+              store.verifiedFind(pdb::RecordType::Summary, material)) {
+        pdb::Reader r(*body);
+        interproc::ProcSummary s;
+        if (interproc::readSummary(r, &s) && r.atEnd() &&
+            session->summaries_->installSummary(name, std::move(s))) {
+          installed = true;
+          ++ps.summaryHits;
+        } else {
+          ++ps.quarantined;
+        }
+      }
+    }
+    if (!installed) {
+      ++ps.summaryMisses;
+      session->summaries_->summarizeOne(name);
+    }
+  }
+  for (const std::string& name : cg.recursive()) {
+    session->summaries_->finalizeRecursiveOne(name);
+  }
+  session->summaries_->computeGlobalFacts();
+
+  // Source assertion directives, as in load(). Each bumps the memo
+  // generation, so the pre-warm below lands on the final generation.
+  std::vector<std::string> payloads;
+  for (const auto& unit : session->program_->units) {
+    unit->forEachStmt([&](const Stmt& s) {
+      if (s.kind == StmtKind::Assertion) {
+        payloads.push_back(s.assertionText);
+      }
+    });
+  }
+  for (const auto& p : payloads) session->addAssertion(p);
+
+  // Memo pre-warm, guarded by the fact-base digest.
+  if (usable && session->incrementalUpdates_) {
+    const std::string material = session->pdbMemoMaterial();
+    if (auto body = store.verifiedFind(pdb::RecordType::Memo, material)) {
+      pdb::Reader r(*body);
+      std::vector<std::pair<std::string, dep::LevelResult>> entries;
+      if (dep::readMemoEntries(r, &entries) && r.atEnd()) {
+        session->memo_->preWarm(entries);
+        ps.memoPrewarmed = entries.size();
+      } else {
+        ++ps.quarantined;
+      }
+    }
+  }
+
+  // Dependence graphs: restore verified slices (statement ids re-bound via
+  // stable ordinals, every index and enum validated); everything else goes
+  // into the dirty set — warm start IS incremental re-analysis against
+  // disk.
+  const long long testsBefore = session->stats_.testsRun();
+  for (const auto& u : session->program_->units) {
+    const std::string& name = u->name;
+    bool restored = false;
+    if (usable) {
+      const std::string material = session->pdbGraphMaterial(name);
+      if (auto body = store.verifiedFind(pdb::RecordType::Graph, material)) {
+        pdb::Reader r(*body);
+        dep::RestoredSlice slice;
+        if (dep::readGraphSlice(r, *u, &slice) && r.atEnd()) {
+          auto model = std::make_unique<ir::ProcedureModel>(*u);
+          auto graph = std::make_unique<dep::DependenceGraph>(
+              dep::DependenceGraph::restore(*model, std::move(slice.deps),
+                                            slice.nextEdgeId));
+          auto ws = std::make_unique<transform::Workspace>(
+              *session->program_, *u, session->contextFor(name),
+              std::move(model), std::move(graph));
+          session->reapplyMarks(*ws->graph);
+          session->workspaces_.emplace(name, std::move(ws));
+          restored = true;
+          ++ps.graphHits;
+        } else {
+          ++ps.quarantined;
+        }
+      }
+    }
+    if (!restored) {
+      ++ps.graphMisses;
+      session->pendingDirty_.insert(name);
+    }
+  }
+
+  // Settle every miss through the PR 4 dirty-set path (materializing the
+  // missing workspaces), so the open returns a fully analyzed session.
+  if (!session->pendingDirty_.empty()) {
+    support::TaskPool pool(nThreads);
+    session->incrementalAnalyzeOn(pool, /*materializeMissing=*/true);
+  }
+  ps.testsRunLive = session->stats_.testsRun() - testsBefore;
+  // Framing- and verify-hash-level quarantines tallied by the reader.
+  ps.quarantined += store.stats().quarantined;
   return session;
 }
 
@@ -313,7 +653,8 @@ ParallelReport Session::analyzeOn(support::TaskPool& pool) {
   return report;
 }
 
-ParallelReport Session::incrementalAnalyzeOn(support::TaskPool& pool) {
+ParallelReport Session::incrementalAnalyzeOn(support::TaskPool& pool,
+                                             bool materializeMissing) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t tasks0 = pool.tasksExecuted();
   const std::uint64_t steals0 = pool.steals();
@@ -329,11 +670,17 @@ ParallelReport Session::incrementalAnalyzeOn(support::TaskPool& pool) {
 
   // The dirty set in unit order — the order settleEdits() uses, which the
   // 1-thread FIFO reproduces exactly. Unmaterialized procedures carry no
-  // stale state; they rebuild fresh (current summaries) on first access.
+  // stale state; on the edit path they rebuild fresh (current summaries)
+  // on first access, while the warm-open settle materializes them here so
+  // the whole program is analyzed when the open returns.
   std::vector<std::string> dirty;
+  std::vector<bool> fresh;
   for (const auto& u : program_->units) {
     if (!pendingDirty_.count(u->name)) continue;
-    if (workspaces_.count(u->name)) dirty.push_back(u->name);
+    const bool have = workspaces_.count(u->name) != 0;
+    if (!have && !materializeMissing) continue;
+    dirty.push_back(u->name);
+    fresh.push_back(!have);
   }
   pendingDirty_.clear();
 
@@ -355,11 +702,22 @@ ParallelReport Session::incrementalAnalyzeOn(support::TaskPool& pool) {
   }
 
   std::vector<dep::TestStats> taskStats(dirty.size());
+  std::vector<std::unique_ptr<transform::Workspace>> built(dirty.size());
   std::vector<std::function<void()>> thunks;
   thunks.reserve(dirty.size());
   for (std::size_t i = 0; i < dirty.size(); ++i) {
-    thunks.push_back([this, i, &dirty, &oracles, &taskStats, &pool] {
+    thunks.push_back([this, i, &dirty, &fresh, &oracles, &taskStats, &built,
+                      &pool] {
       const std::string& name = dirty[i];
+      if (fresh[i]) {
+        // Warm-open miss without a workspace: build one from scratch
+        // inside the task (merged into workspaces_ on the main thread).
+        Procedure* proc = program_->findUnit(name);
+        built[i] = std::make_unique<transform::Workspace>(
+            *program_, *proc,
+            makeContext(name, oracles[i], &taskStats[i], &pool));
+        return;
+      }
       transform::Workspace& ws = *workspaces_.at(name);
       // Fresh context = fresh inherited facts. When the edit moved them,
       // the context signature changes and the splice path degrades to a
@@ -372,6 +730,10 @@ ParallelReport Session::incrementalAnalyzeOn(support::TaskPool& pool) {
 
   // Deterministic merge in unit order — the same fold settleEdits performs.
   for (std::size_t i = 0; i < dirty.size(); ++i) {
+    if (fresh[i]) {
+      workspaces_[dirty[i]] = std::move(built[i]);
+      ++reanalyses_;
+    }
     transform::Workspace& ws = *workspaces_.at(dirty[i]);
     stats_.accumulate(taskStats[i]);
     ws.actx.statsSink = &stats_;

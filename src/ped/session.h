@@ -108,6 +108,27 @@ struct UsageCounters {
   int assertionsAdded = 0;
 };
 
+/// What the persistent program database contributed to a session: per-kind
+/// hit/miss tallies, the damage report, and the live work that remained.
+struct PdbStats {
+  bool storeRejected = false;  // unreadable file or header mismatch
+  std::size_t summaryHits = 0;
+  std::size_t summaryMisses = 0;
+  std::size_t graphHits = 0;
+  std::size_t graphMisses = 0;
+  /// Records dropped by any verification layer: framing/checksum damage,
+  /// verify-hash (collision) mismatch, or structural rebind failure.
+  std::size_t quarantined = 0;
+  std::size_t memoPrewarmed = 0;  // dependence-test results seeded warm
+  std::uint64_t bytesRead = 0;
+  std::uint64_t bytesWritten = 0;
+  /// Dependence tests actually executed while settling warm-open misses
+  /// (zero when every procedure hit).
+  long long testsRunLive = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
 /// The ParaScope Editor session: an electronic book over one Fortran
 /// program with three panes, progressive disclosure by loop selection,
 /// user-editable dependence marks and variable classifications, assertions,
@@ -118,6 +139,29 @@ class Session {
   /// found in the source are applied immediately.
   static std::unique_ptr<Session> load(std::string_view source,
                                        DiagnosticEngine& diags);
+
+  /// Open `source` against a persistent program database written by
+  /// savePdb(): every procedure whose content key (normalized source text
+  /// + inherited interprocedural facts + analysis budget) hits a verified
+  /// store record adopts the stored summary and dependence graph; only the
+  /// mismatches are scheduled — through the same dirty-set path edits use —
+  /// on `nThreads` workers (0 = hardware_concurrency). A missing,
+  /// truncated, corrupted or version-skewed store never fails the open: it
+  /// degrades, record by record, to cold recomputation, with the damage
+  /// tallied in pdbStats(). Results are bit-identical to load() +
+  /// analyzeParallel() at any thread count.
+  static std::unique_ptr<Session> openWarm(std::string_view source,
+                                           const std::string& pdbPath,
+                                           DiagnosticEngine& diags,
+                                           int nThreads = 0);
+
+  /// Write the persistent program database: one summary record per
+  /// non-recursive procedure, one graph-slice record per procedure with a
+  /// settled materialized workspace, and the current-generation memo
+  /// snapshot. Atomic (temp file + rename); false on I/O failure.
+  bool savePdb(const std::string& path);
+
+  [[nodiscard]] const PdbStats& pdbStats() const { return pdbStats_; }
 
   [[nodiscard]] fortran::Program& program() { return *program_; }
   [[nodiscard]] const DiagnosticEngine& diagnostics() const { return diags_; }
@@ -435,7 +479,18 @@ class Session {
   void settleOne(const std::string& name, transform::Workspace& ws);
   /// Incremental parallel path: schedule exactly the dirty procedures on
   /// the pool, keeping the warm memo and splicing clean nests per graph.
-  ParallelReport incrementalAnalyzeOn(support::TaskPool& pool);
+  /// With `materializeMissing`, dirty procedures without a workspace are
+  /// built fresh inside tasks too (the warm-open settle needs this; the
+  /// edit path leaves them to build lazily, preserving its semantics).
+  ParallelReport incrementalAnalyzeOn(support::TaskPool& pool,
+                                      bool materializeMissing = false);
+
+  // Persistent-program-database content-key materials. Each renders every
+  // input the corresponding computation reads, so key equality implies the
+  // stored record equals what recomputation would produce.
+  [[nodiscard]] std::string pdbSummaryMaterial(const std::string& name) const;
+  [[nodiscard]] std::string pdbGraphMaterial(const std::string& name) const;
+  [[nodiscard]] std::string pdbMemoMaterial() const;
   dep::AnalysisContext contextFor(const std::string& name);
   /// Pure variant of contextFor for parallel per-procedure tasks: the
   /// oracle and stats sink are supplied by the caller, so nothing in the
@@ -521,6 +576,7 @@ class Session {
   std::optional<VariableFilter> varFilter_;
   UsageCounters counters_;
   int reanalyses_ = 0;
+  PdbStats pdbStats_;
 
   [[nodiscard]] std::string depSignature(const dep::Dependence& d) const;
   void reapplyMarks(dep::DependenceGraph& g) const;

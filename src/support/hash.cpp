@@ -1,0 +1,121 @@
+#include "support/hash.h"
+
+#include <array>
+#include <cstring>
+
+namespace ps::support {
+
+namespace {
+
+constexpr std::uint64_t kP1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kP2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kP3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kP4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kP5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t rotl(std::uint64_t v, int r) {
+  return (v << r) | (v >> (64 - r));
+}
+
+inline std::uint64_t read64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline std::uint32_t read32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint64_t round1(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kP2;
+  return rotl(acc, 31) * kP1;
+}
+
+inline std::uint64_t mergeRound(std::uint64_t acc, std::uint64_t val) {
+  acc ^= round1(0, val);
+  return acc * kP1 + kP4;
+}
+
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1U) ? (0xEDB88320U ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t xxh64(std::string_view data, std::uint64_t seed) {
+  const char* p = data.data();
+  const char* const end = p + data.size();
+  std::uint64_t h;
+
+  if (data.size() >= 32) {
+    std::uint64_t v1 = seed + kP1 + kP2;
+    std::uint64_t v2 = seed + kP2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kP1;
+    const char* const limit = end - 32;
+    do {
+      v1 = round1(v1, read64(p));
+      v2 = round1(v2, read64(p + 8));
+      v3 = round1(v3, read64(p + 16));
+      v4 = round1(v4, read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    h = mergeRound(h, v1);
+    h = mergeRound(h, v2);
+    h = mergeRound(h, v3);
+    h = mergeRound(h, v4);
+  } else {
+    h = seed + kP5;
+  }
+
+  h += static_cast<std::uint64_t>(data.size());
+
+  while (p + 8 <= end) {
+    h ^= round1(0, read64(p));
+    h = rotl(h, 27) * kP1 + kP4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(read32(p)) * kP1;
+    h = rotl(h, 23) * kP2 + kP3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*p)) * kP5;
+    h = rotl(h, 11) * kP1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
+std::uint32_t crc32(std::string_view data) {
+  const auto& table = crcTable();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace ps::support

@@ -1,0 +1,27 @@
+#ifndef PS_SUPPORT_HASH_H
+#define PS_SUPPORT_HASH_H
+
+// Content hashing for the persistent program database. Two independent
+// primitives so a single corrupted/colliding value can never both address a
+// record AND validate it:
+//   - xxh64: the 64-bit XXHash, seedable. Seed 0 addresses records; a second
+//     fixed seed produces the in-payload verification hash that defeats
+//     accidental (or adversarially reframed) key collisions.
+//   - crc32: the IEEE polynomial, as an independent integrity check on raw
+//     record bytes. CRC and XXH have disjoint failure modes, so a payload
+//     passing both is byte-exact for any fault model short of deliberate
+//     forgery of both checksums.
+
+#include <cstdint>
+#include <string_view>
+
+namespace ps::support {
+
+[[nodiscard]] std::uint64_t xxh64(std::string_view data,
+                                  std::uint64_t seed = 0);
+
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+}  // namespace ps::support
+
+#endif  // PS_SUPPORT_HASH_H

@@ -1,0 +1,25 @@
+#ifndef PS_SUPPORT_IO_H
+#define PS_SUPPORT_IO_H
+
+// Minimal binary file I/O for the persistent program database. Reads are
+// whole-file (stores are small relative to the analyses they replace);
+// writes are atomic via a same-directory temp file + rename, so a crashed
+// save can never leave a half-written store where the next session will
+// find it — it finds either the old store or the new one.
+
+#include <string>
+
+namespace ps::support {
+
+/// Read the whole file into `out`. False (out untouched) when the file is
+/// missing or unreadable.
+[[nodiscard]] bool readFile(const std::string& path, std::string* out);
+
+/// Write `data` to `path` atomically (temp file + rename). False when any
+/// step fails; a failed write never clobbers an existing file.
+[[nodiscard]] bool writeFileAtomic(const std::string& path,
+                                   const std::string& data);
+
+}  // namespace ps::support
+
+#endif  // PS_SUPPORT_IO_H

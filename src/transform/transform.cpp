@@ -18,6 +18,20 @@ Workspace::Workspace(fortran::Program& programIn, fortran::Procedure& procIn,
   reanalyze();
 }
 
+Workspace::Workspace(fortran::Program& programIn, fortran::Procedure& procIn,
+                     dep::AnalysisContext actxIn,
+                     std::unique_ptr<ir::ProcedureModel> modelIn,
+                     std::unique_ptr<dep::DependenceGraph> graphIn)
+    : program(programIn),
+      proc(procIn),
+      actx(std::move(actxIn)),
+      model(std::move(modelIn)),
+      graph(std::move(graphIn)) {
+  // Count as one (re)analysis so restored workspaces report like freshly
+  // built ones without inflating the session's incremental-reanalysis tally.
+  reanalyses = 1;
+}
+
 void Workspace::reanalyze() {
   // The parallel driver assigns ids once before fanning out per-procedure
   // tasks (the Program is shared across them); everywhere else the

@@ -63,6 +63,15 @@ struct Workspace {
   Workspace(fortran::Program& program, fortran::Procedure& proc,
             dep::AnalysisContext actx = {});
 
+  /// Adopt analysis results restored from the persistent program database:
+  /// no analysis runs. The caller guarantees `model`/`graph` were derived
+  /// from this exact procedure under this exact context (the store's
+  /// content-hash key enforces it before restore is attempted).
+  Workspace(fortran::Program& program, fortran::Procedure& proc,
+            dep::AnalysisContext actx,
+            std::unique_ptr<ir::ProcedureModel> model,
+            std::unique_ptr<dep::DependenceGraph> graph);
+
   fortran::Program& program;
   fortran::Procedure& proc;
   dep::AnalysisContext actx;

@@ -1,0 +1,133 @@
+// Warm-start determinism suite for the persistent program database.
+//
+// For every deck:
+//   1. An unmodified reopen must be pure reuse: every summary and graph
+//      record hits, ZERO dependence tests run, and the snapshot (every
+//      edge field, degradation report, deep audit) is bit-identical to
+//      the cold analysis at 1/2/4/8 threads.
+//   2. After one fixed-seed edit (the shared edit-storm generator), a warm
+//      reopen of the edited source must equal a from-scratch analysis of
+//      the same text at every thread count: the edited procedure's key
+//      misses and is recomputed through the dirty-set path; everything the
+//      edit didn't invalidate restores from disk.
+//
+// Sessions that parse the same text assign the same statement ids, so the
+// snapshots are directly comparable strings.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fortran/pretty.h"
+#include "ped/session.h"
+#include "support/diagnostics.h"
+#include "workloads/harness.h"
+#include "workloads/workloads.h"
+
+namespace ps::workloads {
+namespace {
+
+class ScopedFile {
+ public:
+  explicit ScopedFile(std::string path) : path_(std::move(path)) {}
+  ~ScopedFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+class WarmStart : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WarmStart, UnmodifiedReopenIsPureReuse) {
+  const std::string deck = GetParam();
+  const Workload* w = byName(deck);
+  ASSERT_NE(w, nullptr);
+
+  auto cold = loadDeck(deck);
+  ASSERT_NE(cold, nullptr);
+  cold->analyzeParallel(1);
+  const std::string want = analysisSnapshot(*cold);
+  const std::size_t nProcs = cold->procedureNames().size();
+
+  ScopedFile store(deck + ".unmod.pspdb");
+  ASSERT_TRUE(cold->savePdb(store.path()));
+  EXPECT_GT(cold->pdbStats().bytesWritten, 0u);
+
+  for (int t : {1, 2, 4, 8}) {
+    DiagnosticEngine diags;
+    auto warm = ped::Session::openWarm(w->source, store.path(), diags, t);
+    ASSERT_NE(warm, nullptr) << deck << " @" << t << " threads";
+    EXPECT_FALSE(diags.hasErrors());
+
+    const ped::PdbStats& ps = warm->pdbStats();
+    EXPECT_FALSE(ps.storeRejected) << deck << " @" << t;
+    EXPECT_EQ(ps.quarantined, 0u) << deck << " @" << t;
+    EXPECT_EQ(ps.graphHits, nProcs) << deck << " @" << t;
+    EXPECT_EQ(ps.graphMisses, 0u) << deck << " @" << t;
+    EXPECT_EQ(ps.summaryMisses, 0u) << deck << " @" << t;
+    // The acceptance bar: a warm open of an unmodified deck runs zero
+    // dependence tests.
+    EXPECT_EQ(ps.testsRunLive, 0) << deck << " @" << t;
+    EXPECT_EQ(warm->analysisStats().testsRequested, 0) << deck << " @" << t;
+
+    EXPECT_EQ(want, analysisSnapshot(*warm)) << deck << " @" << t;
+  }
+}
+
+TEST_P(WarmStart, EditThenReopenMatchesScratchAtEveryThreadCount) {
+  const std::string deck = GetParam();
+
+  auto base = loadDeck(deck);
+  ASSERT_NE(base, nullptr);
+  base->analyzeParallel(1);
+  ScopedFile store(deck + ".edit.pspdb");
+  ASSERT_TRUE(base->savePdb(store.path()));
+
+  // One deterministic edit from the shared generator, applied to the
+  // saving session; the edited TEXT is what later sessions parse.
+  Rng rng(0x9DB5u ^ static_cast<unsigned>(std::hash<std::string>{}(deck)));
+  EditStep step;
+  ASSERT_TRUE(nextStep(*base, rng, &step)) << deck << ": no editable stmt";
+  ASSERT_TRUE(applyStep(*base, step)) << deck;
+  const std::string editedSrc = fortran::printProgram(base->program());
+
+  // From-scratch reference over the edited text (fresh parse, fresh ids).
+  DiagnosticEngine coldDiags;
+  auto cold = ped::Session::load(editedSrc, coldDiags);
+  ASSERT_NE(cold, nullptr);
+  ASSERT_FALSE(coldDiags.hasErrors());
+  cold->analyzeParallel(1);
+  const std::string want = analysisSnapshot(*cold);
+
+  for (int t : {1, 2, 4, 8}) {
+    DiagnosticEngine diags;
+    auto warm = ped::Session::openWarm(editedSrc, store.path(), diags, t);
+    ASSERT_NE(warm, nullptr) << deck << " @" << t << " threads";
+    EXPECT_FALSE(diags.hasErrors());
+
+    const ped::PdbStats& ps = warm->pdbStats();
+    EXPECT_FALSE(ps.storeRejected) << deck << " @" << t;
+    EXPECT_EQ(ps.quarantined, 0u) << deck << " @" << t;
+    // The edited procedure's text changed, so its graph key must miss and
+    // recompute; the store must never serve it stale.
+    EXPECT_GE(ps.graphMisses, 1u) << deck << " @" << t;
+
+    EXPECT_EQ(want, analysisSnapshot(*warm)) << deck << " @" << t;
+  }
+}
+
+std::vector<std::string> deckNames() {
+  std::vector<std::string> names;
+  for (const Workload& w : all()) names.push_back(w.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDecks, WarmStart,
+                         ::testing::ValuesIn(deckNames()));
+
+}  // namespace
+}  // namespace ps::workloads

@@ -1,0 +1,105 @@
+// pdb_check — CI driver for the persistent program database.
+//
+//   pdb_check save <dir>   Cold-analyze every workload deck, save its store
+//                          to <dir>/<deck>.pspdb and its analysis snapshot
+//                          to <dir>/<deck>.snap.
+//   pdb_check open <dir>   In a FRESH process: warm-open every deck from
+//                          <dir>, assert zero live dependence tests and zero
+//                          quarantines, and diff the snapshot byte-for-byte
+//                          against the cold one saved earlier.
+//
+// Exit code 0 on success, 1 on any mismatch — scripts/ci.sh runs `save`
+// then `open` as separate processes so the warm path is exercised without
+// any in-memory state carrying over.
+
+#include <cstdio>
+#include <string>
+
+#include "ped/session.h"
+#include "support/diagnostics.h"
+#include "support/io.h"
+#include "workloads/harness.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace ps;
+
+int saveAll(const std::string& dir) {
+  for (const workloads::Workload& w : workloads::all()) {
+    auto s = workloads::loadDeck(w.name);
+    if (!s) {
+      std::fprintf(stderr, "pdb_check: %s failed to load\n", w.name.c_str());
+      return 1;
+    }
+    s->analyzeParallel(1);
+    const std::string base = dir + "/" + w.name;
+    if (!s->savePdb(base + ".pspdb")) {
+      std::fprintf(stderr, "pdb_check: %s failed to save store\n",
+                   w.name.c_str());
+      return 1;
+    }
+    if (!support::writeFileAtomic(base + ".snap",
+                                  workloads::analysisSnapshot(*s))) {
+      std::fprintf(stderr, "pdb_check: %s failed to save snapshot\n",
+                   w.name.c_str());
+      return 1;
+    }
+    std::printf("pdb_check: saved %s (%s)\n", w.name.c_str(),
+                s->pdbStats().str().c_str());
+  }
+  return 0;
+}
+
+int openAll(const std::string& dir) {
+  int rc = 0;
+  for (const workloads::Workload& w : workloads::all()) {
+    const std::string base = dir + "/" + w.name;
+    std::string want;
+    if (!support::readFile(base + ".snap", &want)) {
+      std::fprintf(stderr, "pdb_check: %s missing cold snapshot\n",
+                   w.name.c_str());
+      rc = 1;
+      continue;
+    }
+    DiagnosticEngine diags;
+    auto s = ped::Session::openWarm(w.source, base + ".pspdb", diags, 4);
+    if (!s || diags.hasErrors()) {
+      std::fprintf(stderr, "pdb_check: %s warm open failed\n",
+                   w.name.c_str());
+      rc = 1;
+      continue;
+    }
+    const ped::PdbStats& ps = s->pdbStats();
+    if (ps.storeRejected || ps.quarantined != 0 || ps.summaryMisses != 0 ||
+        ps.graphMisses != 0 || ps.testsRunLive != 0) {
+      std::fprintf(stderr, "pdb_check: %s warm open was not pure reuse: %s\n",
+                   w.name.c_str(), ps.str().c_str());
+      rc = 1;
+    }
+    if (workloads::analysisSnapshot(*s) != want) {
+      std::fprintf(stderr, "pdb_check: %s warm snapshot != cold snapshot\n",
+                   w.name.c_str());
+      rc = 1;
+    } else {
+      std::printf("pdb_check: verified %s (%s)\n", w.name.c_str(),
+                  ps.str().c_str());
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: pdb_check save|open <dir>\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  const std::string dir = argv[2];
+  if (mode == "save") return saveAll(dir);
+  if (mode == "open") return openAll(dir);
+  std::fprintf(stderr, "pdb_check: unknown mode '%s'\n", mode.c_str());
+  return 2;
+}
