@@ -1,0 +1,142 @@
+// Multi-session analysis server: N concurrent scripted editing sessions
+// (open warm over one shared store, then fixed-seed edit bursts settled on
+// the shared pool) versus what the same N sessions would cost as solo cold
+// editors. Reports, per deck:
+//   sessions/sec for the whole storm, p50/p99 settle latency across every
+//   burst of every session, aggregate dependence tests the N sessions ran
+//   themselves vs N x the solo cold count (the sharing win), and the
+//   shared-memo size at the end.
+//
+// Every iteration also verifies the acceptance bar: each session's final
+// graphs must be byte-identical to the solo baseline replaying the same
+// edit stream — sharing changes where answers come from, never what they
+// are. A mismatch aborts the benchmark.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/server.h"
+#include "workloads/server_driver.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace ps;
+
+constexpr int kSessions = 8;
+
+struct StormFixture {
+  std::string storePath;
+  workloads::StormScript script;
+  std::vector<server::Edit> edits;
+  std::string soloSnapshot;   // the byte-identity reference
+  long long soloColdTests = 0;  // solo cold open + the same storm, live
+};
+
+const StormFixture& fixtureFor(const std::string& deck) {
+  static std::map<std::string, StormFixture> cache;
+  auto it = cache.find(deck);
+  if (it != cache.end()) return it->second;
+  StormFixture fx;
+  fx.script = {deck, /*seed=*/7, /*bursts=*/3, /*editsPerBurst=*/4};
+  fx.edits = workloads::stormEdits(fx.script);
+  // The shared store: one settled cold session, saved once.
+  auto cold = bench::loadWorkload(deck);
+  if (cold && !fx.edits.empty()) {
+    cold->analyzeParallel(1);
+    fx.storePath = deck + ".server.bench.pspdb";
+    if (!cold->savePdb(fx.storePath)) fx.storePath.clear();
+    workloads::StormResult solo =
+        workloads::runSoloBaseline(fx.script, &fx.edits);
+    if (solo.ok) {
+      fx.soloSnapshot = solo.snapshot;
+      // What one solo editor costs end to end: the cold open's tests plus
+      // the storm's live tests.
+      fx.soloColdTests =
+          cold->analysisStats().testsRun() + solo.liveTests;
+    }
+  }
+  return cache.emplace(deck, std::move(fx)).first->second;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(p * (xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+void BM_ServerStorm(benchmark::State& state, const std::string& deck) {
+  const StormFixture& fx = fixtureFor(deck);
+  if (fx.storePath.empty() || fx.soloSnapshot.empty()) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  double sessionsPerSec = 0.0;
+  std::vector<double> settleMs;
+  long long aggregateTests = 0;
+  for (auto _ : state) {
+    server::AnalysisServer srv({fx.storePath, /*analysisThreads=*/0});
+    std::vector<workloads::StormResult> results(kSessions);
+    std::vector<std::thread> clients;
+    clients.reserve(kSessions);
+    const auto begin = std::chrono::steady_clock::now();
+    for (int c = 0; c < kSessions; ++c) {
+      clients.emplace_back([&, c] {
+        results[c] = workloads::runStormSession(
+            srv, deck + ".bench" + std::to_string(c), fx.script, &fx.edits);
+      });
+    }
+    for (auto& th : clients) th.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    sessionsPerSec = secs > 0 ? kSessions / secs : 0;
+    settleMs.clear();
+    aggregateTests = 0;
+    for (const auto& r : results) {
+      if (!r.ok) {
+        state.SkipWithError("session failed");
+        return;
+      }
+      if (r.snapshot != fx.soloSnapshot) {
+        state.SkipWithError("snapshot mismatch vs solo baseline");
+        return;
+      }
+      aggregateTests += r.liveTests;
+      for (const auto& s : r.settles) settleMs.push_back(s.settleMillis);
+    }
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.counters["sessions_per_sec"] = sessionsPerSec;
+  state.counters["settle_p50_ms"] = percentile(settleMs, 0.50);
+  state.counters["settle_p99_ms"] = percentile(settleMs, 0.99);
+  state.counters["dep_tests_aggregate"] = static_cast<double>(aggregateTests);
+  state.counters["dep_tests_n_x_solo"] =
+      static_cast<double>(kSessions * fx.soloColdTests);
+  state.counters["share_ratio"] =
+      fx.soloColdTests > 0
+          ? static_cast<double>(aggregateTests) /
+                static_cast<double>(kSessions * fx.soloColdTests)
+          : 0;
+}
+
+int registerAll() {
+  for (const workloads::Workload& w : workloads::all()) {
+    benchmark::RegisterBenchmark(("BM_ServerStorm/" + w.name).c_str(),
+                                 BM_ServerStorm, w.name);
+  }
+  return 0;
+}
+
+[[maybe_unused]] const int registered = registerAll();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -284,7 +284,7 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
       slot = std::make_unique<DependenceTester>(
           std::move(lctxs), ctx.facts, ctx.indexFacts, opaques,
           sym.definedIn(*nest.front()), ctx.cheapTestsFirst, memo,
-          ctx.budget);
+          ctx.budget, ctx.memoView);
     }
     return *slot;
   };
@@ -716,7 +716,8 @@ DependenceGraph DependenceGraph::buildImpl(ir::ProcedureModel& model,
     for (const Loop* l : nest) lctxs.push_back(lcCache.at(l->stmt->id));
     DependenceTester tester(std::move(lctxs), ctx.facts, ctx.indexFacts,
                             groupOpaques, sym.definedIn(*nest.front()),
-                            ctx.cheapTestsFirst, memo, ctx.budget);
+                            ctx.cheapTestsFirst, memo, ctx.budget,
+                            ctx.memoView);
     for (std::size_t idx : idxs) processJob(jobs[idx], tester, jobEdges[idx]);
     gs.accumulate(tester.stats());
   };

@@ -57,9 +57,14 @@ struct AnalysisContext {
   AnalysisBudget budget;
 
   /// Cross-build memo table for dependence-test results, shared by the
-  /// session across procedures and rebuilds. Null = a transient per-build
-  /// table (intra-build memoization only).
+  /// session across procedures and rebuilds — and, under the analysis
+  /// server, across SESSIONS. Null = a transient per-build table
+  /// (intra-build memoization only).
   std::shared_ptr<DepMemo> memo;
+  /// Which DepMemo view this session reads through (0 = the default view a
+  /// private memo registers at construction). Testers capture the view's
+  /// floor, so one session's invalidation never evicts a neighbor's.
+  DepMemo::ViewId memoView = 0;
   /// Ablation: disable memoization entirely (A2 baseline).
   bool useMemo = true;
   /// Use the per-nest incremental splice path in Workspace::reanalyze;

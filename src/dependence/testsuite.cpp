@@ -64,12 +64,40 @@ void appendLinearKey(std::string& out, const LinearExpr& e) {
   out += ';';
 }
 
+DepMemo::ViewId DepMemo::createView() {
+  std::lock_guard<std::mutex> lk(viewMu_);
+  floors_.push_back(0);
+  return static_cast<ViewId>(floors_.size() - 1);
+}
+
+void DepMemo::invalidateView(ViewId v) {
+  std::lock_guard<std::mutex> lk(viewMu_);
+  const std::uint64_t e =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (v < floors_.size() && floors_[v] < e) floors_[v] = e;
+}
+
+void DepMemo::invalidateAll() {
+  std::lock_guard<std::mutex> lk(viewMu_);
+  const std::uint64_t e =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (std::uint64_t& f : floors_) f = e;
+}
+
+std::uint64_t DepMemo::floorOf(ViewId v) const {
+  std::lock_guard<std::mutex> lk(viewMu_);
+  return v < floors_.size() ? floors_[v] : 0;
+}
+
 std::optional<LevelResult> DepMemo::lookup(const std::string& key,
-                                           std::uint64_t gen) const {
+                                           std::uint64_t floor,
+                                           std::uint64_t cap) const {
   Shard& s = shardFor(key);
   std::lock_guard<std::mutex> lk(s.mu);
   auto it = s.table.find(key);
-  if (it == s.table.end() || it->second.gen != gen) return std::nullopt;
+  if (it == s.table.end() || it->second.gen < floor || it->second.gen > cap) {
+    return std::nullopt;
+  }
   return it->second.result;
 }
 
@@ -89,14 +117,14 @@ std::size_t DepMemo::size() const {
   return total;
 }
 
-std::vector<std::pair<std::string, LevelResult>> DepMemo::exportEntries()
-    const {
-  const std::uint64_t gen = generation();
+std::vector<std::pair<std::string, LevelResult>> DepMemo::exportEntries(
+    ViewId view) const {
+  const std::uint64_t floor = floorOf(view);
   std::vector<std::pair<std::string, LevelResult>> out;
   for (const Shard& s : shards_) {
     std::lock_guard<std::mutex> lk(s.mu);
     for (const auto& [key, entry] : s.table) {
-      if (entry.gen == gen) out.emplace_back(key, entry.result);
+      if (entry.gen >= floor) out.emplace_back(key, entry.result);
     }
   }
   std::sort(out.begin(), out.end(),
@@ -116,7 +144,8 @@ DependenceTester::DependenceTester(std::vector<LoopContext> commonLoops,
                                    OpaqueTable& opaques,
                                    std::set<std::string> variantVars,
                                    bool cheapFirst, DepMemo* memo,
-                                   AnalysisBudget budget)
+                                   AnalysisBudget budget,
+                                   DepMemo::ViewId memoView)
     : loops_(std::move(commonLoops)),
       facts_(std::move(facts)),
       indexFacts_(std::move(indexFacts)),
@@ -126,9 +155,12 @@ DependenceTester::DependenceTester(std::vector<LoopContext> commonLoops,
       memo_(memo),
       budget_(budget) {
   if (!memo_) return;
-  // Capture the generation under which our facts were snapshot: lookups and
-  // inserts are pinned to it, so a concurrent invalidateAll() can never leak
-  // a pre-bump result to a post-bump tester or vice versa.
+  // Capture the view floor and epoch under which our facts were snapshot:
+  // inserts are stamped with the epoch and lookups accept only [floor,
+  // epoch], so an invalidation of our view landing mid-flight can never
+  // leak a pre-bump result to a post-bump tester or vice versa — while
+  // entries other views inserted since our floor stay shared.
+  memoFloor_ = memo_->floorOf(memoView);
   memoGen_ = memo_->generation();
   // Canonical prefix: every per-nest/per-context input that influences a
   // test result but is not part of the per-query subscript forms. Mutable
@@ -350,7 +382,7 @@ LevelResult DependenceTester::test(const RefPair& pair, int level,
   std::string key;
   if (memo_) {
     key = makeKey('t', level, static_cast<int>(innerDir), diffs);
-    if (std::optional<LevelResult> hit = memo_->lookup(key, memoGen_)) {
+    if (std::optional<LevelResult> hit = memo_->lookup(key, memoFloor_, memoGen_)) {
       ++stats_.memoHits;
       return *hit;
     }
@@ -604,7 +636,7 @@ LevelResult DependenceTester::testSection(
     forms.reserve(cs.size());
     for (const Constraint& c : cs) forms.push_back(c.expr);
     key = makeKey('s', level, callIsSrc ? 1 : 0, forms);
-    if (std::optional<LevelResult> hit = memo_->lookup(key, memoGen_)) {
+    if (std::optional<LevelResult> hit = memo_->lookup(key, memoFloor_, memoGen_)) {
       ++stats_.memoHits;
       return *hit;
     }
@@ -668,7 +700,7 @@ LevelResult DependenceTester::testSections(
     forms.reserve(cs.size());
     for (const Constraint& c : cs) forms.push_back(c.expr);
     key = makeKey('b', level, 0, forms);
-    if (std::optional<LevelResult> hit = memo_->lookup(key, memoGen_)) {
+    if (std::optional<LevelResult> hit = memo_->lookup(key, memoFloor_, memoGen_)) {
       ++stats_.memoHits;
       return *hit;
     }

@@ -154,55 +154,85 @@ struct TestStats {
 };
 
 /// Cross-build memo table for dependence-test results. The key is a
-/// canonical form of (nest shape, facts, level, direction constraint,
-/// subscript-difference forms), so structurally identical pairs like
-/// A(I,J) vs A(I,J-1) across statements — and across rebuilds — are
-/// answered without re-running the tier suite. Entries are stamped with a
-/// generation counter; bumping the generation (on any user edit that
-/// changes facts/indexFacts) invalidates every cached result at once
-/// without keying on mutable context state.
-/// Concurrent, generation-invalidated memo of dependence test results.
+/// canonical form of (nest shape, facts, budget, level, direction
+/// constraint, subscript-difference forms), so structurally identical pairs
+/// like A(I,J) vs A(I,J-1) across statements — and across rebuilds — are
+/// answered without re-running the tier suite. Opaque terms are
+/// content-addressed ("@" + printed expression), so the key is a complete
+/// rendering of the test's inputs: a key match implies the cached result is
+/// what recomputation would produce, which is what makes sharing one memo
+/// across SESSIONS sound.
 ///
-/// The table is striped into kShards independently-locked shards (hash of
-/// the key picks the shard) so parallel per-nest testers sharing one memo
-/// contend only when their keys collide on a stripe. Invalidation stays a
-/// single atomic generation bump: entries are stamped with the generation
-/// they were computed under and a lookup only hits when the stamp matches
-/// the generation the *caller* captured when it snapshot its analysis facts.
-/// A tester therefore never observes a result computed under different
-/// facts, even if invalidateAll() lands mid-flight between its lookup and a
-/// concurrent insert (the insert carries the stale stamp and is simply never
-/// returned to post-bump readers).
+/// Concurrency: the table is striped into kShards independently-locked
+/// shards (hash of the key picks the shard) so parallel per-nest testers
+/// sharing one memo contend only when their keys collide on a stripe.
+///
+/// Invalidation is per-VIEW. A view is one client's (one session's) window
+/// onto the shared table: every entry carries the global epoch captured by
+/// its inserting tester at construction, and each view has a floor epoch.
+/// A tester captures (floor of its view, current epoch) once, at
+/// construction; a lookup hits only entries stamped inside [floor, epoch].
+///   - invalidateView(v) bumps the global epoch and raises ONLY v's floor,
+///     so one session's invalidation never evicts a neighbor view's valid
+///     entries — the multi-session server's shared warm memo depends on
+///     this.
+///   - The capture-once protocol survives per view: an insert from a tester
+///     constructed before the bump carries a stamp below the new floor and
+///     is simply never returned to that view's post-bump readers; the upper
+///     bound keeps a pre-bump tester from adopting entries inserted after
+///     its own facts were snapshot (for a lone view this degenerates to the
+///     original exact-generation-match contract).
 class DepMemo {
  public:
-  DepMemo() = default;
+  using ViewId = std::uint32_t;
+
+  /// Construction registers view 0 — the default view standalone sessions
+  /// (and the existing single-session tests) use.
+  DepMemo() : floors_(1, 0) {}
   DepMemo(const DepMemo&) = delete;
   DepMemo& operator=(const DepMemo&) = delete;
 
-  /// Returns a copy of the cached result for `key` if it was inserted under
-  /// generation `gen`; nullopt on miss or generation mismatch. Returned by
-  /// value: a pointer into the table would not survive concurrent rehash.
+  /// Register a new view with floor 0: it sees every entry the table has
+  /// accumulated so far (the whole shared warm state).
+  [[nodiscard]] ViewId createView();
+  /// Invalidate every entry AS SEEN BY `v` (lazily, via the floor): bump
+  /// the epoch and raise v's floor to it. Other views are untouched.
+  void invalidateView(ViewId v);
+  /// Invalidate every entry for every view (the standalone convenience).
+  void invalidateAll();
+  [[nodiscard]] std::uint64_t floorOf(ViewId v) const;
+
+  /// Returns a copy of the cached result for `key` if its stamp lies in
+  /// [floor, cap]; nullopt on miss. Returned by value: a pointer into the
+  /// table would not survive concurrent rehash.
   [[nodiscard]] std::optional<LevelResult> lookup(const std::string& key,
-                                                  std::uint64_t gen) const;
-  /// Record `result` computed under generation `gen` (the generation the
-  /// inserting tester captured at construction, NOT the current one).
+                                                  std::uint64_t floor,
+                                                  std::uint64_t cap) const;
+  /// Single-generation form (floor == cap): the original exact-match
+  /// contract, used by clients that capture one generation.
+  [[nodiscard]] std::optional<LevelResult> lookup(const std::string& key,
+                                                  std::uint64_t gen) const {
+    return lookup(key, gen, gen);
+  }
+  /// Record `result` stamped with `gen` (the epoch the inserting tester
+  /// captured at construction, NOT the current one).
   void insert(const std::string& key, const LevelResult& result,
               std::uint64_t gen);
-  /// Invalidate every entry (lazily, via the generation stamp).
-  void invalidateAll() { generation_.fetch_add(1, std::memory_order_acq_rel); }
+  /// The current epoch. Monotone: any view's invalidation advances it.
   [[nodiscard]] std::uint64_t generation() const {
     return generation_.load(std::memory_order_acquire);
   }
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] static constexpr std::size_t shardCount() { return kShards; }
 
-  /// Every CURRENT-generation entry, sorted by key (deterministic bytes for
-  /// the persistent program database's memo record).
+  /// Every entry valid for `view` (stamp >= its floor), sorted by key
+  /// (deterministic bytes for the persistent program database's memo
+  /// record).
   [[nodiscard]] std::vector<std::pair<std::string, LevelResult>>
-  exportEntries() const;
-  /// Seed entries at the current generation (warm start). The caller must
-  /// have verified — via the store's fact/budget digest — that the entries
-  /// were computed under an identical fact base.
+  exportEntries(ViewId view = 0) const;
+  /// Seed entries at the current epoch (warm start): visible to every view.
+  /// The caller must have verified — via the store's fact/budget digest —
+  /// that the entries were computed under an identical fact base.
   void preWarm(
       const std::vector<std::pair<std::string, LevelResult>>& entries);
 
@@ -224,6 +254,10 @@ class DepMemo {
 
   mutable std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> generation_{0};
+  /// Per-view floors; guarded by viewMu_ (reads happen once per tester
+  /// construction, not on the lookup hot path).
+  mutable std::mutex viewMu_;
+  std::vector<std::uint64_t> floors_;
 };
 
 /// Append a canonical rendering of a linear form to a memo key.
@@ -240,7 +274,8 @@ class DependenceTester {
                    OpaqueTable& opaques,
                    std::set<std::string> variantVars = {},
                    bool cheapFirst = true, DepMemo* memo = nullptr,
-                   AnalysisBudget budget = {});
+                   AnalysisBudget budget = {},
+                   DepMemo::ViewId memoView = 0);
 
   /// Test for a dependence src -> dst carried at `level` (1-based index into
   /// the common nest; 0 = loop-independent, i.e. same iteration of every
@@ -308,8 +343,10 @@ class DependenceTester {
   std::set<std::string> variantVars_;
   bool cheapFirst_;
   DepMemo* memo_ = nullptr;
-  std::uint64_t memoGen_ = 0;  // memo generation captured when facts were
-                               // snapshot; all lookups/inserts use it
+  std::uint64_t memoGen_ = 0;    // epoch captured when facts were snapshot;
+                                 // inserts stamp it, lookups cap at it
+  std::uint64_t memoFloor_ = 0;  // view floor captured alongside: lookups
+                                 // reject entries the view invalidated
   AnalysisBudget budget_;
   std::string keyPrefix_;  // canonical nest shape + facts, set when memoized
   TestStats stats_;

@@ -1,6 +1,7 @@
 #include "ped/session.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <set>
 #include <sstream>
@@ -82,6 +83,7 @@ std::string PdbStats::str() const {
       << " prewarmed, quarantined " << quarantined
       << (storeRejected ? ", store REJECTED" : "") << ", read " << bytesRead
       << "B written " << bytesWritten << "B, live tests " << testsRunLive;
+  for (const auto& f : ioFailures) out << "\n  io failure: " << f.str();
   return out.str();
 }
 
@@ -257,11 +259,22 @@ bool Session::savePdb(const std::string& path) {
   if (incrementalUpdates_) {
     const std::string material = pdbMemoMaterial();
     pdb::Writer w;
-    dep::writeMemoEntries(w, memo_->exportEntries());
+    // Export through this session's view: a shared server memo holds
+    // neighbor sessions' entries too, but only the ones we can still see
+    // (>= our floor) are proven fresh against OUR fact-base digest.
+    dep::writeMemoEntries(w, memo_->exportEntries(memoView_));
     store.add(pdb::RecordType::Memo, pdb::contentKey(material),
               pdb::sealPayload(material, w.data()));
   }
-  if (!support::writeFileAtomic(path, store.bytes())) return false;
+  const support::IoStatus io = support::writeFileAtomicEx(path, store.bytes());
+  if (!io.ok()) {
+    // The bool return keeps old callers honest; the structured report says
+    // WHICH syscall failed and why ("write: No space left on device"), so
+    // a server operator can tell a full disk from a permissions problem.
+    pdbStats_.ioFailures.push_back(
+        {"savePdb", io.str() + " (" + path + ")", /*rolledBack=*/false});
+    return false;
+  }
   pdbStats_.bytesWritten += store.bytes().size();
   return true;
 }
@@ -270,6 +283,25 @@ std::unique_ptr<Session> Session::openWarm(std::string_view source,
                                            const std::string& pdbPath,
                                            DiagnosticEngine& diags,
                                            int nThreads) {
+  std::string image;
+  const support::IoStatus io = support::readFileEx(pdbPath, &image);
+  SharedWarmState shared;
+  if (io.ok()) shared.storeImage = &image;
+  auto session = attach(source, shared, diags, nThreads);
+  // A missing store file is the normal first-run cold start; any OTHER
+  // read failure (permissions, I/O error) is worth a structured report —
+  // the session still opens cold either way.
+  if (session && !io.ok() && io.error != ENOENT) {
+    session->pdbStats_.ioFailures.push_back(
+        {"openWarm", io.str() + " (" + pdbPath + ")", /*rolledBack=*/false});
+  }
+  return session;
+}
+
+std::unique_ptr<Session> Session::attach(std::string_view source,
+                                         const SharedWarmState& shared,
+                                         DiagnosticEngine& diags,
+                                         int nThreads) {
   auto session = std::unique_ptr<Session>(new Session());
   session->program_ = fortran::parseSource(source, session->diags_);
   for (const auto& d : session->diags_.all()) {
@@ -281,14 +313,22 @@ std::unique_ptr<Session> Session::openWarm(std::string_view source,
   }
   session->current_ = session->program_->units[0]->name;
   session->program_->assignIds();
+  // Adopt the server's shared memo (through this session's private view)
+  // before anything touches memo state — the assertion replay below bumps
+  // the view, and the pre-warm must land where lookups will read.
+  if (shared.memo) {
+    session->memo_ = shared.memo;
+    session->memoView_ = shared.memoView;
+  }
   PdbStats& ps = session->pdbStats_;
 
-  // The store. Unreadable or header-skewed (magic, format version, endian,
-  // build stamp): run entirely cold — same result, no reuse.
-  std::string image;
-  const bool haveFile = support::readFile(pdbPath, &image);
-  pdb::StoreReader store(haveFile ? std::move(image) : std::string());
-  if (!haveFile || store.stats().rejected) {
+  // The store. Absent, unreadable or header-skewed (magic, format version,
+  // endian, build stamp): run entirely cold — same result, no reuse. Each
+  // session verifies records out of its own reader over the (possibly
+  // server-shared) image bytes; readers never mutate the image.
+  pdb::StoreReader store(shared.storeImage ? *shared.storeImage
+                                           : std::string());
+  if (!shared.storeImage || store.stats().rejected) {
     ps.storeRejected = true;
   } else {
     ps.bytesRead = store.byteSize();
@@ -393,10 +433,17 @@ std::unique_ptr<Session> Session::openWarm(std::string_view source,
   }
 
   // Settle every miss through the PR 4 dirty-set path (materializing the
-  // missing workspaces), so the open returns a fully analyzed session.
+  // missing workspaces), so the open returns a fully analyzed session. A
+  // server-attached session settles on the server's shared pool — its
+  // tasks interleave with neighbor sessions' without a dedicated worker
+  // set per session.
   if (!session->pendingDirty_.empty()) {
-    support::TaskPool pool(nThreads);
-    session->incrementalAnalyzeOn(pool, /*materializeMissing=*/true);
+    if (shared.pool) {
+      session->incrementalAnalyzeOn(*shared.pool, /*materializeMissing=*/true);
+    } else {
+      support::TaskPool pool(nThreads);
+      session->incrementalAnalyzeOn(pool, /*materializeMissing=*/true);
+    }
   }
   ps.testsRunLive = session->stats_.testsRun() - testsBefore;
   // Framing- and verify-hash-level quarantines tallied by the reader.
@@ -424,6 +471,7 @@ dep::AnalysisContext Session::makeContext(const std::string& name,
   ctx.incrementalUpdates = incrementalUpdates_;
   ctx.useMemo = incrementalUpdates_;
   ctx.memo = incrementalUpdates_ ? memo_ : nullptr;
+  ctx.memoView = memoView_;
   ctx.statsSink = sink;
   ctx.budget = budget_;
   ctx.pool = pool;
@@ -506,7 +554,7 @@ transform::Workspace& Session::workspace() { return wsFor(current_); }
 void Session::fullReanalysis() {
   workspaces_.clear();
   oracles_.clear();
-  memo_->invalidateAll();
+  memo_->invalidateView(memoView_);
   pendingDirty_.clear();  // the rebuild below covers any pending edits
   program_->assignIds();
   summaries_ = std::make_unique<interproc::SummaryBuilder>(*program_);
@@ -536,7 +584,7 @@ ParallelReport Session::analyzeOn(support::TaskPool& pool) {
 
   workspaces_.clear();
   oracles_.clear();
-  memo_->invalidateAll();
+  memo_->invalidateView(memoView_);
   pendingDirty_.clear();  // the full rebuild covers any pending edits
   // Statement ids are assigned once, up front: the Program is shared by
   // every concurrent per-procedure task, so the lazy assignment inside
@@ -1247,10 +1295,12 @@ bool Session::addAssertion(const std::string& payload) {
   auto a = parseAssertion(payload, diags_);
   if (!a) return false;
   assertions_.push_back(std::move(*a));
-  // The fact base changed: every memoized test result may now be stale.
-  // One generation bump lazily invalidates the whole table (the memo never
-  // keys on mutable context state, so this is the only hook needed).
-  memo_->invalidateAll();
+  // The fact base changed: every memoized test result may now be stale for
+  // THIS session. One epoch bump against our view lazily evicts everything
+  // we could previously see — without touching what neighbor sessions on a
+  // shared server memo can still see (the memo never keys on mutable
+  // context state, so this is the only hook needed).
+  memo_->invalidateView(memoView_);
   // Incremental: rebuild only materialized workspaces with the new facts.
   for (auto& [name, ws] : workspaces_) {
     ws->actx = contextFor(name);

@@ -112,6 +112,11 @@ struct UsageCounters {
 /// hit/miss tallies, the damage report, and the live work that remained.
 struct PdbStats {
   bool storeRejected = false;  // unreadable file or header mismatch
+  /// Structured I/O failures from savePdb/openWarm: which stage failed
+  /// ("create", "write", "fsync", "rename", "read", ...) and the errno
+  /// text, instead of the bare bool the callers also get. A missing store
+  /// file on open is a normal cold start and is NOT recorded here.
+  std::vector<FailureReport> ioFailures;
   std::size_t summaryHits = 0;
   std::size_t summaryMisses = 0;
   std::size_t graphHits = 0;
@@ -154,6 +159,36 @@ class Session {
                                            const std::string& pdbPath,
                                            DiagnosticEngine& diags,
                                            int nThreads = 0);
+
+  /// Resources an analysis server shares across the sessions it hosts; see
+  /// server::AnalysisServer. Every field is optional — attach() with a
+  /// default-constructed SharedWarmState is a cold load() + analyze.
+  struct SharedWarmState {
+    /// Store image already read from disk (the server reads the file once
+    /// and every session verifies records out of the same bytes). Null =
+    /// no store; the session runs cold.
+    const std::string* storeImage = nullptr;
+    /// Dependence-test memo shared with other sessions. Null = private
+    /// memo. When set, memoView must be a view created on that memo for
+    /// this session (DepMemo::createView), so this session's invalidations
+    /// evict only its own view.
+    std::shared_ptr<dep::DepMemo> memo;
+    dep::DepMemo::ViewId memoView = 0;
+    /// Pool the warm-open settle is scheduled on; null = a private pool of
+    /// `nThreads` workers.
+    support::TaskPool* pool = nullptr;
+  };
+
+  /// Open `source` against shared server state: verified records restore
+  /// from the shared store image, dependence tests flow through the shared
+  /// memo (via this session's view), and the settle of store misses runs
+  /// on the shared pool. Results are bit-identical to a solo cold load()
+  /// + analyzeParallel() at any thread count — sharing changes where
+  /// answers come from, never what they are.
+  static std::unique_ptr<Session> attach(std::string_view source,
+                                         const SharedWarmState& shared,
+                                         DiagnosticEngine& diags,
+                                         int nThreads = 0);
 
   /// Write the persistent program database: one summary record per
   /// non-recursive procedure, one graph-slice record per procedure with a
@@ -550,9 +585,13 @@ class Session {
   std::map<std::string, MarkRecord> marks_;  // key: dep signature
 
   /// Dependence-test memo shared by every workspace (and trial sandbox) of
-  /// this session, across procedures and rebuilds. Invalidated wholesale
-  /// whenever the fact base changes (assertions, full reanalysis).
+  /// this session, across procedures and rebuilds — and, when the session
+  /// is server-attached, with every other session on the server.
+  /// Invalidated through memoView_ whenever this session's fact base
+  /// changes (assertions, full reanalysis): only this session's view is
+  /// evicted, never a neighbor session's valid entries.
   std::shared_ptr<dep::DepMemo> memo_ = std::make_shared<dep::DepMemo>();
+  dep::DepMemo::ViewId memoView_ = 0;
   dep::TestStats stats_;
   bool incrementalUpdates_ = true;
 

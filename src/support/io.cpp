@@ -1,38 +1,89 @@
 #include "support/io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <cstring>
 
 namespace ps::support {
 
+std::string IoStatus::str() const {
+  if (ok()) return {};
+  return stage + ": " + std::strerror(error);
+}
+
+IoStatus readFileEx(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return {"open", errno};
+  std::string buf;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return {"read", err};
+    }
+    if (n == 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  *out = std::move(buf);
+  return {};
+}
+
+IoStatus writeFileAtomicEx(const std::string& path, const std::string& data) {
+  // Unique per-writer temp name in the same directory (rename must not
+  // cross filesystems): pid disambiguates processes, the counter
+  // disambiguates threads and successive writes within one process. A
+  // fixed ".tmp" suffix here was the torn-save bug — two concurrent savers
+  // opened the SAME temp file and interleaved their images.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) return {"create", errno};
+  auto fail = [&](const char* stage, int err) -> IoStatus {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return {stage, err};
+  };
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write", errno);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Durability before visibility: the data must be on disk before the
+  // rename can make it the store, or a crash could publish a hole.
+  if (::fsync(fd) != 0) return fail("fsync", errno);
+  if (::close(fd) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return {"close", err};
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return {"rename", err};
+  }
+  return {};
+}
+
 bool readFile(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) return false;
-  *out = buf.str();
-  return true;
+  return readFileEx(path, out).ok();
 }
 
 bool writeFileAtomic(const std::string& path, const std::string& data) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return writeFileAtomicEx(path, data).ok();
 }
 
 }  // namespace ps::support

@@ -6,17 +6,44 @@
 // writes are atomic via a same-directory temp file + rename, so a crashed
 // save can never leave a half-written store where the next session will
 // find it — it finds either the old store or the new one.
+//
+// Concurrency contract: every writer renders into its OWN temp file
+// (pid + process-wide counter in the name), fsyncs it, and renames it over
+// the target. Concurrent writeFileAtomic calls on one path are therefore
+// last-writer-wins — the surviving file is always one writer's complete
+// image, never an interleaving — and a reader racing the rename sees either
+// the old image or a new one, both intact.
 
 #include <string>
 
 namespace ps::support {
 
-/// Read the whole file into `out`. False (out untouched) when the file is
-/// missing or unreadable.
-[[nodiscard]] bool readFile(const std::string& path, std::string* out);
+/// Where an I/O operation failed, plus the errno it failed with. The stage
+/// names are stable (tests and failure reports key on them): "open",
+/// "read", "create", "write", "fsync", "close", "rename".
+struct IoStatus {
+  std::string stage;  // empty on success
+  int error = 0;      // errno at the failing stage (0 on success)
 
-/// Write `data` to `path` atomically (temp file + rename). False when any
-/// step fails; a failed write never clobbers an existing file.
+  [[nodiscard]] bool ok() const { return stage.empty(); }
+  /// "stage: strerror(error)" — empty string on success.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Read the whole file into `out`. On failure `out` is untouched and the
+/// returned status names the failing stage ("open" for a missing or
+/// unreadable file, "read" for a mid-read error) and errno.
+IoStatus readFileEx(const std::string& path, std::string* out);
+
+/// Write `data` to `path` atomically: render into a uniquely named temp
+/// file in the same directory, fsync it, then rename() over the target.
+/// A failed write never clobbers an existing file, and concurrent writers
+/// to one path never tear each other — last rename wins with a complete
+/// image. The status names the failing stage and errno.
+IoStatus writeFileAtomicEx(const std::string& path, const std::string& data);
+
+/// Bool-only conveniences for callers that do not report the failure.
+[[nodiscard]] bool readFile(const std::string& path, std::string* out);
 [[nodiscard]] bool writeFileAtomic(const std::string& path,
                                    const std::string& data);
 
