@@ -1,0 +1,195 @@
+// Dynamic-validation bench: what trace-backed checking of dependence
+// deletions costs. Three questions: how fast the interpreter records
+// access events (events/sec, and the slowdown over an untraced run); what
+// a full validateDeletions pass adds on top of analysis alone; and the
+// refutation latency — the wall time from one unsound deletion to its
+// auto-restore, the interactive number a PED user would feel.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "interp/machine.h"
+#include "interp/trace.h"
+#include "validate/validate.h"
+
+namespace {
+
+using ps::bench::loadWorkload;
+
+const char* const kDecks[] = {"spec77", "neoss",  "nxsns",    "dpmin",
+                              "slab2d", "slalom", "pueblo3d", "arc3d"};
+
+/// Untraced serial run: the baseline the trace-recording overhead is
+/// measured against.
+void BM_InterpSerial(benchmark::State& state) {
+  auto s = loadWorkload(kDecks[state.range(0)]);
+  if (!s) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  long long steps = 0;
+  for (auto _ : state) {
+    ps::interp::Machine m(s->program());
+    ps::interp::RunOptions opts;
+    opts.checkParallel = false;
+    ps::interp::RunResult r = m.run(opts);
+    if (!r.ok) {
+      state.SkipWithError(("run failed: " + r.error).c_str());
+      return;
+    }
+    steps = r.steps;
+    benchmark::DoNotOptimize(r.output);
+  }
+  state.SetLabel(std::string(kDecks[state.range(0)]) +
+                 " steps=" + std::to_string(steps));
+}
+BENCHMARK(BM_InterpSerial)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+/// The same serial run with full trace recording: events/sec is the
+/// recorder's throughput, and the ratio to BM_InterpSerial is the
+/// recording slowdown.
+void BM_TraceRecording(benchmark::State& state) {
+  auto s = loadWorkload(kDecks[state.range(0)]);
+  if (!s) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  long long events = 0;
+  bool complete = true;
+  for (auto _ : state) {
+    ps::interp::Trace trace;
+    trace.limits.maxEvents = 4'000'000;
+    ps::interp::Machine m(s->program());
+    ps::interp::RunOptions opts;
+    opts.checkParallel = false;
+    opts.trace = &trace;
+    ps::interp::RunResult r = m.run(opts);
+    if (!r.ok) {
+      state.SkipWithError(("run failed: " + r.error).c_str());
+      return;
+    }
+    events = static_cast<long long>(trace.events.size());
+    complete = trace.complete();
+    benchmark::DoNotOptimize(trace.events);
+  }
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel(std::string(kDecks[state.range(0)]) +
+                 (complete ? "" : " TRACE-INCOMPLETE"));
+}
+BENCHMARK(BM_TraceRecording)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+/// Analysis alone — the cost a session pays with validation off. The gap
+/// to BM_AnalyzePlusValidate is the full price of a validation pass.
+void BM_AnalyzeOnly(benchmark::State& state) {
+  const char* deck = kDecks[state.range(0)];
+  for (auto _ : state) {
+    auto s = loadWorkload(deck);
+    if (!s) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    auto rep = s->analyzeParallel(1);
+    benchmark::DoNotOptimize(rep.procedures);
+  }
+  state.SetLabel(deck);
+}
+BENCHMARK(BM_AnalyzeOnly)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+/// Analysis followed by a full validateDeletions pass (trace replay over
+/// every pending edge; relative checks on). The extra time over
+/// BM_AnalyzeOnly is the validation overhead the ISSUE budget bounds.
+void BM_AnalyzePlusValidate(benchmark::State& state) {
+  const char* deck = kDecks[state.range(0)];
+  long long events = 0;
+  int checked = 0;
+  for (auto _ : state) {
+    auto s = loadWorkload(deck);
+    if (!s) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    auto rep = s->analyzeParallel(1);
+    benchmark::DoNotOptimize(rep.procedures);
+    ps::validate::ValidationReport vr = s->validateDeletions();
+    if (!vr.ran) {
+      state.SkipWithError(("validation failed: " + vr.error).c_str());
+      return;
+    }
+    events = vr.events;
+    checked = vr.checked;
+  }
+  state.counters["trace_events"] = static_cast<double>(events);
+  state.counters["edges_checked"] = static_cast<double>(checked);
+  state.SetLabel(deck);
+}
+BENCHMARK(BM_AnalyzePlusValidate)
+    ->DenseRange(0, 7)
+    ->Unit(benchmark::kMillisecond);
+
+/// Refutation latency: the session is analyzed and validated once; then
+/// each iteration deletes one real (witnessed) dependence and times the
+/// validateDeletions call that refutes and auto-restores it. This is the
+/// interactive turnaround from "user deletes an unsound dependence" to
+/// "PED has put it back with evidence".
+void BM_RefutationLatency(benchmark::State& state) {
+  const char* deck = kDecks[state.range(0)];
+  auto s = loadWorkload(deck);
+  if (!s) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  s->analyzeParallel(1);
+  // Baseline pass: find a pending edge the trace witnesses — deleting it
+  // is a known-unsound edit the timed pass must catch.
+  ps::ped::Session::ValidationOptions opts;
+  opts.relativeChecks = false;
+  ps::validate::ValidationReport base = s->validateDeletions(opts);
+  std::uint32_t victim = 0;
+  std::string victimProc;
+  for (const auto& f : base.findings) {
+    if (f.verdict == ps::validate::Verdict::WitnessFound &&
+        f.edge.type != ps::dep::DepType::Input) {
+      victim = f.edge.depId;
+      victimProc = f.edge.procedure;
+      break;
+    }
+  }
+  if (victimProc.empty()) {
+    // Deck with no witnessed pending edge (all-proven graph): nothing to
+    // delete unsoundly, nothing to measure.
+    for (auto _ : state) {
+    }
+    state.SetLabel(std::string(deck) + " (no witnessed pending edge)");
+    return;
+  }
+  int restored = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!s->selectProcedure(victimProc) ||
+        !s->markDependence(victim, ps::dep::DepMark::Rejected,
+                           "bench: believed independent")) {
+      state.SkipWithError("deletion failed");
+      return;
+    }
+    state.ResumeTiming();
+    ps::validate::ValidationReport vr = s->validateDeletions(opts);
+    restored = vr.restored;
+    if (vr.restored < 1) {
+      state.SkipWithError("unsound deletion was not restored");
+      return;
+    }
+  }
+  state.counters["restored"] = restored;
+  state.SetLabel(std::string(deck) + " proc=" + victimProc);
+}
+BENCHMARK(BM_RefutationLatency)
+    ->DenseRange(0, 7)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

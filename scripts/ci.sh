@@ -40,16 +40,31 @@ PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" ./build/tests/fuzz_robustness_test
 PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" PS_FUZZ_PARALLEL=4 \
   ./build/tests/fuzz_robustness_test
 
+# Dynamic-validation stage: the trace-backed deletion checker. The suite
+# injects known-unsound deletions on every deck and requires them refuted
+# and auto-restored byte-identically at 1/2/4/8 threads; then the fuzz
+# corpus reruns with periodic validateDeletions passes interleaved
+# (PS_VALIDATE=1) so mutated programs exercise the failed-run and
+# budget-overflow degradation paths.
+./build/tests/validation_test
+PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" PS_VALIDATE=1 \
+  ./build/tests/fuzz_robustness_test
+
 # ThreadSanitizer stage: rebuild the concurrency-sensitive targets with
 # -fsanitize=thread and run the parallel determinism suites (whole-program
 # batch + incremental edit storm) plus the DepMemo stress test. Any data
 # race in the pool, the task DAG, the sharded memo, the pipelined summary
 # nodes or the per-nest fan-out fails CI here.
 cmake -B build-tsan -S . -DPS_TSAN=ON
-cmake --build build-tsan -j --target parallel_analysis_test edit_storm_test depmemo_concurrent_test warm_start_test pdb_persistence_test
+cmake --build build-tsan -j --target parallel_analysis_test edit_storm_test depmemo_concurrent_test warm_start_test pdb_persistence_test validation_test
 ./build-tsan/tests/depmemo_concurrent_test
 ./build-tsan/tests/parallel_analysis_test
 ./build-tsan/tests/edit_storm_test
+# Validation under TSan: the deck suite re-analyzes through the task pool
+# at 1/2/4/8 threads with trace replay and auto-restores interleaved — any
+# race between the validator's graph writes and the analysis engine fails
+# here.
+./build-tsan/tests/validation_test
 # Warm-open settle path (dirty-set re-analysis seeded from disk) and the
 # corruption-recovery suite, both under TSan: rebinding and quarantine run
 # concurrently with the task pool.

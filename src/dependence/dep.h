@@ -87,6 +87,12 @@ struct Dependence {
   DepMark mark = DepMark::Pending;
   DepOrigin origin = DepOrigin::ArrayPair;
   std::string reason;  // editable annotation, as in PED's REASON column
+  /// Dynamic-validation evidence: how a trace or relative execution
+  /// confirmed, refuted or failed to check this edge ("trace: witness …",
+  /// "trace: no witness in N events", "unvalidated: …"). Empty until a
+  /// validation pass touches the edge; persisted with the graph slice so
+  /// evidence survives the program database round trip.
+  std::string evidence;
 
   /// True when one endpoint summarizes accesses inside a callee
   /// (interprocedural side-effect dependence).

@@ -248,6 +248,7 @@ bool writeGraphSlice(pdb::Writer& w, const fortran::Procedure& proc,
     w.str(d.reason);
     w.u8(d.interprocedural ? 1 : 0);
     w.u8(d.degraded ? 1 : 0);
+    w.str(d.evidence);
   }
   return true;
 }
@@ -361,6 +362,7 @@ bool readGraphSlice(pdb::Reader& r, const fortran::Procedure& proc,
     if (!r.ok() || interproc > 1 || degraded > 1) return false;
     d.interprocedural = interproc != 0;
     d.degraded = degraded != 0;
+    d.evidence = r.str();
 
     out->deps.push_back(std::move(d));
   }

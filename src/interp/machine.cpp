@@ -191,8 +191,11 @@ struct RuntimeError {
 
 /// Normal termination via STOP: unwinds the frame stack to run(). Distinct
 /// from RuntimeError so a genuinely empty error message can never be
-/// mistaken for a clean stop.
-struct StopSignal {};
+/// mistaken for a clean stop. Carries the STOP statement's id so reports
+/// can say which STOP ended the run.
+struct StopSignal {
+  fortran::StmtId stmt = fortran::kInvalidStmt;
+};
 
 }  // namespace
 
@@ -208,6 +211,9 @@ struct Machine::Impl {
   std::mt19937 rng;
   std::map<const Procedure*, Compiled> compiled;
   std::map<std::string, Storage> commons;  // key: block|name
+  /// Next Storage::serial; stamped at every storage creation so cell
+  /// identities survive heap address reuse across call frames.
+  std::uint64_t nextStorageSerial = 1;
 
   struct ArrayShape {
     std::vector<long long> extents;      // -1 = assumed size
@@ -275,8 +281,81 @@ struct Machine::Impl {
   };
   std::vector<ParallelCtx> parallelStack;
 
+  /// Statement currently executing (runtime diagnostics and trace events
+  /// are attributed to it).
+  const Stmt* curStmt = nullptr;
+
+  // --- Trace recording (dynamic dependence validation) -----------------
+  Trace* trace = nullptr;
+  /// Innermost active iteration-context node (-1 = outside any loop).
+  std::int32_t curCtx = -1;
+  /// Recording stopped because the node budget tripped: no further events
+  /// may be attributed (their contexts would be missing or stale).
+  bool traceDead = false;
+  std::map<CellRef::Address, std::uint32_t> elemIds;
+  std::set<std::uint32_t> writtenElems;
+  std::set<std::uint32_t> uninitReported;
+
   Impl(const Program& p, const RunOptions& o) : program(p), opts(o) {
     rng.seed(o.shuffleSeed);
+    trace = o.trace;
+  }
+
+  /// Intern a fresh iteration node; kills the trace (degrade, don't lie)
+  /// when the node budget is exhausted.
+  std::int32_t traceNode(std::int32_t parent, fortran::StmtId loop,
+                         long long iter) {
+    if (!trace || traceDead) return parent;
+    if (static_cast<long long>(trace->nodes.size()) >=
+        2 * trace->limits.maxEvents) {
+      trace->eventsOverflowed = true;
+      traceDead = true;
+      return parent;
+    }
+    trace->nodes.push_back({parent, loop, iter});
+    return static_cast<std::int32_t>(trace->nodes.size()) - 1;
+  }
+
+  void traceAccess(Frame& f, const Expr& ref, const CellRef& c,
+                   bool isWrite) {
+    if (!trace || traceDead) return;
+    auto it = elemIds.find(c.address());
+    if (it == elemIds.end()) {
+      if (static_cast<long long>(trace->elementVar.size()) >=
+          trace->limits.maxElements) {
+        trace->elementsSaturated = true;
+        ++trace->eventsDropped;
+        return;
+      }
+      it = elemIds
+               .emplace(c.address(),
+                        static_cast<std::uint32_t>(trace->elementVar.size()))
+               .first;
+      trace->elementVar.push_back(ref.name);
+    }
+    const std::uint32_t elem = it->second;
+    if (isWrite) {
+      writtenElems.insert(elem);
+    } else if (!writtenElems.count(elem)) {
+      // First read of a never-written element: suspected uninitialized use
+      // (PARAMETER constants materialize with their value and are exempt).
+      const fortran::VarDecl* d = f.proc->findDecl(ref.name);
+      if ((!d || !d->isParameter) && uninitReported.insert(elem).second) {
+        ++trace->uninitReadCount;
+        if (trace->uninitReads.size() < 64) {
+          trace->uninitReads.push_back(
+              {curStmt ? curStmt->id : fortran::kInvalidStmt, ref.name});
+        }
+      }
+    }
+    if (static_cast<long long>(trace->events.size()) >=
+        trace->limits.maxEvents) {
+      trace->eventsOverflowed = true;
+      ++trace->eventsDropped;
+      return;
+    }
+    trace->events.push_back({curStmt ? curStmt->id : fortran::kInvalidStmt,
+                             elem, curCtx, isWrite});
   }
 
   const Compiled& compiledFor(const Procedure& proc) {
@@ -325,6 +404,7 @@ struct Machine::Impl {
       auto itC = commons.find(key);
       if (itC == commons.end()) {
         Storage st;
+        st.serial = nextStorageSerial++;
         st.type = decl->type == TypeKind::DoublePrecision ? TypeKind::Real
                                                           : decl->type;
         ArrayShape shape = shapeFor(f, *decl);
@@ -350,6 +430,7 @@ struct Machine::Impl {
     auto itL = f.locals.find(name);
     if (itL == f.locals.end()) {
       Storage st;
+      st.serial = nextStorageSerial++;
       TypeKind t = decl ? decl->type : fortran::implicitType(name);
       st.type = (t == TypeKind::DoublePrecision) ? TypeKind::Real : t;
       ArrayShape shape;
@@ -410,12 +491,14 @@ struct Machine::Impl {
   Value load(Frame& f, const Expr& ref) {
     CellRef c = cellOf(f, ref);
     for (auto& ctx : parallelStack) ctx.onRead(c.address());
+    if (trace) traceAccess(f, ref, c, /*isWrite=*/false);
     return c.storage->load(c.offset);
   }
 
   void store(Frame& f, const Expr& ref, const Value& v) {
     CellRef c = cellOf(f, ref);
     for (auto& ctx : parallelStack) ctx.onWrite(c.address(), ref.name);
+    if (trace) traceAccess(f, ref, c, /*isWrite=*/true);
     c.storage->store(c.offset, v);
   }
 
@@ -613,6 +696,7 @@ struct Machine::Impl {
         Value v = eval(caller, actual);
         f.temps.emplace_back();
         Storage& st = f.temps.back();
+        st.serial = nextStorageSerial++;
         st.type = (v.kind == Value::Kind::Int) ? TypeKind::Integer
                                                : TypeKind::Real;
         st.resize(1);
@@ -696,6 +780,8 @@ struct Machine::Impl {
     std::vector<long long> perm;
     bool realIv = false;
     double rlo = 0.0, rstep = 1.0;
+    /// Iteration-context node enclosing this loop (trace mode).
+    std::int32_t ctxParent = -1;
   };
 
   void setLoopVar(Frame& f, const Stmt& s, LoopState& ls, long long k) {
@@ -727,9 +813,13 @@ struct Machine::Impl {
     const Compiled& code = compiledFor(*f.proc);
     std::vector<LoopState> slots(
         static_cast<std::size_t>(code.loopSlots));
+    // A RETURN inside a DO must not leak the callee's iteration contexts
+    // into the caller's subsequent events.
+    const std::int32_t entryCtx = curCtx;
     std::size_t pc = 0;
     while (pc < code.ops.size()) {
       const Op& op = code.ops[pc];
+      if (op.stmt) curStmt = op.stmt;
       if (++result.steps > opts.maxSteps) {
         throw RuntimeError{"step limit exceeded",
                            op.stmt ? op.stmt->loc : ps::SourceLoc{}};
@@ -802,10 +892,25 @@ struct Machine::Impl {
             ctx.loop = &s;
             parallelStack.push_back(std::move(ctx));
           }
+          if (trace) {
+            // A GOTO may have exited an earlier activation of this loop
+            // without popping its context; re-entry resets to that stale
+            // activation's parent so contexts cannot nest spuriously.
+            for (std::int32_t n = curCtx; n >= 0;) {
+              const IterNode& node = trace->nodes[static_cast<std::size_t>(n)];
+              if (node.loop == s.id) {
+                curCtx = node.parent;
+                break;
+              }
+              n = node.parent;
+            }
+            ls.ctxParent = curCtx;
+          }
           if (ls.trip == 0) {
             if (ls.parallel) parallelStack.pop_back();
             pc = static_cast<std::size_t>(op.a);
           } else {
+            if (trace) curCtx = traceNode(ls.ctxParent, s.id, 0);
             setLoopVar(f, s, ls, 0);
             ++pc;
           }
@@ -815,9 +920,12 @@ struct Machine::Impl {
           LoopState& ls = slots[static_cast<std::size_t>(op.c)];
           ++ls.k;
           if (ls.k < ls.trip) {
+            if (trace) curCtx = traceNode(ls.ctxParent, op.stmt->id, ls.k);
             setLoopVar(f, *op.stmt, ls, ls.k);
             pc = static_cast<std::size_t>(op.a);
           } else {
+            // Loop exhausted: subsequent events are outside its iterations.
+            if (trace) curCtx = ls.ctxParent;
             // Final induction value (Fortran leaves lo + trip*step).
             fortran::Expr var;
             var.kind = ExprKind::VarRef;
@@ -839,9 +947,11 @@ struct Machine::Impl {
           break;
         }
         case Op::K::Ret:
+          curCtx = entryCtx;
           return;
         case Op::K::Stop:
-          throw StopSignal{};  // unwinds to run()
+          // unwinds to run()
+          throw StopSignal{op.stmt ? op.stmt->id : fortran::kInvalidStmt};
       }
     }
   }
@@ -874,12 +984,15 @@ RunResult Machine::run(const RunOptions& opts) {
   try {
     impl.execute(frame);
     impl.result.ok = true;
-  } catch (const StopSignal&) {
+  } catch (const StopSignal& s) {
     impl.result.ok = true;  // STOP
+    impl.result.stopStmt = s.stmt;
   } catch (const RuntimeError& e) {
     impl.result.ok = false;
     impl.result.error = e.message;
     impl.result.errorLoc = e.loc;
+    impl.result.errorStmt =
+        impl.curStmt ? impl.curStmt->id : fortran::kInvalidStmt;
   }
   return std::move(impl.result);
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fortran/ast.h"
+#include "interp/trace.h"
 #include "interp/value.h"
 
 namespace ps::interp {
@@ -29,6 +30,13 @@ struct RunResult {
   bool ok = false;
   std::string error;
   ps::SourceLoc errorLoc;
+  /// Statement executing when the error fired (kInvalidStmt when the
+  /// failure preceded any statement). Lets runtime diagnostics — step
+  /// limits, out-of-bounds subscripts, division by zero — name the source
+  /// line in trace and validation reports.
+  fortran::StmtId errorStmt = fortran::kInvalidStmt;
+  /// The STOP statement that ended the run, when one did.
+  fortran::StmtId stopStmt = fortran::kInvalidStmt;
   /// Values printed by WRITE/PRINT statements, in order.
   std::vector<double> output;
   /// Total statements executed.
@@ -55,6 +63,10 @@ struct RunOptions {
   bool checkParallel = true;
   /// Deterministic seed for the iteration shuffle.
   unsigned shuffleSeed = 12345;
+  /// When set, every named read/write is recorded here with its statement
+  /// and iteration context (dynamic dependence validation). The caller
+  /// owns the trace and its limits; recording degrades per TraceLimits.
+  Trace* trace = nullptr;
 };
 
 /// A tree-walking interpreter for the supported Fortran dialect: the

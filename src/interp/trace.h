@@ -1,0 +1,106 @@
+#ifndef PS_INTERP_TRACE_H
+#define PS_INTERP_TRACE_H
+
+// Memory-access trace recording for dynamic dependence validation.
+//
+// The trace is the interpreter-side half of the validation engine
+// (src/validate): a serial execution records, for every named read and
+// write, the executing statement, the touched storage element and the
+// iteration context (which DO loops were active and at which normalized
+// iteration). The validator replays these events against the dependence
+// graph to confirm or refute pending and user-deleted dependences with
+// evidence from a real execution rather than static conservatism.
+//
+// Iteration contexts are interned in a trie: one node per *iteration
+// advance* (not per event), each holding (parent, loop DO-stmt id,
+// normalized iteration index). An event stores only the node id of the
+// innermost active loop iteration, so a million-event trace costs one
+// 32-byte record per event, not a vector of loop counters each.
+//
+// Budgets: recording stops growing past `limits.maxEvents` events or
+// `limits.maxElements` distinct storage elements. Overflow is never
+// silent — the flags below flip, dropped work is counted, and the
+// validator degrades every no-witness answer to an explicit
+// `Unvalidated` verdict (a witness found before the overflow still
+// refutes soundly).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fortran/ast.h"
+
+namespace ps::interp {
+
+/// Caps on trace growth; exceeded caps degrade, never abort the run.
+struct TraceLimits {
+  long long maxEvents = 1'000'000;
+  long long maxElements = 1 << 18;
+};
+
+/// One iteration-context trie node: `loop` is the DO statement, `iter`
+/// the normalized iteration index (0-based trip count, not the IV value —
+/// comparable across schedules regardless of step sign).
+struct IterNode {
+  std::int32_t parent = -1;  // -1 = outside any loop
+  fortran::StmtId loop = fortran::kInvalidStmt;
+  long long iter = 0;
+};
+
+/// One recorded access. Events appear in execution order, so the vector
+/// index doubles as the serial sequence number.
+struct TraceEvent {
+  fortran::StmtId stmt = fortran::kInvalidStmt;
+  std::uint32_t element = 0;  // dense element id (see Trace::elementVar)
+  std::int32_t ctx = -1;      // iteration-context node, -1 = no loop
+  bool isWrite = false;
+};
+
+/// A read of a storage element no write (or READ statement) has touched
+/// yet: likely an uninitialized use. Tallied with the originating
+/// statement so reports map back to source lines.
+struct UninitRead {
+  fortran::StmtId stmt = fortran::kInvalidStmt;
+  std::string variable;
+};
+
+/// The recorded trace of one serial execution.
+struct Trace {
+  TraceLimits limits;
+  std::vector<TraceEvent> events;
+  std::vector<IterNode> nodes;
+  /// Element id -> variable name of the first access (aliased formals may
+  /// reach the same element under several names; the first one wins, which
+  /// is deterministic for a deterministic execution).
+  std::vector<std::string> elementVar;
+  /// First few suspected uninitialized reads (capped; `uninitReadCount`
+  /// keeps the true total).
+  std::vector<UninitRead> uninitReads;
+  long long uninitReadCount = 0;
+
+  bool eventsOverflowed = false;
+  bool elementsSaturated = false;
+  long long eventsDropped = 0;
+
+  /// True when every access of the run was recorded: only then can the
+  /// absence of a witness confirm a deletion as safe.
+  [[nodiscard]] bool complete() const {
+    return !eventsOverflowed && !elementsSaturated;
+  }
+
+  /// Normalized iteration of `loop` in context `ctx`; -1 when the context
+  /// is not (transitively) inside an iteration of that loop.
+  [[nodiscard]] long long iterOf(std::int32_t ctx,
+                                 fortran::StmtId loop) const {
+    while (ctx >= 0) {
+      const IterNode& n = nodes[static_cast<std::size_t>(ctx)];
+      if (n.loop == loop) return n.iter;
+      ctx = n.parent;
+    }
+    return -1;
+  }
+};
+
+}  // namespace ps::interp
+
+#endif  // PS_INTERP_TRACE_H

@@ -39,6 +39,9 @@ struct Value {
 /// detector can use raw cell addresses as identities.
 struct Storage {
   fortran::TypeKind type = fortran::TypeKind::Real;
+  /// Creation order within one machine run; distinguishes storage
+  /// lifetimes whose heap addresses the allocator happens to reuse.
+  std::uint64_t serial = 0;
   std::vector<double> realCells;
   std::vector<long long> intCells;
   std::vector<char> logicalCells;
@@ -88,9 +91,13 @@ struct CellRef {
   Storage* storage = nullptr;
   std::size_t offset = 0;
 
-  /// A stable, comparable identity for the race detector.
-  using Address = std::pair<const Storage*, std::size_t>;
-  [[nodiscard]] Address address() const { return {storage, offset}; }
+  /// A stable, comparable identity for the race detector and the trace
+  /// recorder. Keyed by the storage's creation serial, not its heap
+  /// address: the allocator may hand a freed local's address to a later
+  /// call frame, and a pointer key would silently alias the two lifetimes
+  /// (making trace element ids depend on heap history).
+  using Address = std::pair<std::uint64_t, std::size_t>;
+  [[nodiscard]] Address address() const { return {storage->serial, offset}; }
 };
 
 }  // namespace ps::interp

@@ -42,7 +42,7 @@
 
 namespace ps::pdb {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr std::uint32_t kEndianTag = 0x01020304;
 inline constexpr std::uint64_t kKeySeed = 0;
 inline constexpr std::uint64_t kVerifySeed = 0x5ca1ab1e0ddba11ULL;
@@ -51,6 +51,7 @@ enum class RecordType : std::uint32_t {
   Summary = 1,  // one interprocedural summary per procedure
   Graph = 2,    // one dependence-graph slice per procedure
   Memo = 3,     // the session-wide DepMemo snapshot
+  Marks = 4,    // the session's user/validator dependence marks + evidence
 };
 
 /// Compiler/configuration fingerprint baked into the header. Two builds

@@ -40,6 +40,14 @@ std::string DegradationReport::str() const {
     out << "  " << e.procedure << " dep#" << e.depId << " " << e.type
         << " on " << e.variable << " level " << e.level << "\n";
   }
+  if (!unvalidated.empty()) {
+    out << "  " << unvalidated.size()
+        << " deletion(s) unvalidated by the last dynamic check:\n";
+    for (const auto& e : unvalidated) {
+      out << "    " << e.procedure << " dep#" << e.depId << " " << e.type
+          << " on " << e.variable << " level " << e.level << "\n";
+    }
+  }
   return out.str();
 }
 
@@ -188,6 +196,8 @@ std::string Session::pdbGraphMaterial(const std::string& name) const {
     m += std::to_string(static_cast<int>(rec.mark));
     m += ',';
     m += rec.reason;
+    m += ',';
+    m += rec.evidence;  // reapplyMarks writes it into stored edges
     m += ';';
   }
   m += "|SUMS|";
@@ -222,6 +232,24 @@ std::string Session::pdbMemoMaterial() const {
     m += ';';
   }
   appendBudgetKey(m, budget_);
+  return m;
+}
+
+std::string Session::pdbMarksMaterial() const {
+  // Marks are keyed by statement-id signatures, which are only meaningful
+  // against the exact program text that produced them (ids are assigned in
+  // parse order). Digesting every unit's normalized text plus the fact
+  // base means a stored mark set can only restore onto the same program.
+  std::string m = "MARKS|";
+  for (const auto& u : program_->units) {
+    m += fortran::printProcedure(*u);
+    m += '|';
+  }
+  m += "ASSERT|";
+  for (const auto& a : assertions_) {
+    m += a.text;
+    m += ';';
+  }
   return m;
 }
 
@@ -264,6 +292,25 @@ bool Session::savePdb(const std::string& path) {
     // (>= our floor) are proven fresh against OUR fact-base digest.
     dep::writeMemoEntries(w, memo_->exportEntries(memoView_));
     store.add(pdb::RecordType::Memo, pdb::contentKey(material),
+              pdb::sealPayload(material, w.data()));
+  }
+  // User/validator dependence marks with their provenance and validation
+  // evidence: without this record a warm open restores graph slices whose
+  // edges carry marks, but loses the session-side mark table that keeps
+  // them alive across re-analysis (and keys every graph record).
+  if (!marks_.empty()) {
+    const std::string material = pdbMarksMaterial();
+    pdb::Writer w;
+    w.u32(static_cast<std::uint32_t>(marks_.size()));
+    for (const auto& [sig, rec] : marks_) {
+      w.str(sig);
+      w.u8(static_cast<std::uint8_t>(rec.mark));
+      w.str(rec.reason);
+      w.str(rec.origin);
+      w.str(rec.deck);
+      w.str(rec.evidence);
+    }
+    store.add(pdb::RecordType::Marks, pdb::contentKey(material),
               pdb::sealPayload(material, w.data()));
   }
   const support::IoStatus io = support::writeFileAtomicEx(path, store.bytes());
@@ -380,6 +427,43 @@ std::unique_ptr<Session> Session::attach(std::string_view source,
     });
   }
   for (const auto& p : payloads) session->addAssertion(p);
+
+  // Dependence marks (with provenance + validation evidence). Restored
+  // BEFORE any graph-record lookup: the MARKS section is part of every
+  // graph record's key material, so the table must hold its final contents
+  // when pdbGraphMaterial renders. All-or-nothing: a record that fails any
+  // structural check restores no marks and is quarantined.
+  if (usable) {
+    const std::string material = session->pdbMarksMaterial();
+    if (auto body = store.verifiedFind(pdb::RecordType::Marks, material)) {
+      pdb::Reader r(*body);
+      const std::uint32_t n = r.u32();
+      constexpr std::uint32_t kMaxMarks = 1U << 20;
+      bool valid = r.ok() && n <= kMaxMarks;
+      std::map<std::string, MarkRecord> restored;
+      for (std::uint32_t i = 0; valid && i < n; ++i) {
+        std::string sig = r.str();
+        const std::uint8_t mark = r.u8();
+        MarkRecord rec;
+        rec.reason = r.str();
+        rec.origin = r.str();
+        rec.deck = r.str();
+        rec.evidence = r.str();
+        if (!r.ok() ||
+            mark > static_cast<std::uint8_t>(dep::DepMark::Rejected)) {
+          valid = false;
+          break;
+        }
+        rec.mark = static_cast<dep::DepMark>(mark);
+        restored[std::move(sig)] = std::move(rec);
+      }
+      if (valid && r.atEnd()) {
+        session->marks_ = std::move(restored);
+      } else {
+        ++ps.quarantined;
+      }
+    }
+  }
 
   // Memo pre-warm, guarded by the fact-base digest.
   if (usable && session->incrementalUpdates_) {
@@ -843,6 +927,7 @@ void Session::reapplyMarks(dep::DependenceGraph& g) const {
     if (it != marks_.end()) {
       d.mark = it->second.mark;
       d.reason = it->second.reason;
+      d.evidence = it->second.evidence;
     }
   }
 }
@@ -972,6 +1057,7 @@ DegradationReport Session::degradationReport() const {
           {name, d.id, dep::depTypeName(d.type), d.variable, d.level});
     }
   }
+  r.unvalidated = unvalidatedDeletions_;
   r.fmDegraded = stats_.fmDegraded;
   r.degradedAnswers = stats_.degradedAnswers;
   r.linearizeDegraded = stats_.linearizeDegraded;
@@ -1231,7 +1317,8 @@ void Session::clearVariableFilter() { varFilter_.reset(); }
 // ---------------------------------------------------------------------------
 
 bool Session::markDependence(std::uint32_t id, dep::DepMark mark,
-                             const std::string& reason) {
+                             const std::string& reason,
+                             const std::string& origin) {
   transform::Workspace& ws = wsFor(current_);
   dep::Dependence* d = ws.graph->byId(id);
   if (!d) return false;
@@ -1241,13 +1328,16 @@ bool Session::markDependence(std::uint32_t id, dep::DepMark mark,
   }
   d->mark = mark;
   d->reason = reason;
-  marks_[depSignature(*d)] = {mark, reason};
+  // A re-mark supersedes any validation evidence attached to the old mark.
+  d->evidence.clear();
+  marks_[depSignature(*d)] = {mark, reason, origin, deckName_, ""};
   if (mark == dep::DepMark::Rejected) ++counters_.dependenceDeletions;
   return true;
 }
 
 int Session::markAllMatching(const DependenceFilter& f, dep::DepMark mark,
-                             const std::string& reason) {
+                             const std::string& reason,
+                             const std::string& origin) {
   transform::Workspace& ws = wsFor(current_);
   Loop* cur = currentLoop_ != fortran::kInvalidStmt
                   ? ws.loopOf(currentLoop_)
@@ -1266,7 +1356,8 @@ int Session::markAllMatching(const DependenceFilter& f, dep::DepMark mark,
     }
     d.mark = mark;
     d.reason = reason;
-    marks_[depSignature(d)] = {mark, reason};
+    d.evidence.clear();
+    marks_[depSignature(d)] = {mark, reason, origin, deckName_, ""};
     ++n;
     if (mark == dep::DepMark::Rejected) ++counters_.dependenceDeletions;
   }
@@ -1754,6 +1845,298 @@ std::vector<LoopEstimate> Session::hotLoops() {
 interp::RunResult Session::profile(const interp::RunOptions& opts) {
   interp::Machine m(*program_);
   return m.run(opts);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic dependence validation
+// ---------------------------------------------------------------------------
+
+validate::ValidationReport Session::validateDeletions(
+    const ValidationOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  // Validation judges the CURRENT graphs: settle deferred edits first so a
+  // stale graph cannot mislabel an edge.
+  settleEdits();
+  validate::ValidationReport rep;
+  unvalidatedDeletions_.clear();
+
+  interp::Trace trace;
+  trace.limits.maxEvents = opts.budget.maxEvents;
+  trace.limits.maxElements = opts.budget.maxElements;
+  interp::RunOptions ro = opts.run;
+  ro.checkParallel = false;  // the serial reference semantics
+  ro.maxSteps = opts.budget.maxSteps;
+  ro.trace = &trace;
+
+  const auto t0 = Clock::now();
+  interp::RunResult serial;
+  {
+    interp::Machine m(*program_);
+    serial = m.run(ro);
+  }
+  rep.traceSeconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  rep.events = static_cast<long long>(trace.events.size());
+  rep.traceComplete = trace.complete();
+  rep.uninitReads = trace.uninitReadCount;
+
+  // Tag one deleted edge as explicitly unchecked: evidence on the edge and
+  // its mark record, plus a DegradationReport::unvalidated row.
+  auto tagUnvalidated = [&](const std::string& proc, dep::Dependence& d,
+                            const std::string& why) {
+    d.evidence = "unvalidated: " + why;
+    auto it = marks_.find(depSignature(d));
+    if (it != marks_.end()) it->second.evidence = d.evidence;
+    unvalidatedDeletions_.push_back(
+        {proc, d.id, dep::depTypeName(d.type), d.variable, d.level});
+    ++rep.unvalidated;
+  };
+
+  // Auto-restore one refuted deletion, naming the deletion's provenance
+  // (who deleted it, in which deck, and their stated reason) in the
+  // structured failure report.
+  auto restoreDeletion = [&](const std::string& proc, dep::Dependence& d,
+                             const std::string& evidence,
+                             const std::string& how) {
+    const std::string sig = depSignature(d);
+    std::string origin = "user";
+    std::string deck = deckName_;
+    std::string why = d.reason;
+    auto it = marks_.find(sig);
+    if (it != marks_.end()) {
+      if (!it->second.origin.empty()) origin = it->second.origin;
+      if (!it->second.deck.empty()) deck = it->second.deck;
+      if (!it->second.reason.empty()) why = it->second.reason;
+    }
+    std::ostringstream os;
+    os << "unsound deletion auto-restored: " << proc << " dep#" << d.id
+       << ' ' << dep::depTypeName(d.type) << " on " << d.variable << " stmt"
+       << d.srcStmt << "->stmt" << d.dstStmt << " level " << d.level
+       << " (deleted by " << origin;
+    if (!deck.empty()) os << " in deck '" << deck << '\'';
+    if (!why.empty()) os << ", reason: " << why;
+    os << "); " << evidence;
+    recordFailure("validateDeletions", os.str(), /*rolledBack=*/true);
+    d.mark = dep::DepMark::Pending;
+    d.reason = "auto-restored: " + how;
+    d.evidence = evidence;
+    // The mark record must flip too, or the next reapplyMarks would
+    // re-reject the edge this pass just restored.
+    marks_[sig] = {dep::DepMark::Pending, d.reason, "validator", deckName_,
+                   evidence};
+    // No longer an unchecked deletion, whatever an earlier phase recorded.
+    unvalidatedDeletions_.erase(
+        std::remove_if(unvalidatedDeletions_.begin(),
+                       unvalidatedDeletions_.end(),
+                       [&](const DegradationReport::Edge& e) {
+                         return e.procedure == proc && e.depId == d.id;
+                       }),
+        unvalidatedDeletions_.end());
+  };
+
+  if (!serial.ok) {
+    rep.error = serial.error;
+    rep.errorStmt = serial.errorStmt;
+    // The input never ran to completion, so nothing dynamic can be
+    // concluded: every deletion degrades to an explicit unvalidated tag.
+    for (const auto& u : program_->units) {
+      transform::Workspace& ws = wsFor(u->name);
+      for (auto& d : ws.graph->allMutable()) {
+        if (d.mark != dep::DepMark::Rejected) continue;
+        ++rep.checked;
+        tagUnvalidated(u->name, d, "trace run failed: " + serial.error);
+      }
+    }
+    lastValidation_ = rep;
+    return rep;
+  }
+  rep.ran = true;
+
+  const auto t1 = Clock::now();
+  validate::TraceIndex index(trace);
+
+  // (procedure, dep id) pairs the trace pass confirmed safe — the relative
+  // phase never blanket-restores those.
+  std::set<std::pair<std::string, std::uint32_t>> safe;
+
+  for (const auto& u : program_->units) {
+    const std::string& name = u->name;
+    transform::Workspace& ws = wsFor(name);
+    for (auto& d : ws.graph->allMutable()) {
+      const bool rejected = d.mark == dep::DepMark::Rejected;
+      if (!rejected && d.mark != dep::DepMark::Pending) continue;
+      // Pending control edges are structural; the dynamic checks have
+      // nothing to say about them, and reporting every one as unvalidated
+      // would drown the findings. A *deleted* control edge is still tagged.
+      if (d.type == dep::DepType::Control && !rejected) continue;
+
+      validate::EdgeQuery q;
+      q.procedure = name;
+      q.depId = d.id;
+      q.type = d.type;
+      q.srcStmt = d.srcStmt;
+      q.dstStmt = d.dstStmt;
+      q.variable = d.variable;
+      q.level = d.level;
+      q.carrierLoop = d.carrierLoop;
+      q.mark = d.mark;
+      q.supported = !d.interprocedural && d.type != dep::DepType::Control &&
+                    (d.origin == dep::DepOrigin::ArrayPair ||
+                     d.origin == dep::DepOrigin::Scalar);
+      if (d.commonLoop != fortran::kInvalidStmt) {
+        if (ir::Loop* common = ws.model->loopByDoStmt(d.commonLoop)) {
+          for (const ir::Loop* l : common->nestPath()) {
+            q.commonLoops.push_back(l->stmt->id);
+          }
+        } else {
+          q.supported = false;  // graph/model disagree: do not guess
+        }
+      }
+
+      ++rep.checked;
+      validate::Finding f;
+      f.edge = q;
+      std::string witness;
+      if (q.supported && index.findWitness(q, &witness)) {
+        f.evidence = "trace witness: " + witness;
+        if (rejected) {
+          f.verdict = validate::Verdict::RefutedDeletion;
+          ++rep.refuted;
+          restoreDeletion(name, d, f.evidence,
+                          "trace witness refutes deletion");
+          ++rep.restored;
+        } else {
+          f.verdict = validate::Verdict::WitnessFound;
+          d.evidence = f.evidence;
+          ++rep.witnessedPending;
+        }
+      } else if (!q.supported) {
+        f.verdict = validate::Verdict::Unvalidated;
+        f.evidence = "edge shape unsupported by the trace matcher";
+        if (rejected) {
+          tagUnvalidated(name, d, f.evidence);
+        } else {
+          ++rep.unvalidated;
+        }
+      } else if (!trace.complete()) {
+        f.verdict = validate::Verdict::Unvalidated;
+        f.evidence = "trace incomplete (budget overflow)";
+        if (rejected) {
+          tagUnvalidated(name, d, f.evidence);
+        } else {
+          ++rep.unvalidated;
+        }
+      } else if (rejected) {
+        f.verdict = validate::Verdict::ConfirmedSafe;
+        f.evidence = "trace: no witness in " + std::to_string(rep.events) +
+                     " events (complete trace)";
+        d.evidence = f.evidence;
+        auto it = marks_.find(depSignature(d));
+        if (it != marks_.end()) it->second.evidence = d.evidence;
+        safe.insert({name, d.id});
+        ++rep.confirmedSafe;
+      } else {
+        f.verdict = validate::Verdict::NoWitness;
+        f.evidence = "trace: unobserved on this input";
+        d.evidence = f.evidence;
+        ++rep.noWitness;
+      }
+      rep.findings.push_back(std::move(f));
+    }
+  }
+
+  // Relative execution: loops whose surviving deletions claim parallelism
+  // get run under shuffled schedules and diffed against the serial output.
+  // This catches unsound deletions the trace matcher could not attribute
+  // (interprocedural summary edges, overflowed traces).
+  if (opts.relativeChecks && opts.budget.maxRelativeChecks > 0) {
+    struct Candidate {
+      std::string proc;
+      fortran::StmtId loop;
+    };
+    std::vector<Candidate> cands;
+    for (const auto& u : program_->units) {
+      transform::Workspace& ws = wsFor(u->name);
+      for (const auto& l : ws.model->loops()) {
+        bool hasDeleted = false;
+        for (const auto& d : ws.graph->all()) {
+          if (d.mark == dep::DepMark::Rejected && d.loopCarried() &&
+              d.carrierLoop == l->stmt->id) {
+            hasDeleted = true;
+            break;
+          }
+        }
+        // Only loops whose deletions actually claim parallelism: anywhere
+        // else a deleted edge changes nothing the run could observe.
+        if (hasDeleted && ws.graph->parallelizable(*l)) {
+          cands.push_back({u->name, l->stmt->id});
+        }
+      }
+    }
+    for (const Candidate& c : cands) {
+      if (rep.relativeChecks >= opts.budget.maxRelativeChecks) break;
+      interp::RunOptions base = opts.run;
+      base.maxSteps = opts.budget.maxSteps;
+      validate::RelativeResult rr = validate::relativeCheck(
+          *program_, c.loop, base, serial, opts.budget.schedules);
+      ++rep.relativeChecks;
+      if (rr.diverged) {
+        ++rep.relativeDivergences;
+        transform::Workspace& ws = wsFor(c.proc);
+        std::vector<dep::Dependence*> carried;
+        for (auto& d : ws.graph->allMutable()) {
+          if (d.mark == dep::DepMark::Rejected && d.loopCarried() &&
+              d.carrierLoop == c.loop) {
+            carried.push_back(&d);
+          }
+        }
+        // Restore the deletions the divergence implicates: by race
+        // variable when the detector named one, otherwise every deleted
+        // edge on this loop the trace did not confirm safe (the divergence
+        // proves at least one of them real but cannot say which).
+        std::vector<dep::Dependence*> toRestore;
+        if (!rr.raceVariables.empty()) {
+          for (dep::Dependence* d : carried) {
+            if (std::find(rr.raceVariables.begin(), rr.raceVariables.end(),
+                          d->variable) != rr.raceVariables.end()) {
+              toRestore.push_back(d);
+            }
+          }
+        }
+        if (toRestore.empty()) {
+          for (dep::Dependence* d : carried) {
+            if (!safe.count({c.proc, d->id})) toRestore.push_back(d);
+          }
+        }
+        if (toRestore.empty()) toRestore = carried;
+        for (dep::Dependence* d : toRestore) {
+          validate::Finding f;
+          f.edge.procedure = c.proc;
+          f.edge.depId = d->id;
+          f.edge.type = d->type;
+          f.edge.srcStmt = d->srcStmt;
+          f.edge.dstStmt = d->dstStmt;
+          f.edge.variable = d->variable;
+          f.edge.level = d->level;
+          f.edge.carrierLoop = d->carrierLoop;
+          f.edge.mark = d->mark;
+          f.verdict = validate::Verdict::RefutedDeletion;
+          f.evidence = "relative execution: " + rr.detail;
+          ++rep.refuted;
+          restoreDeletion(c.proc, *d, f.evidence,
+                          "relative execution diverged");
+          ++rep.restored;
+          safe.erase({c.proc, d->id});
+          rep.findings.push_back(std::move(f));
+        }
+      }
+      rep.relative.push_back(std::move(rr));
+    }
+  }
+
+  rep.validateSeconds =
+      std::chrono::duration<double>(Clock::now() - t1).count();
+  lastValidation_ = rep;
+  return rep;
 }
 
 // ---------------------------------------------------------------------------

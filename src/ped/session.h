@@ -18,6 +18,7 @@
 #include "support/diagnostics.h"
 #include "support/taskpool.h"
 #include "transform/transform.h"
+#include "validate/validate.h"
 
 namespace ps::ped {
 
@@ -63,14 +64,20 @@ struct DegradationReport {
     int level = 0;
   };
   std::vector<Edge> edges;
+  /// Rejected (user-deleted) edges the last validation pass could not
+  /// check — trace overflow, unsupported edge shape, or a failed trace
+  /// run. These deletions are still trusted, but explicitly untrusted-by-
+  /// evidence rather than silently passed.
+  std::vector<Edge> unvalidated;
   long long fmDegraded = 0;
   long long degradedAnswers = 0;
   long long linearizeDegraded = 0;
   long long symbolicTruncated = 0;
 
   [[nodiscard]] bool empty() const {
-    return edges.empty() && fmDegraded == 0 && degradedAnswers == 0 &&
-           linearizeDegraded == 0 && symbolicTruncated == 0;
+    return edges.empty() && unvalidated.empty() && fmDegraded == 0 &&
+           degradedAnswers == 0 && linearizeDegraded == 0 &&
+           symbolicTruncated == 0;
   }
   [[nodiscard]] std::string str() const;
 };
@@ -296,12 +303,17 @@ class Session {
   // Dependence marking (and the Mark Dependences power-steering dialog)
   // ---------------------------------------------------------------------
 
+  /// `origin` records WHO made the mark ("user", a tool name, or
+  /// "validator" for auto-restores) — provenance that mismatch reports
+  /// name when a deletion turns out unsound.
   bool markDependence(std::uint32_t id, dep::DepMark mark,
-                      const std::string& reason);
+                      const std::string& reason,
+                      const std::string& origin = "user");
   /// Classify every dependence matching the filter in one step; returns the
   /// number marked.
   int markAllMatching(const DependenceFilter& f, dep::DepMark mark,
-                      const std::string& reason);
+                      const std::string& reason,
+                      const std::string& origin = "user");
 
   // ---------------------------------------------------------------------
   // Variable classification (and Classify Variables dialog)
@@ -372,6 +384,45 @@ class Session {
   /// Execute the program with the interpreter, yielding the profile the
   /// workshop users got from gprof.
   [[nodiscard]] interp::RunResult profile(const interp::RunOptions& opts = {});
+
+  // ---------------------------------------------------------------------
+  // Dynamic dependence validation (trace-backed deletion checking)
+  // ---------------------------------------------------------------------
+
+  struct ValidationOptions {
+    validate::ValidationBudget budget;
+    /// Base interpreter options for the traced serial run and the relative
+    /// executions (input values, step limit overridden by the budget).
+    interp::RunOptions run;
+    /// Also relative-execute loops whose deletions make them parallel.
+    bool relativeChecks = true;
+  };
+
+  /// Replay the program serially under the trace recorder and check every
+  /// Rejected (user-deleted) and Pending dependence edge against the
+  /// observed memory accesses. A deletion refuted by a trace witness is
+  /// UNSOUND: the edge is auto-restored to Pending, the restore is recorded
+  /// as a FailureReport naming the deletion's provenance (origin, deck,
+  /// statements), and the witness is attached as evidence. Deletions with a
+  /// complete trace and no witness are tagged confirmed-safe (evidence
+  /// persists through savePdb/openWarm). Edges the pass cannot check —
+  /// budget overflow, unsupported shape, failed run — degrade to an
+  /// explicit `unvalidated` tag surfaced via degradationReport(), never a
+  /// silent pass. Never throws; a crashing program yields ran=false with
+  /// the faulting statement id.
+  validate::ValidationReport validateDeletions(const ValidationOptions& opts);
+  validate::ValidationReport validateDeletions() {
+    return validateDeletions(ValidationOptions());
+  }
+
+  /// Result of the most recent validateDeletions() pass.
+  [[nodiscard]] const validate::ValidationReport& lastValidation() const {
+    return lastValidation_;
+  }
+
+  /// Deck name used for mark provenance and reports (set by loaders).
+  void setDeckName(std::string name) { deckName_ = std::move(name); }
+  [[nodiscard]] const std::string& deckName() const { return deckName_; }
 
   // ---------------------------------------------------------------------
   // Interface checking (the Composition Editor)
@@ -526,6 +577,7 @@ class Session {
   [[nodiscard]] std::string pdbSummaryMaterial(const std::string& name) const;
   [[nodiscard]] std::string pdbGraphMaterial(const std::string& name) const;
   [[nodiscard]] std::string pdbMemoMaterial() const;
+  [[nodiscard]] std::string pdbMarksMaterial() const;
   dep::AnalysisContext contextFor(const std::string& name);
   /// Pure variant of contextFor for parallel per-procedure tasks: the
   /// oracle and stats sink are supplied by the caller, so nothing in the
@@ -579,8 +631,13 @@ class Session {
   std::vector<Assertion> assertions_;
   /// Dependence marks survive reanalysis keyed by a stable signature.
   struct MarkRecord {
-    dep::DepMark mark;
+    dep::DepMark mark = dep::DepMark::Pending;
     std::string reason;
+    /// Provenance: who set the mark ("user", tool name, "validator"),
+    /// in which deck, and any validation evidence attached since.
+    std::string origin = "user";
+    std::string deck;
+    std::string evidence;
   };
   std::map<std::string, MarkRecord> marks_;  // key: dep signature
 
@@ -607,6 +664,12 @@ class Session {
   Fault fault_ = Fault::None;
   std::vector<FailureReport> failures_;
   dep::AnalysisBudget budget_;
+
+  std::string deckName_;
+  validate::ValidationReport lastValidation_;
+  /// Rejected edges the last validation pass left unchecked (feeds
+  /// DegradationReport::unvalidated).
+  std::vector<DegradationReport::Edge> unvalidatedDeletions_;
 
   std::string current_;
   fortran::StmtId currentLoop_ = fortran::kInvalidStmt;

@@ -17,6 +17,7 @@ std::unique_ptr<ped::Session> loadDeck(const std::string& name) {
   ps::DiagnosticEngine diags;
   auto session = ped::Session::load(w->source, diags);
   if (!session || diags.hasErrors()) return nullptr;
+  session->setDeckName(name);
   return session;
 }
 
@@ -31,6 +32,7 @@ std::string serializeDep(const dep::Dependence& d) {
      << dep::depMarkName(d.mark) << " origin=" << static_cast<int>(d.origin)
      << " interproc=" << d.interprocedural << " degraded=" << d.degraded
      << " reason=" << d.reason;
+  if (!d.evidence.empty()) os << " evidence=" << d.evidence;
   return os.str();
 }
 

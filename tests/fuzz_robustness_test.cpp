@@ -51,6 +51,28 @@ void maybeParallelAnalyze(ped::Session& s) {
   if (int n = fuzzParallelThreads()) (void)s.analyzeParallel(n);
 }
 
+// PS_VALIDATE=1 runs a dynamic-validation pass after each analyzed cycle:
+// the traced interpreter run, the witness matcher and any auto-restores
+// must hold up on mutated decks too — diagnostics or clean verdicts,
+// never a crash, never an audit violation.
+bool fuzzValidate() {
+  if (const char* env = std::getenv("PS_VALIDATE")) {
+    return std::atoi(env) > 0;
+  }
+  return false;
+}
+
+void maybeValidate(ped::Session& s) {
+  if (!fuzzValidate()) return;
+  ped::Session::ValidationOptions opts;
+  opts.budget.maxEvents = 200'000;   // keep the fuzz corpus fast
+  opts.budget.maxSteps = 2'000'000;
+  opts.budget.maxRelativeChecks = 2;
+  validate::ValidationReport rep = s.validateDeletions(opts);
+  // ran == false is fine (mutated decks crash); silence is what's banned.
+  if (!rep.ran) EXPECT_FALSE(rep.error.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Source mutators. Each takes the rng and returns a mutated copy; all are
 // byte-level so they can produce every flavor of malformed fixed-form deck:
@@ -212,6 +234,13 @@ TEST(FuzzRobustness, MutatedSourceLoadsNeverCrashOrCorrupt) {
       EXPECT_TRUE(after.ok())
           << "post-analysis audit, iteration " << i << " (" << w.name
           << "): " << after.str();
+      if (i % 16 == 0) {
+        maybeValidate(*session);
+        audit::Report postValidate = session->auditNow(false);
+        EXPECT_TRUE(postValidate.ok())
+            << "post-validation audit, iteration " << i << " (" << w.name
+            << "): " << postValidate.str();
+      }
     }
   }
   // The mutators must actually produce both outcomes, or they are too tame
