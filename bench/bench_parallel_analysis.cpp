@@ -83,8 +83,8 @@ void printIdleHistograms(int threads) {
               "%.1fms analysis):\n",
               r.threads, static_cast<unsigned long long>(r.tasksExecuted),
               static_cast<unsigned long long>(r.steals), r.seconds * 1e3);
-  std::printf("  %-10s %7s %9s  %s\n", "", "bouts", "idle-ms",
-              "bout-length buckets <1us..>16ms (log2)");
+  std::printf("  %-10s %7s %9s %9s %9s  %s\n", "", "bouts", "idle-ms",
+              "attempts", "fails", "bout-length buckets <1us..>16ms (log2)");
   for (std::size_t i = 0; i < r.idle.size(); ++i) {
     const auto& row = r.idle[i];
     char label[16];
@@ -93,9 +93,11 @@ void printIdleHistograms(int threads) {
     } else {
       std::snprintf(label, sizeof label, "worker %zu", i);
     }
-    std::printf("  %-10s %7llu %9.2f  [", label,
+    std::printf("  %-10s %7llu %9.2f %9llu %9llu  [", label,
                 static_cast<unsigned long long>(row.bouts),
-                static_cast<double>(row.idleNanos) / 1e6);
+                static_cast<double>(row.idleNanos) / 1e6,
+                static_cast<unsigned long long>(row.stealAttempts),
+                static_cast<unsigned long long>(row.stealFails));
     for (std::size_t b = 0; b < row.histogram.size(); ++b) {
       std::printf("%s%llu", b ? " " : "",
                   static_cast<unsigned long long>(row.histogram[b]));

@@ -54,9 +54,16 @@ PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" PS_VALIDATE=1 \
 # -fsanitize=thread and run the parallel determinism suites (whole-program
 # batch + incremental edit storm) plus the DepMemo stress test. Any data
 # race in the pool, the task DAG, the sharded memo, the pipelined summary
-# nodes or the per-nest fan-out fails CI here.
+# nodes or the per-nest fan-out fails CI here. (Under TSan the lock-free
+# substrate promotes its orderings to seq_cst — see support/lockfree.h —
+# because TSan does not model standalone fences; the structures and their
+# interleavings are otherwise the ones production runs.)
 cmake -B build-tsan -S . -DPS_TSAN=ON
-cmake --build build-tsan -j --target parallel_analysis_test edit_storm_test depmemo_concurrent_test warm_start_test pdb_persistence_test validation_test
+cmake --build build-tsan -j --target parallel_analysis_test edit_storm_test depmemo_concurrent_test warm_start_test pdb_persistence_test validation_test lockfree_test
+# Lock-free substrate stress: Chase–Lev owner-vs-thieves and resize-under-
+# steal, MPMC channel loss/dup, epoch-reclamation use-after-retire canaries,
+# DepMemo invalidation storms on BOTH backends.
+./build-tsan/tests/lockfree_test
 ./build-tsan/tests/depmemo_concurrent_test
 ./build-tsan/tests/parallel_analysis_test
 ./build-tsan/tests/edit_storm_test
@@ -83,3 +90,13 @@ cmake --build build-tsan -j --target server_storm_test io_atomic_test
 ./build-tsan/tests/io_atomic_test
 ./build-tsan/tests/server_storm_test
 scrub_pdb_cache
+
+# Substrate A/B stage: one pass of the storm suites pinned to each
+# substrate. PS_LOCKFREE=1 is the default path (Chase–Lev deques +
+# open-addressing memo); PS_LOCKFREE=0 is the mutex baseline that must stay
+# green for bench_contention comparisons and substrate bisection.
+for lf in 1 0; do
+  PS_LOCKFREE=$lf ./build-tsan/tests/edit_storm_test
+  PS_LOCKFREE=$lf ./build-tsan/tests/server_storm_test
+  scrub_pdb_cache
+done

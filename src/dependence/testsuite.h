@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -153,6 +154,19 @@ struct TestStats {
   void accumulate(const TestStats& o);
 };
 
+/// A memo key with its 64-bit content hash (support::xxh64) computed ONCE
+/// at construction. Shard selection, open-addressing probe starts, and
+/// equality prefiltering all reuse the cached hash, so the table never
+/// re-runs std::hash<std::string> over the (often hundreds of bytes long)
+/// canonical key text per lookup.
+struct MemoKey {
+  std::string text;
+  std::uint64_t hash = 0;
+
+  MemoKey() = default;
+  explicit MemoKey(std::string t);
+};
+
 /// Cross-build memo table for dependence-test results. The key is a
 /// canonical form of (nest shape, facts, budget, level, direction
 /// constraint, subscript-difference forms), so structurally identical pairs
@@ -163,9 +177,23 @@ struct TestStats {
 /// what recomputation would produce, which is what makes sharing one memo
 /// across SESSIONS sound.
 ///
-/// Concurrency: the table is striped into kShards independently-locked
-/// shards (hash of the key picks the shard) so parallel per-nest testers
-/// sharing one memo contend only when their keys collide on a stripe.
+/// Concurrency: the key's cached hash picks one of kShards shards. Two
+/// backends are compiled, selected at construction (PS_LOCKFREE, default
+/// on):
+///  - lock-free (default): each shard is an open-addressing slot array of
+///    tagged record pointers. A lookup is an epoch-pinned probe: load the
+///    shard's array pointer, linear-probe by the cached hash, acquire-load
+///    the record's entry box — no lock anywhere. An insert CAS-claims the
+///    first empty slot (or atomically swaps a new entry box into an
+///    existing record). Growth seals the old array (CASing every empty
+///    slot to a sentinel so no claim can land), migrates the stable record
+///    pointers into a doubled array, publishes it, and retires the old
+///    array through epoch-based reclamation — concurrent readers finish
+///    their probes on the superseded array, which stays valid until every
+///    pinned reader is gone. Entries are never deleted (invalidation is
+///    lazy, via the epoch windows below), so there are no tombstones.
+///  - mutex (PS_LOCKFREE=0): the original independently-locked
+///    unordered_map stripes, kept as the A/B baseline for bench_contention.
 ///
 /// Invalidation is per-VIEW. A view is one client's (one session's) window
 /// onto the shared table: every entry carries the global epoch captured by
@@ -187,10 +215,14 @@ class DepMemo {
   using ViewId = std::uint32_t;
 
   /// Construction registers view 0 — the default view standalone sessions
-  /// (and the existing single-session tests) use.
-  DepMemo() : floors_(1, 0) {}
+  /// (and the existing single-session tests) use. `lockfree` overrides the
+  /// PS_LOCKFREE default (bench_contention A/Bs both backends in-process).
+  explicit DepMemo(std::optional<bool> lockfree = std::nullopt);
+  ~DepMemo();
   DepMemo(const DepMemo&) = delete;
   DepMemo& operator=(const DepMemo&) = delete;
+
+  [[nodiscard]] bool lockfree() const { return lockfree_; }
 
   /// Register a new view with floor 0: it sees every entry the table has
   /// accumulated so far (the whole shared warm state).
@@ -204,20 +236,33 @@ class DepMemo {
 
   /// Returns a copy of the cached result for `key` if its stamp lies in
   /// [floor, cap]; nullopt on miss. Returned by value: a pointer into the
-  /// table would not survive concurrent rehash.
-  [[nodiscard]] std::optional<LevelResult> lookup(const std::string& key,
+  /// table would not survive concurrent rehash/retirement.
+  [[nodiscard]] std::optional<LevelResult> lookup(const MemoKey& key,
                                                   std::uint64_t floor,
                                                   std::uint64_t cap) const;
+  [[nodiscard]] std::optional<LevelResult> lookup(const std::string& key,
+                                                  std::uint64_t floor,
+                                                  std::uint64_t cap) const {
+    return lookup(MemoKey(key), floor, cap);
+  }
   /// Single-generation form (floor == cap): the original exact-match
   /// contract, used by clients that capture one generation.
-  [[nodiscard]] std::optional<LevelResult> lookup(const std::string& key,
+  [[nodiscard]] std::optional<LevelResult> lookup(const MemoKey& key,
                                                   std::uint64_t gen) const {
     return lookup(key, gen, gen);
   }
+  [[nodiscard]] std::optional<LevelResult> lookup(const std::string& key,
+                                                  std::uint64_t gen) const {
+    return lookup(MemoKey(key), gen, gen);
+  }
   /// Record `result` stamped with `gen` (the epoch the inserting tester
   /// captured at construction, NOT the current one).
-  void insert(const std::string& key, const LevelResult& result,
+  void insert(const MemoKey& key, const LevelResult& result,
               std::uint64_t gen);
+  void insert(const std::string& key, const LevelResult& result,
+              std::uint64_t gen) {
+    insert(MemoKey(key), result, gen);
+  }
   /// The current epoch. Monotone: any view's invalidation advances it.
   [[nodiscard]] std::uint64_t generation() const {
     return generation_.load(std::memory_order_acquire);
@@ -236,8 +281,16 @@ class DepMemo {
   void preWarm(
       const std::vector<std::pair<std::string, LevelResult>>& entries);
 
+  /// Slot-claim CASes lost to a racing writer plus respins on a sealed
+  /// (mid-growth) array — the lock-free backend's contention measure,
+  /// reported by bench_contention. Always 0 on the mutex backend.
+  [[nodiscard]] std::uint64_t contentionRetries() const {
+    return casRetries_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kInitialSlots = 64;
 
   struct Entry {
     LevelResult result;
@@ -248,11 +301,49 @@ class DepMemo {
     std::unordered_map<std::string, Entry> table;
   };
 
-  [[nodiscard]] Shard& shardFor(const std::string& key) const {
-    return shards_[std::hash<std::string>{}(key) % kShards];
+  /// Lock-free backend: a record binds one key to an atomically swappable
+  /// entry box. Records are allocated once and stay put for the memo's
+  /// lifetime (growth migrates pointers, never copies records), so readers
+  /// may hold them without reclamation concerns; only boxes and slot
+  /// arrays are retired through the epoch domain.
+  struct LfBox {
+    LevelResult result;
+    std::uint64_t gen = 0;
+  };
+  struct LfRecord {
+    std::uint64_t hash = 0;
+    std::string key;
+    std::atomic<LfBox*> box{nullptr};
+  };
+  struct LfTable {
+    std::size_t mask = 0;  // capacity - 1, capacity a power of two
+    std::unique_ptr<std::atomic<LfRecord*>[]> slots;
+  };
+  struct LfShard {
+    std::atomic<LfTable*> table{nullptr};
+    std::atomic<std::size_t> count{0};
+    /// Serializes growth only; never taken by lookup or by an insert that
+    /// finds room. A writer that meets a sealed slot spins on `table`
+    /// until the grower publishes the doubled array.
+    std::mutex growMu;
+  };
+
+  [[nodiscard]] Shard& shardFor(const MemoKey& key) const {
+    return shards_[key.hash % kShards];
   }
 
+  [[nodiscard]] std::optional<LevelResult> lookupLf(const MemoKey& key,
+                                                    std::uint64_t floor,
+                                                    std::uint64_t cap) const;
+  void insertLf(const MemoKey& key, const LevelResult& result,
+                std::uint64_t gen);
+  /// Doubles (or creates) the shard's slot array if it still equals `from`.
+  void growShard(LfShard& sh, const LfTable* from);
+
+  const bool lockfree_;
   mutable std::array<Shard, kShards> shards_;
+  mutable std::array<LfShard, kShards> lfShards_;
+  mutable std::atomic<std::uint64_t> casRetries_{0};
   std::atomic<std::uint64_t> generation_{0};
   /// Per-view floors; guarded by viewMu_ (reads happen once per tester
   /// construction, not on the lookup hot path).
@@ -331,8 +422,10 @@ class DependenceTester {
   bool finishFm(std::vector<Constraint> cs, int level,
                 bool* degraded = nullptr);
 
-  /// Canonical memo key: nest/facts prefix + query tag + linear forms.
-  [[nodiscard]] std::string makeKey(
+  /// Canonical memo key: nest/facts prefix + query tag + linear forms. The
+  /// key's 64-bit hash is computed here, once, and rides along into shard
+  /// and slot selection.
+  [[nodiscard]] MemoKey makeKey(
       char tag, int level, int variant,
       const std::vector<dataflow::LinearExpr>& forms) const;
 

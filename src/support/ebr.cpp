@@ -1,0 +1,191 @@
+#include "support/ebr.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace ps::support {
+
+EpochDomain& EpochDomain::global() {
+  static EpochDomain domain;
+  return domain;
+}
+
+EpochDomain::EpochDomain() = default;
+
+EpochDomain::~EpochDomain() {
+  // Quiescent by contract: no thread is inside a guard or mid-retire. Some
+  // user threads may still be alive (the main thread's handle lives until
+  // process exit), so detach their handles — draining any limbo they hold,
+  // since no reader can exist anymore — before they dangle.
+  std::lock_guard<std::mutex> lk(orphanMu_);
+  for (Handle* h : handles_) {
+    for (int i = 0; i < 3; ++i) {
+      for (Retired& r : h->limbo[i]) {
+        r.deleter(r.p);
+        freed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      h->limbo[i].clear();
+    }
+    h->domain = nullptr;  // its destructor becomes a no-op
+  }
+  handles_.clear();
+  for (auto& [tag, r] : orphans_) {
+    (void)tag;
+    r.deleter(r.p);
+    freed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  orphans_.clear();
+}
+
+EpochDomain::Handle::~Handle() {
+  if (domain == nullptr) return;  // the domain died first and detached us
+  {
+    std::lock_guard<std::mutex> lk(domain->orphanMu_);
+    for (int i = 0; i < 3; ++i) {
+      for (Retired& r : limbo[i]) {
+        domain->orphans_.emplace_back(limboEpoch[i], r);
+      }
+      limbo[i].clear();
+    }
+    auto& hs = domain->handles_;
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      if (hs[i] == this) {
+        hs[i] = hs.back();
+        hs.pop_back();
+        break;
+      }
+    }
+  }
+  slot->epoch.store(kIdle, std::memory_order_release);
+  slot->used.store(false, std::memory_order_release);
+}
+
+EpochDomain::Handle& EpochDomain::handleForThisThread() {
+  // One Handle per (thread, domain). In practice only the global domain is
+  // hot, so cache the last hit; tests that build private domains pay one
+  // short vector scan.
+  struct ThreadHandles {
+    std::vector<std::unique_ptr<Handle>> handles;
+  };
+  thread_local ThreadHandles tls;
+  thread_local Handle* last = nullptr;
+  if (last != nullptr && last->domain == this) return *last;
+  for (auto& h : tls.handles) {
+    if (h->domain == this) {
+      last = h.get();
+      return *last;
+    }
+  }
+  auto h = std::make_unique<Handle>();
+  h->domain = this;
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (!slots_[i].used.load(std::memory_order_acquire)) {
+      if (slots_[i].used.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+        h->slot = &slots_[i];
+        h->slotIndex = i;
+        break;
+      }
+    }
+  }
+  if (h->slot == nullptr) {
+    throw std::runtime_error("EpochDomain: thread slot table exhausted");
+  }
+  h->slot->epoch.store(kIdle, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(orphanMu_);
+    handles_.push_back(h.get());
+  }
+  tls.handles.push_back(std::move(h));
+  last = tls.handles.back().get();
+  return *last;
+}
+
+void EpochDomain::pin(Handle& h) {
+  if (h.pinDepth++ > 0) return;
+  Slot& s = *h.slot;
+  std::uint64_t e = epoch_.load(std::memory_order_acquire);
+  for (;;) {
+    // seq_cst store + seq_cst re-load: either a concurrent advancer saw our
+    // announcement (and refused to advance past us), or we see its new
+    // epoch here and re-announce. Without the re-validation a thread could
+    // pin a stale epoch the reclaimer already considers drained.
+    s.epoch.store(e, std::memory_order_seq_cst);
+    const std::uint64_t e2 = epoch_.load(std::memory_order_seq_cst);
+    if (e2 == e) break;
+    e = e2;
+  }
+}
+
+void EpochDomain::unpin(Handle& h) {
+  if (--h.pinDepth > 0) return;
+  h.slot->epoch.store(kIdle, std::memory_order_release);
+}
+
+void EpochDomain::flushExpired(Handle& h, std::uint64_t cur) {
+  for (int i = 0; i < 3; ++i) {
+    if (h.limbo[i].empty() || cur < h.limboEpoch[i] + 2) continue;
+    for (Retired& r : h.limbo[i]) r.deleter(r.p);
+    freed_.fetch_add(h.limbo[i].size(), std::memory_order_relaxed);
+    h.limbo[i].clear();
+  }
+}
+
+bool EpochDomain::tryAdvance(Handle* h) {
+  std::uint64_t e = epoch_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    if (!slots_[i].used.load(std::memory_order_acquire)) continue;
+    const std::uint64_t se = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (se != kIdle && se != e) return false;  // a straggler is still pinned
+  }
+  if (!epoch_.compare_exchange_strong(e, e + 1, std::memory_order_acq_rel)) {
+    return false;  // someone else advanced; their flush covers the orphans
+  }
+  const std::uint64_t cur = e + 1;
+  if (h != nullptr) flushExpired(*h, cur);
+  std::lock_guard<std::mutex> lk(orphanMu_);
+  std::size_t kept = 0;
+  for (auto& [tag, r] : orphans_) {
+    if (cur >= tag + 2) {
+      r.deleter(r.p);
+      freed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      orphans_[kept++] = {tag, r};
+    }
+  }
+  orphans_.resize(kept);
+  return true;
+}
+
+void EpochDomain::retire(void* p, void (*deleter)(void*)) {
+  Handle& h = handleForThisThread();
+  const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+  const std::size_t b = static_cast<std::size_t>(e % 3);
+  if (!h.limbo[b].empty() && h.limboEpoch[b] != e) {
+    // The bucket's residents were retired at e-3 (same residue, older
+    // epoch); e >= (e-3)+2, so they are past their grace period.
+    for (Retired& r : h.limbo[b]) r.deleter(r.p);
+    freed_.fetch_add(h.limbo[b].size(), std::memory_order_relaxed);
+    h.limbo[b].clear();
+  }
+  h.limboEpoch[b] = e;
+  h.limbo[b].push_back({p, deleter});
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  if (++h.sinceAdvance >= kAdvanceEvery) {
+    h.sinceAdvance = 0;
+    tryAdvance(&h);
+  }
+}
+
+void EpochDomain::synchronize() {
+  Handle& h = handleForThisThread();
+  // Three successful advances guarantee every bucket crosses its grace
+  // period; stop early if a pinned straggler blocks progress.
+  for (int i = 0; i < 3; ++i) {
+    if (!tryAdvance(&h)) break;
+  }
+  flushExpired(h, epoch_.load(std::memory_order_acquire));
+}
+
+}  // namespace ps::support

@@ -1,0 +1,156 @@
+#ifndef PS_SUPPORT_EBR_H
+#define PS_SUPPORT_EBR_H
+
+// Epoch-based reclamation (EBR) for lock-free data structures.
+//
+// The problem: a lock-free reader may hold a pointer into a structure (a
+// DepMemo slot array, an entry box) at the exact moment a writer unlinks
+// it. The writer must not free the memory until every reader that could
+// have seen the old pointer is gone. EBR solves this with a global epoch
+// counter and per-thread announcements:
+//
+//   - A reader *pins* the current global epoch for the duration of its
+//     critical section (EpochGuard). Pinning is two relaxed-ish atomic
+//     stores on a thread-local slot — no CAS, no shared-cache-line writes
+//     besides the slot itself.
+//   - A writer that unlinks a node calls retire(node, deleter). The node
+//     is stashed in a limbo list tagged with the current epoch; nothing is
+//     freed inline.
+//   - The epoch advances only when every pinned thread has been observed
+//     in the current epoch. A node retired in epoch e is freed once the
+//     global epoch reaches e+2: any reader that could reach it pinned an
+//     epoch <= e, and for the global epoch to have advanced twice, every
+//     such reader must have unpinned. Three limbo generations per thread
+//     therefore suffice (the classic 3-epoch scheme).
+//
+// Progress: advancing is opportunistic (attempted on retire, throttled).
+// A thread that stays pinned forever stalls reclamation but never blocks
+// readers or writers — memory is the only thing that grows, which is the
+// right failure mode for an interactive analysis server.
+//
+// Thread slots: a fixed table of cache-padded slots claimed on first use
+// per thread and released at thread exit. Limbo lists owned by an exiting
+// thread are handed to a domain-level orphan list so their nodes are still
+// freed by whoever advances the epoch next.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ps::support {
+
+class EpochDomain {
+ public:
+  /// The process-wide domain. Every lock-free structure in the analysis
+  /// substrate shares it: reclamation pressure aggregates, and a thread
+  /// pins once even when touching several structures.
+  static EpochDomain& global();
+
+  EpochDomain();
+  ~EpochDomain();
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Defer `delete`-ing `p` (via `deleter`) until two epoch advances prove
+  /// no pinned reader can still reach it. May be called pinned or unpinned.
+  void retire(void* p, void (*deleter)(void*));
+
+  /// Current global epoch (telemetry / tests).
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Nodes handed to retire() so far, and nodes actually freed. The
+  /// difference is the limbo population; tests assert it stays bounded and
+  /// drains to zero at quiescence.
+  [[nodiscard]] std::uint64_t retiredCount() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t freedCount() const {
+    return freed_.load(std::memory_order_relaxed);
+  }
+
+  /// Force reclamation of everything reclaimable, advancing the epoch as
+  /// far as the current pin set allows. Quiescent callers (tests,
+  /// destructors) use this to drain limbo deterministically.
+  void synchronize();
+
+ private:
+  friend class EpochGuard;
+
+  static constexpr std::size_t kMaxThreads = 512;
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  /// Retires between opportunistic advance attempts (per thread).
+  static constexpr std::uint32_t kAdvanceEvery = 64;
+
+  struct alignas(64) Slot {
+    /// Epoch this thread is pinned at; kIdle when outside any guard.
+    std::atomic<std::uint64_t> epoch{kIdle};
+    std::atomic<bool> used{false};
+  };
+
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+  };
+
+  /// Per-thread handle: claimed slot + three limbo generations.
+  struct Handle {
+    EpochDomain* domain = nullptr;
+    Slot* slot = nullptr;
+    std::size_t slotIndex = 0;
+    int pinDepth = 0;
+    std::uint32_t sinceAdvance = 0;
+    /// limbo[e % 3] holds nodes retired while the global epoch was e; it is
+    /// freed when the global epoch next returns to e % 3 (i.e. at e+3 > e+2).
+    std::vector<Retired> limbo[3];
+    std::uint64_t limboEpoch[3] = {0, 0, 0};
+
+    ~Handle();
+  };
+
+  Handle& handleForThisThread();
+  void pin(Handle& h);
+  void unpin(Handle& h);
+  /// Try to advance the global epoch once; frees h's expired limbo
+  /// generation and a batch of expired orphans on success.
+  bool tryAdvance(Handle* h);
+  void flushExpired(Handle& h, std::uint64_t newEpoch);
+
+  std::atomic<std::uint64_t> epoch_{0};
+  Slot slots_[kMaxThreads];
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> freed_{0};
+
+  /// Limbo lists of exited threads, tagged with their retire epoch;
+  /// cold path only (thread exit, adoption during advance).
+  std::mutex orphanMu_;
+  std::vector<std::pair<std::uint64_t, Retired>> orphans_;
+  /// Live handles, so a domain dying before its user threads (a test-local
+  /// domain; the main thread's handle survives to process exit) can detach
+  /// them instead of leaving them pointing at freed slots. Under orphanMu_.
+  std::vector<Handle*> handles_;
+};
+
+/// RAII pin on the global epoch: while alive, any pointer read from a
+/// lock-free structure stays valid even if concurrently retired. Cheap and
+/// reentrant (nested guards on one thread pin once).
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochDomain& d = EpochDomain::global())
+      : domain_(d), handle_(d.handleForThisThread()) {
+    domain_.pin(handle_);
+  }
+  ~EpochGuard() { domain_.unpin(handle_); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain& domain_;
+  EpochDomain::Handle& handle_;
+};
+
+}  // namespace ps::support
+
+#endif  // PS_SUPPORT_EBR_H

@@ -72,6 +72,8 @@ thread_local WorkerIdentity tlsWorker;
 void TaskPool::IdleStats::accumulate(const IdleStats& o) {
   bouts += o.bouts;
   idleNanos += o.idleNanos;
+  stealAttempts += o.stealAttempts;
+  stealFails += o.stealFails;
   for (int i = 0; i < kBuckets; ++i) histogram[static_cast<std::size_t>(i)] +=
       o.histogram[static_cast<std::size_t>(i)];
 }
@@ -80,6 +82,8 @@ TaskPool::IdleStats TaskPool::IdleStats::since(const IdleStats& start) const {
   IdleStats d;
   d.bouts = bouts - start.bouts;
   d.idleNanos = idleNanos - start.idleNanos;
+  d.stealAttempts = stealAttempts - start.stealAttempts;
+  d.stealFails = stealFails - start.stealFails;
   for (int i = 0; i < kBuckets; ++i) {
     auto u = static_cast<std::size_t>(i);
     d.histogram[u] = histogram[u] - start.histogram[u];
@@ -87,21 +91,35 @@ TaskPool::IdleStats TaskPool::IdleStats::since(const IdleStats& start) const {
   return d;
 }
 
-TaskPool::TaskPool(int nThreads) {
+TaskPool::TaskPool(int nThreads, std::optional<bool> lockfree) {
   if (nThreads <= 0) {
     unsigned hw = std::thread::hardware_concurrency();
     nThreads = hw == 0 ? 1 : static_cast<int>(hw);
   }
   threadCount_ = nThreads;
   idle_.resize(static_cast<std::size_t>(threadCount_) + 1);
+  stealRows_.reserve(static_cast<std::size_t>(threadCount_) + 1);
+  for (int i = 0; i <= threadCount_; ++i) {
+    stealRows_.push_back(std::make_unique<StealRow>());
+  }
   if (threadCount_ == 1) {
     // Deterministic reference path: one FIFO, no workers; wait() drains the
-    // queue inline in exact submission order.
+    // queue inline in exact submission order. Substrate-independent.
     queues_.push_back(std::make_unique<Queue>());
     return;
   }
-  queues_.reserve(static_cast<std::size_t>(threadCount_));
-  for (int i = 0; i < threadCount_; ++i) queues_.push_back(std::make_unique<Queue>());
+  lockfree_ = lockfree.value_or(lockfreeDefault());
+  if (lockfree_) {
+    lf_.reserve(static_cast<std::size_t>(threadCount_));
+    for (int i = 0; i < threadCount_; ++i) {
+      lf_.push_back(std::make_unique<LfWorker>());
+    }
+  } else {
+    queues_.reserve(static_cast<std::size_t>(threadCount_));
+    for (int i = 0; i < threadCount_; ++i) {
+      queues_.push_back(std::make_unique<Queue>());
+    }
+  }
   workers_.reserve(static_cast<std::size_t>(threadCount_));
   for (int i = 0; i < threadCount_; ++i) {
     workers_.emplace_back([this, i] { workerLoop(i); });
@@ -112,17 +130,61 @@ TaskPool::~TaskPool() {
   stop_.store(true, std::memory_order_release);
   idleCv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // Abandoned tasks (a caller that never waited) are dropped, matching the
+  // mutex substrate where ~deque discards them; on the lock-free substrate
+  // they are heap nodes and must be deleted explicitly.
+  for (auto& w : lf_) {
+    void* p = nullptr;
+    while ((p = w->deque.popBottom()) != nullptr) delete static_cast<Task*>(p);
+    while (w->inbox.tryPop(&p)) delete static_cast<Task*>(p);
+  }
+}
+
+std::size_t TaskPool::telemetryRow(int slot) const {
+  return slot >= 0 && tlsWorker.pool == this && tlsWorker.slot == slot
+             ? static_cast<std::size_t>(slot)
+             : static_cast<std::size_t>(threadCount_);
+}
+
+void TaskPool::wakeOne() {
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) idleCv_.notify_one();
 }
 
 void TaskPool::submit(WaitGroup& wg, std::function<void()> fn) {
   wg.pending_.fetch_add(1, std::memory_order_acq_rel);
-  std::size_t slot =
-      nextQueue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
-  {
-    std::lock_guard<std::mutex> lk(queues_[slot]->mu);
-    queues_[slot]->tasks.push_back(Task{std::move(fn), &wg});
+  if (!lockfree_) {
+    std::size_t slot =
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    {
+      std::lock_guard<std::mutex> lk(queues_[slot]->mu);
+      queues_[slot]->tasks.push_back(Task{std::move(fn), &wg});
+    }
+    idleCv_.notify_one();
+    return;
   }
-  idleCv_.notify_one();
+  Task* task = new Task{std::move(fn), &wg};
+  if (tlsWorker.pool == this && tlsWorker.slot >= 0) {
+    // Worker thread spawning a subtask (per-nest fan-out): owner push onto
+    // its own deque — the uncontended hot path.
+    lf_[static_cast<std::size_t>(tlsWorker.slot)]->deque.pushBottom(task);
+  } else {
+    // External thread: round-robin into the per-worker submission channels.
+    const std::size_t n = lf_.size();
+    const std::size_t start =
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) % n;
+    for (;;) {
+      bool pushed = false;
+      for (std::size_t i = 0; i < n && !pushed; ++i) {
+        pushed = lf_[(start + i) % n]->inbox.tryPush(task);
+      }
+      if (pushed) break;
+      // Every channel is full (a pathological burst): help drain by
+      // executing one task inline, then retry — backpressure that makes
+      // progress instead of blocking.
+      if (!tryRunOne(-1)) std::this_thread::yield();
+    }
+  }
+  wakeOne();
 }
 
 void TaskPool::runTask(Task&& task) {
@@ -135,10 +197,10 @@ void TaskPool::runTask(Task&& task) {
   }
   executed_.fetch_add(1, std::memory_order_relaxed);
   wg->pending_.fetch_sub(1, std::memory_order_acq_rel);
-  idleCv_.notify_all();
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) idleCv_.notify_all();
 }
 
-bool TaskPool::tryRunOne(int preferredSlot) {
+bool TaskPool::tryRunOneMutex(int preferredSlot, std::size_t row) {
   Task task;
   bool have = false;
   // Own queue first, oldest task first: with a single executor this makes
@@ -153,6 +215,7 @@ bool TaskPool::tryRunOne(int preferredSlot) {
     }
   }
   if (!have) {
+    StealRow& counters = *stealRows_[row];
     std::size_t n = queues_.size();
     std::size_t start = preferredSlot >= 0
                             ? (static_cast<std::size_t>(preferredSlot) + 1) % n
@@ -160,6 +223,7 @@ bool TaskPool::tryRunOne(int preferredSlot) {
     for (std::size_t i = 0; i < n && !have; ++i) {
       std::size_t v = (start + i) % n;
       if (preferredSlot >= 0 && v == static_cast<std::size_t>(preferredSlot)) continue;
+      if (n > 1) counters.attempts.fetch_add(1, std::memory_order_relaxed);
       Queue& q = *queues_[v];
       std::lock_guard<std::mutex> lk(q.mu);
       if (!q.tasks.empty()) {
@@ -169,12 +233,71 @@ bool TaskPool::tryRunOne(int preferredSlot) {
         q.tasks.pop_back();
         have = true;
         if (queues_.size() > 1) steals_.fetch_add(1, std::memory_order_relaxed);
+      } else if (n > 1) {
+        counters.fails.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
   if (!have) return false;
   runTask(std::move(task));
   return true;
+}
+
+bool TaskPool::tryRunOneLockfree(int preferredSlot, std::size_t row) {
+  const bool owner = preferredSlot >= 0 && tlsWorker.pool == this &&
+                     tlsWorker.slot == preferredSlot;
+  Task* task = nullptr;
+  if (owner) {
+    LfWorker& w = *lf_[static_cast<std::size_t>(preferredSlot)];
+    task = static_cast<Task*>(w.deque.popBottom());
+    if (task == nullptr) {
+      void* p = nullptr;
+      if (w.inbox.tryPop(&p)) task = static_cast<Task*>(p);
+    }
+  }
+  if (task == nullptr) {
+    StealRow& counters = *stealRows_[row];
+    const std::size_t n = lf_.size();
+    const std::size_t start =
+        owner ? (static_cast<std::size_t>(preferredSlot) + 1) % n
+              : nextQueue_.fetch_add(1, std::memory_order_relaxed) % n;
+    for (std::size_t i = 0; i < n && task == nullptr; ++i) {
+      const std::size_t v = (start + i) % n;
+      if (owner && v == static_cast<std::size_t>(preferredSlot)) continue;
+      counters.attempts.fetch_add(1, std::memory_order_relaxed);
+      void* p = nullptr;
+      switch (lf_[v]->deque.steal(&p)) {
+        case ChaseLevDeque::Steal::Got:
+          task = static_cast<Task*>(p);
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        case ChaseLevDeque::Steal::Abort:
+          // Lost the CAS race on the victim's top — contention, not
+          // emptiness. Count it and move to the next victim; the caller's
+          // outer loop comes back around.
+          stealAborts_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case ChaseLevDeque::Steal::Empty:
+          break;
+      }
+      if (lf_[v]->inbox.tryPop(&p)) {
+        task = static_cast<Task*>(p);
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      counters.fails.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (task == nullptr) return false;
+  runTask(std::move(*task));
+  delete task;
+  return true;
+}
+
+bool TaskPool::tryRunOne(int preferredSlot) {
+  const std::size_t row = telemetryRow(preferredSlot);
+  return lockfree_ ? tryRunOneLockfree(preferredSlot, row)
+                   : tryRunOneMutex(preferredSlot, row);
 }
 
 void TaskPool::recordIdle(std::size_t row, std::uint64_t nanos) {
@@ -188,23 +311,47 @@ void TaskPool::recordIdle(std::size_t row, std::uint64_t nanos) {
 }
 
 std::vector<TaskPool::IdleStats> TaskPool::idleStats() const {
-  std::lock_guard<std::mutex> lk(idleMu_);
-  return idle_;
+  std::vector<IdleStats> rows;
+  {
+    std::lock_guard<std::mutex> lk(idleMu_);
+    rows = idle_;
+  }
+  for (std::size_t i = 0; i < rows.size() && i < stealRows_.size(); ++i) {
+    rows[i].stealAttempts =
+        stealRows_[i]->attempts.load(std::memory_order_relaxed);
+    rows[i].stealFails = stealRows_[i]->fails.load(std::memory_order_relaxed);
+  }
+  return rows;
 }
 
 void TaskPool::workerLoop(int slot) {
   tlsWorker = WorkerIdentity{this, slot};
   while (!stop_.load(std::memory_order_acquire)) {
     if (tryRunOne(slot)) continue;
-    std::unique_lock<std::mutex> lk(idleMu_);
-    if (stop_.load(std::memory_order_acquire)) break;
-    const auto t0 = std::chrono::steady_clock::now();
-    idleCv_.wait_for(lk, std::chrono::milliseconds(2));
-    recordIdle(static_cast<std::size_t>(slot),
-               static_cast<std::uint64_t>(
-                   std::chrono::duration_cast<std::chrono::nanoseconds>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count()));
+    // Park. Announce first, then re-check once: a submitter either observes
+    // the announcement (and notifies) or this re-check observes its task —
+    // the seq_cst pair closes the classic missed-wakeup window. The timed
+    // wait stays as a backstop regardless.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (tryRunOne(slot)) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lk(idleMu_);
+      if (stop_.load(std::memory_order_acquire)) {
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      idleCv_.wait_for(lk, std::chrono::milliseconds(2));
+      recordIdle(static_cast<std::size_t>(slot),
+                 static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count()));
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
   tlsWorker = WorkerIdentity{};
 }
@@ -223,15 +370,23 @@ void TaskPool::wait(WaitGroup& wg) {
                                   : static_cast<std::size_t>(threadCount_);
   while (wg.pending() > 0) {
     if (tryRunOne(slot)) continue;
-    std::unique_lock<std::mutex> lk(idleMu_);
-    const auto t0 = std::chrono::steady_clock::now();
-    idleCv_.wait_for(lk, std::chrono::milliseconds(1),
-                     [&] { return wg.pending() == 0; });
-    recordIdle(idleRow,
-               static_cast<std::uint64_t>(
-                   std::chrono::duration_cast<std::chrono::nanoseconds>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count()));
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (wg.pending() == 0 || tryRunOne(slot)) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lk(idleMu_);
+      const auto t0 = std::chrono::steady_clock::now();
+      idleCv_.wait_for(lk, std::chrono::milliseconds(1),
+                       [&] { return wg.pending() == 0; });
+      recordIdle(idleRow,
+                 static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count()));
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
   std::lock_guard<std::mutex> lk(wg.mu_);
   if (wg.error_) {

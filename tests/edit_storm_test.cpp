@@ -7,7 +7,7 @@
 //
 //   - seq:    the sequential inline-incremental reference (every edit
 //             settles its dirty set immediately),
-//   - par(t): deferred-analysis sessions for t in {1, 2, 4, 8} — each edit
+//   - par(t): deferred-analysis sessions for t in {1, 2, 4, 8, 16} — each edit
 //             accumulates the dirty set, then analyzeParallel(t) schedules
 //             exactly that set, splicing clean nests under the DepMemo
 //             generation protocol,
@@ -54,7 +54,7 @@ TEST_P(EditStorm, ParallelIncrementalMatchesSequentialAndScratch) {
   ASSERT_NE(seq, nullptr);
   ASSERT_NE(full, nullptr);
 
-  const std::vector<int> threadCounts = {1, 2, 4, 8};
+  const std::vector<int> threadCounts = {1, 2, 4, 8, 16};
   std::vector<std::unique_ptr<ped::Session>> par;
   for (int t : threadCounts) {
     (void)t;

@@ -100,7 +100,7 @@ TEST_P(ParallelDeterminism, GraphsMatchSequentialAtAllThreadCounts) {
   const std::string expected = snapshot(*reference);
   ASSERT_FALSE(expected.empty());
 
-  for (int threads : {1, 2, 4, 8}) {
+  for (int threads : {1, 2, 4, 8, 16}) {
     auto s = loadDeck(GetParam());
     ASSERT_NE(s, nullptr);
     ped::ParallelReport rep = s->analyzeParallel(threads);

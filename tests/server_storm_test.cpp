@@ -51,7 +51,7 @@ TEST_P(ServerStorm, ConcurrentSessionsMatchSoloByteForByte) {
   const StormResult solo = runSoloBaseline(script, &edits);
   ASSERT_TRUE(solo.ok) << deck;
 
-  for (int t : {1, 2, 4, 8}) {
+  for (int t : {1, 2, 4, 8, 16}) {
     server::AnalysisServer srv({/*storePath=*/"", /*analysisThreads=*/t});
     constexpr int kSessions = 3;
     std::vector<StormResult> results(kSessions);

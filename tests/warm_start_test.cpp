@@ -57,7 +57,7 @@ TEST_P(WarmStart, UnmodifiedReopenIsPureReuse) {
   ASSERT_TRUE(cold->savePdb(store.path()));
   EXPECT_GT(cold->pdbStats().bytesWritten, 0u);
 
-  for (int t : {1, 2, 4, 8}) {
+  for (int t : {1, 2, 4, 8, 16}) {
     DiagnosticEngine diags;
     auto warm = ped::Session::openWarm(w->source, store.path(), diags, t);
     ASSERT_NE(warm, nullptr) << deck << " @" << t << " threads";
@@ -103,7 +103,7 @@ TEST_P(WarmStart, EditThenReopenMatchesScratchAtEveryThreadCount) {
   cold->analyzeParallel(1);
   const std::string want = analysisSnapshot(*cold);
 
-  for (int t : {1, 2, 4, 8}) {
+  for (int t : {1, 2, 4, 8, 16}) {
     DiagnosticEngine diags;
     auto warm = ped::Session::openWarm(editedSrc, store.path(), diags, t);
     ASSERT_NE(warm, nullptr) << deck << " @" << t << " threads";
