@@ -1,0 +1,121 @@
+// Emission bench: what turning a marked session into a validated OpenMP
+// deck costs. Three questions: how fast clause derivation + directive
+// rendering alone runs (the interactive "show me the directive" number);
+// what the full pipeline adds — relative validation under shuffled
+// schedules plus the 1/2/4/8-thread round-trip re-analysis; and the whole
+// corpus sweep with the per-stage split and the clause histogram, the
+// numbers EXPERIMENTS.md reports.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "emit/emit.h"
+#include "workloads/emission_driver.h"
+
+namespace {
+
+using ps::bench::loadWorkload;
+
+const char* const kDecks[] = {"spec77", "neoss",  "nxsns",    "dpmin",
+                              "slab2d", "slalom", "pueblo3d", "arc3d"};
+
+/// Clause derivation + rendering only: no interpreter runs, no round-trip.
+/// This is the latency a user feels asking PED "emit this deck".
+void BM_EmitPlanOnly(benchmark::State& state) {
+  auto s = loadWorkload(kDecks[state.range(0)]);
+  if (!s) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const ps::workloads::MarkCounts mc =
+      ps::workloads::markParallelLoops(*s, /*forceAllLoops=*/true);
+  ps::emit::EmitOptions opts;
+  opts.relativeValidation = false;
+  opts.roundTrip = false;
+  int emitted = 0;
+  int refused = 0;
+  for (auto _ : state) {
+    ps::emit::EmissionReport r = s->emitOpenMP(opts);
+    if (!r.ran) {
+      state.SkipWithError(("emission failed: " + r.error).c_str());
+      return;
+    }
+    emitted = r.loopsEmitted;
+    refused = r.loopsRefused;
+    benchmark::DoNotOptimize(r.deckText);
+  }
+  state.SetLabel(std::string(kDecks[state.range(0)]) + " emitted=" +
+                 std::to_string(emitted) + " refused=" +
+                 std::to_string(refused) + " marks(safe=" +
+                 std::to_string(mc.safe) + ",red=" +
+                 std::to_string(mc.reduction) + ",forced=" +
+                 std::to_string(mc.forced) + ")");
+}
+BENCHMARK(BM_EmitPlanOnly)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+/// The full validated pipeline on one deck: relative validation under
+/// shuffled schedules, then round-trip re-analysis at 1/2/4/8 threads.
+void BM_EmitValidated(benchmark::State& state) {
+  auto s = loadWorkload(kDecks[state.range(0)]);
+  if (!s) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  (void)ps::workloads::markParallelLoops(*s, /*forceAllLoops=*/true);
+  double emitSec = 0.0;
+  double validateSec = 0.0;
+  double roundTripSec = 0.0;
+  for (auto _ : state) {
+    ps::emit::EmissionReport r = s->emitOpenMP({});
+    if (!r.ran) {
+      state.SkipWithError(("emission failed: " + r.error).c_str());
+      return;
+    }
+    if (r.roundTripChecked && !r.roundTripOk) {
+      state.SkipWithError(("round-trip failed: " + r.roundTripDetail).c_str());
+      return;
+    }
+    emitSec = r.emitSeconds;
+    validateSec = r.validateSeconds;
+    roundTripSec = r.roundTripSeconds;
+    benchmark::DoNotOptimize(r.deckText);
+  }
+  state.counters["emit_s"] = emitSec;
+  state.counters["validate_s"] = validateSec;
+  state.counters["roundtrip_s"] = roundTripSec;
+  state.SetLabel(kDecks[state.range(0)]);
+}
+BENCHMARK(BM_EmitValidated)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+/// The whole-corpus sweep EXPERIMENTS.md reports: every deck loaded,
+/// marked and emitted; the label carries the clause histogram and the
+/// counters carry the per-stage wall-time split.
+void BM_EmissionSweep(benchmark::State& state) {
+  ps::workloads::EmissionSweep sw;
+  for (auto _ : state) {
+    ps::workloads::EmissionDriverOptions opts;
+    opts.forceAllLoops = true;
+    sw = ps::workloads::emitAllDecks(opts);
+    if (!sw.allDecksRan || !sw.allRoundTripsOk || !sw.zeroSilentDrops) {
+      state.SkipWithError("sweep invariants violated");
+      return;
+    }
+    benchmark::DoNotOptimize(sw.loopsEmitted);
+  }
+  state.counters["emit_s"] = sw.emitSeconds;
+  state.counters["validate_s"] = sw.validateSeconds;
+  state.counters["roundtrip_s"] = sw.roundTripSeconds;
+  std::string label = "emitted=" + std::to_string(sw.loopsEmitted) +
+                      " refused=" + std::to_string(sw.loopsRefused) + " of " +
+                      std::to_string(sw.loopsConsidered) + ";";
+  for (const auto& [k, n] : sw.clauseHistogram) {
+    label += " " + k + "=" + std::to_string(n);
+  }
+  state.SetLabel(label);
+}
+BENCHMARK(BM_EmissionSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -50,6 +50,16 @@ PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" PS_FUZZ_PARALLEL=4 \
 PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" PS_VALIDATE=1 \
   ./build/tests/fuzz_robustness_test
 
+# OpenMP-emission stage: the round-trip suite (emit -> re-lex to exact
+# directive payloads -> directive-stripped re-analysis byte-identical at
+# 1/2/4/8 threads, on every deck), then the corpus smoke: ps_emit --check
+# marks every deck the way a workshop user would (plus refusal fodder),
+# emits, and exits non-zero on any load failure, round-trip mismatch or
+# silently dropped loop.
+./build/tests/emission_test
+./build/tools/ps_emit --check
+scrub_pdb_cache
+
 # ThreadSanitizer stage: rebuild the concurrency-sensitive targets with
 # -fsanitize=thread and run the parallel determinism suites (whole-program
 # batch + incremental edit storm) plus the DepMemo stress test. Any data
@@ -59,7 +69,7 @@ PS_FUZZ_ITERS="${PS_FUZZ_ITERS:-1500}" PS_VALIDATE=1 \
 # because TSan does not model standalone fences; the structures and their
 # interleavings are otherwise the ones production runs.)
 cmake -B build-tsan -S . -DPS_TSAN=ON
-cmake --build build-tsan -j --target parallel_analysis_test edit_storm_test depmemo_concurrent_test warm_start_test pdb_persistence_test validation_test lockfree_test
+cmake --build build-tsan -j --target parallel_analysis_test edit_storm_test depmemo_concurrent_test warm_start_test pdb_persistence_test validation_test lockfree_test emission_test
 # Lock-free substrate stress: Chase–Lev owner-vs-thieves and resize-under-
 # steal, MPMC channel loss/dup, epoch-reclamation use-after-retire canaries,
 # DepMemo invalidation storms on BOTH backends.
@@ -72,6 +82,11 @@ cmake --build build-tsan -j --target parallel_analysis_test edit_storm_test depm
 # race between the validator's graph writes and the analysis engine fails
 # here.
 ./build-tsan/tests/validation_test
+# Emission under TSan on the lock-free substrate: round-trip re-analysis
+# fans the directive-stripped deck through the task pool at 1/2/4/8
+# threads while relative validation replays traces — any race between the
+# emitter's snapshotting and the analysis engine fails here.
+PS_LOCKFREE=1 ./build-tsan/tests/emission_test
 # Warm-open settle path (dirty-set re-analysis seeded from disk) and the
 # corruption-recovery suite, both under TSan: rebinding and quarantine run
 # concurrently with the task pool.

@@ -38,6 +38,21 @@ bool directivePayload(std::string_view line, std::string& payload) {
   return false;
 }
 
+/// Extract an OpenMP directive payload from a comment line, if present.
+/// Recognizes "!$OMP ..." and the fixed-form continuation "!$OMP& ...";
+/// `continuation` reports which form was seen.
+bool ompPayload(std::string_view line, std::string& payload,
+                bool* continuation) {
+  std::string_view t = ps::text::trim(line);
+  if (t.size() < 5) return false;
+  if (ps::text::upper(t.substr(0, 5)) != "!$OMP") return false;
+  std::string_view rest = t.substr(5);
+  *continuation = !rest.empty() && rest[0] == '&';
+  if (*continuation) rest = rest.substr(1);
+  payload = ps::text::upper(ps::text::trim(rest));
+  return true;
+}
+
 }  // namespace
 
 bool Token::isKeyword(const char* kw) const {
@@ -93,8 +108,17 @@ std::vector<Token> Lexer::run() {
 
     if (isCommentLine(line)) {
       std::string payload;
+      bool ompCont = false;
       if (directivePayload(line, payload)) {
         directives_.push_back({lineNo, std::move(payload)});
+      } else if (ompPayload(line, payload, &ompCont)) {
+        if (ompCont && !ompDirectives_.empty()) {
+          std::string& prev = ompDirectives_.back().text;
+          if (!prev.empty() && !payload.empty()) prev += ' ';
+          prev += payload;
+        } else {
+          ompDirectives_.push_back({lineNo, std::move(payload)});
+        }
       }
       continue;
     }

@@ -38,6 +38,15 @@ class Lexer {
     return directives_;
   }
 
+  /// OpenMP directive comments ("!$OMP ..."), upper-cased, with "!$OMP&"
+  /// continuation lines joined onto the preceding entry (single space).
+  /// The parser ignores these — to it an OMP line is a plain comment — but
+  /// emission round-trip checks use them to verify that a generated deck
+  /// re-lexes to exactly the directives that were written out.
+  [[nodiscard]] const std::vector<Directive>& ompDirectives() const {
+    return ompDirectives_;
+  }
+
  private:
   void lexLine(std::string_view line, int lineNo, bool continuation,
                std::vector<Token>& out);
@@ -47,6 +56,7 @@ class Lexer {
   std::string source_;
   DiagnosticEngine& diags_;
   std::vector<Directive> directives_;
+  std::vector<Directive> ompDirectives_;
 };
 
 }  // namespace ps::fortran

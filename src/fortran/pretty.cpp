@@ -128,6 +128,12 @@ class StmtPrinter {
         return;
       }
       case StmtKind::Do: {
+        if (opts_.ompDirectives) {
+          auto it = opts_.ompDirectives->find(s.id);
+          if (it != opts_.ompDirectives->end()) {
+            out += wrapOmpDirective(it->second);
+          }
+        }
         std::string head =
             (s.isParallel && opts_.emitParallelMarkers) ? "PARALLEL DO "
                                                         : "DO ";
@@ -260,6 +266,38 @@ class StmtPrinter {
 std::string printExpr(const Expr& e) {
   std::string out;
   printExprPrec(e, 0, out);
+  return out;
+}
+
+std::string wrapOmpDirective(const std::string& payload) {
+  constexpr std::size_t kLimit = 72;
+  const std::string first = "!$OMP ";
+  const std::string cont = "!$OMP& ";
+  std::string out;
+  std::string line = first;
+  bool lineHasWord = false;
+  std::size_t i = 0;
+  while (i < payload.size()) {
+    while (i < payload.size() && payload[i] == ' ') ++i;
+    if (i >= payload.size()) break;
+    std::size_t b = i;
+    while (i < payload.size() && payload[i] != ' ') ++i;
+    const std::size_t wordLen = i - b;
+    std::size_t need = line.size() + wordLen + (lineHasWord ? 1 : 0);
+    if (lineHasWord && need > kLimit) {
+      out += line;
+      out += '\n';
+      line = cont;
+      lineHasWord = false;
+    }
+    if (lineHasWord) line += ' ';
+    line.append(payload, b, wordLen);
+    lineHasWord = true;
+  }
+  if (lineHasWord) {
+    out += line;
+    out += '\n';
+  }
   return out;
 }
 

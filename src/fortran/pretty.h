@@ -1,6 +1,7 @@
 #ifndef PS_FORTRAN_PRETTY_H
 #define PS_FORTRAN_PRETTY_H
 
+#include <map>
 #include <string>
 
 #include "fortran/ast.h"
@@ -16,6 +17,11 @@ struct PrettyOptions {
   /// Emit "PARALLEL DO" for loops marked parallel (PED's sequential<->
   /// parallel display); when false, parallel loops print as plain DO.
   bool emitParallelMarkers = true;
+  /// OpenMP directive payload per DO statement id ("PARALLEL DO ..."
+  /// without the "!$OMP " sentinel). Emitted immediately before the DO
+  /// line, wrapped at the fixed-form 72-column limit with "!$OMP&"
+  /// continuation lines. Not owned; may be null.
+  const std::map<StmtId, std::string>* ompDirectives = nullptr;
 };
 
 [[nodiscard]] std::string printExpr(const Expr& e);
@@ -29,6 +35,13 @@ struct PrettyOptions {
 /// A single-line rendering of a statement header (DO/IF show only their
 /// header, not the body) — used by the source pane.
 [[nodiscard]] std::string stmtHeadline(const Stmt& s);
+
+/// Render an OpenMP directive payload as fixed-form comment lines: the
+/// first line is "!$OMP <payload...>", overflow beyond column 72 breaks at
+/// clause/word boundaries onto "!$OMP& " continuation lines. Every
+/// returned line ends with '\n' and fits in 72 columns (a single word too
+/// long to fit is emitted whole rather than truncated).
+[[nodiscard]] std::string wrapOmpDirective(const std::string& payload);
 
 }  // namespace ps::fortran
 

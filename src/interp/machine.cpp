@@ -231,6 +231,10 @@ struct Machine::Impl {
   /// Cross-iteration access tracking for one active PARALLEL DO.
   struct ParallelCtx {
     const Stmt* loop = nullptr;
+    /// Directive clauses supplied for this loop (null = none): conflicts on
+    /// clause-privatized variables are resolved by the directive, like the
+    /// induction variable's.
+    const LoopClauses* clauses = nullptr;
     long long iteration = 0;
     std::map<CellRef::Address, std::pair<long long, std::string>>
         firstWriter;  // address -> (iteration, variable)
@@ -261,6 +265,7 @@ struct Machine::Impl {
       std::set<std::string> reported;
       for (const auto& [addr, wr] : firstWriter) {
         if (ivAddresses.count(addr)) continue;  // implicitly private
+        if (clauses && clauses->privatized.count(wr.second)) continue;
         auto er = exposedReader.find(addr);
         if (er != exposedReader.end() && er->second != wr.first) {
           if (reported.insert(wr.second).second) {
@@ -782,7 +787,27 @@ struct Machine::Impl {
     double rlo = 0.0, rstep = 1.0;
     /// Iteration-context node enclosing this loop (trace mode).
     std::int32_t ctxParent = -1;
+    /// Directive clauses for this activation (null = none supplied).
+    const LoopClauses* clauses = nullptr;
+    /// LASTPRIVATE staging: values captured at the end of the sequentially
+    /// last iteration, copied out when the loop exhausts.
+    std::map<std::string, Value> lastVals;
   };
+
+  /// Snapshot the LASTPRIVATE variables' cells. Called right after the
+  /// sequentially-last iteration finishes executing (whenever the shuffle
+  /// scheduled it); raw cell access so the runtime bookkeeping itself never
+  /// feeds the race detector or the trace.
+  void captureLastPrivate(Frame& f, LoopState& ls) {
+    if (!ls.clauses || ls.clauses->lastPrivate.empty()) return;
+    for (const std::string& name : ls.clauses->lastPrivate) {
+      fortran::Expr var;
+      var.kind = ExprKind::VarRef;
+      var.name = name;
+      CellRef c = cellOf(f, var);
+      ls.lastVals[name] = c.storage->load(c.offset);
+    }
+  }
 
   void setLoopVar(Frame& f, const Stmt& s, LoopState& ls, long long k) {
     long long idx = ls.perm.empty() ? k : ls.perm[static_cast<std::size_t>(k)];
@@ -875,6 +900,8 @@ struct Machine::Impl {
           ls.k = 0;
           ls.parallel = s.isParallel && opts.checkParallel;
           ls.perm.clear();
+          ls.clauses = nullptr;
+          ls.lastVals.clear();
           if (ls.parallel && ls.trip > 1) {
             ls.perm.resize(static_cast<std::size_t>(ls.trip));
             for (long long i = 0; i < ls.trip; ++i) {
@@ -890,6 +917,10 @@ struct Machine::Impl {
             }
             ParallelCtx ctx;
             ctx.loop = &s;
+            auto itC = opts.parallelClauses.find(s.id);
+            if (itC != opts.parallelClauses.end()) ctx.clauses = &itC->second;
+            ls.clauses = ctx.clauses;
+            ls.lastVals.clear();
             parallelStack.push_back(std::move(ctx));
           }
           if (trace) {
@@ -918,6 +949,14 @@ struct Machine::Impl {
         }
         case Op::K::DoStep: {
           LoopState& ls = slots[static_cast<std::size_t>(op.c)];
+          // The iteration indexed by the current ls.k just finished; if it
+          // was the sequentially-last one, stage the LASTPRIVATE values now.
+          if (ls.parallel && ls.clauses && ls.k < ls.trip) {
+            const long long idx =
+                ls.perm.empty() ? ls.k
+                                : ls.perm[static_cast<std::size_t>(ls.k)];
+            if (idx == ls.trip - 1) captureLastPrivate(f, ls);
+          }
           ++ls.k;
           if (ls.k < ls.trip) {
             if (trace) curCtx = traceNode(ls.ctxParent, op.stmt->id, ls.k);
@@ -941,6 +980,18 @@ struct Machine::Impl {
                 parallelStack.back().loop == op.stmt) {
               parallelStack.back().finish(result.races);
               parallelStack.pop_back();
+            }
+            // LASTPRIVATE copy-out: the sequentially-last iteration's
+            // values win, whatever order the shuffle executed.
+            if (!ls.lastVals.empty()) {
+              for (const auto& [name, v] : ls.lastVals) {
+                fortran::Expr var;
+                var.kind = ExprKind::VarRef;
+                var.name = name;
+                CellRef c = cellOf(f, var);
+                c.storage->store(c.offset, v);
+              }
+              ls.lastVals.clear();
             }
             ++pc;
           }

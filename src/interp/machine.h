@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,22 @@ struct RunResult {
                                   double tol = 1e-9) const;
 };
 
+/// OpenMP-style data-sharing clauses for one PARALLEL DO, supplied by an
+/// emission client so shuffled-schedule execution models what the emitted
+/// directive promises. `privatized` variables (PRIVATE / FIRSTPRIVATE /
+/// LASTPRIVATE / REDUCTION) get per-thread copies under the directive, so
+/// cross-iteration conflicts on them are resolved by the clause and are
+/// not reported as races; the shared-cell values still flow in program
+/// order within each (atomically executed) iteration, so a variable that
+/// genuinely carries a value between iterations still diverges the output
+/// diff. `lastPrivate` variables additionally receive the value from the
+/// sequentially-last iteration after the loop, whatever order the shuffle
+/// executed iterations in — exactly OpenMP LASTPRIVATE copy-out.
+struct LoopClauses {
+  std::set<std::string> privatized;
+  std::set<std::string> lastPrivate;
+};
+
 /// Options controlling one execution.
 struct RunOptions {
   /// Values served to READ statements, in order (recycled when exhausted).
@@ -67,6 +84,10 @@ struct RunOptions {
   /// and iteration context (dynamic dependence validation). The caller
   /// owns the trace and its limits; recording degrades per TraceLimits.
   Trace* trace = nullptr;
+  /// Data-sharing clauses per PARALLEL DO statement id. Loops without an
+  /// entry keep the default conservative semantics (only the induction
+  /// variable is implicitly private).
+  std::map<fortran::StmtId, LoopClauses> parallelClauses;
 };
 
 /// A tree-walking interpreter for the supported Fortran dialect: the

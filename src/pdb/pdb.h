@@ -52,6 +52,7 @@ enum class RecordType : std::uint32_t {
   Graph = 2,    // one dependence-graph slice per procedure
   Memo = 3,     // the session-wide DepMemo snapshot
   Marks = 4,    // the session's user/validator dependence marks + evidence
+  Emission = 5,  // per-loop OpenMP emission eligibility + validation evidence
 };
 
 /// Compiler/configuration fingerprint baked into the header. Two builds

@@ -253,6 +253,54 @@ std::string Session::pdbMarksMaterial() const {
   return m;
 }
 
+std::string Session::pdbEmissionMaterial() const {
+  // Emission eligibility is a function of the exact program text, the mark
+  // table (a deletion flips eligibility), the classification overrides (they
+  // steer clause derivation) and the analysis budget. Any drift must miss.
+  // The program is printed WITHOUT parallel markers: the PARALLEL flags are
+  // session state stored inside the Emission record itself (and reapplied on
+  // restore), so the key must match between the marked saving session and a
+  // fresh open of the same deck.
+  std::string m = "EMIT|";
+  {
+    fortran::PrettyOptions popts;
+    popts.emitParallelMarkers = false;
+    for (const auto& u : program_->units) {
+      m += fortran::printProcedure(*u, popts);
+      m += '|';
+    }
+  }
+  m += "ASSERT|";
+  for (const auto& a : assertions_) {
+    m += a.text;
+    m += ';';
+  }
+  m += "|MARKTAB|";
+  for (const auto& [sig, rec] : marks_) {
+    m += sig;
+    m += '=';
+    m += std::to_string(static_cast<int>(rec.mark));
+    m += ';';
+  }
+  m += "|OVR|";
+  for (const auto& [proc, byLoop] : overrides_) {
+    for (const auto& [loop, byName] : byLoop) {
+      for (const auto& [name, asPrivate] : byName) {
+        m += proc;
+        m += ':';
+        m += std::to_string(loop);
+        m += ':';
+        m += name;
+        m += '=';
+        m += asPrivate ? '1' : '0';
+        m += ';';
+      }
+    }
+  }
+  appendBudgetKey(m, budget_);
+  return m;
+}
+
 bool Session::savePdb(const std::string& path) {
   pdb::StoreWriter store;
   const interproc::CallGraph& cg = summaries_->callGraph();
@@ -311,6 +359,50 @@ bool Session::savePdb(const std::string& path) {
       w.str(rec.evidence);
     }
     store.add(pdb::RecordType::Marks, pdb::contentKey(material),
+              pdb::sealPayload(material, w.data()));
+  }
+  // Per-loop OpenMP emission eligibility + validation evidence, so a warm
+  // open knows which loops already emitted validated directives (and which
+  // were refused, and why) without re-running the interpreter.
+  if (lastEmission_.ran) {
+    const std::string material = pdbEmissionMaterial();
+    pdb::Writer w;
+    // The PARALLEL marks themselves: they are session state (user
+    // assertions and applied transformations), invisible to the key above,
+    // so the record carries them and attach reapplies them.
+    std::vector<std::uint32_t> parallelLoops;
+    for (const auto& u : program_->units) {
+      u->forEachStmt([&](const Stmt& s) {
+        if (s.kind == StmtKind::Do && s.isParallel) {
+          parallelLoops.push_back(s.id);
+        }
+      });
+    }
+    w.u32(static_cast<std::uint32_t>(parallelLoops.size()));
+    for (std::uint32_t id : parallelLoops) w.u32(id);
+    w.u32(static_cast<std::uint32_t>(lastEmission_.loops.size()));
+    for (const auto& le : lastEmission_.loops) {
+      w.str(le.procedure);
+      w.u32(le.loop);
+      w.str(le.headline);
+      w.u8(le.emitted ? 1 : 0);
+      w.str(le.emitted ? le.payload : le.refusal);
+      w.str(le.evidence);
+      w.u8(le.relativeChecked ? 1 : 0);
+      w.u8(le.relativeDiverged ? 1 : 0);
+      w.u64(static_cast<std::uint64_t>(le.serialExecutions));
+      w.u32(static_cast<std::uint32_t>(le.blocking.size()));
+      for (const auto& be : le.blocking) {
+        w.u32(be.depId);
+        w.str(be.type);
+        w.str(be.variable);
+        w.u32(static_cast<std::uint32_t>(be.level));
+        w.u32(be.srcStmt);
+        w.u32(be.dstStmt);
+        w.str(be.mark);
+      }
+    }
+    store.add(pdb::RecordType::Emission, pdb::contentKey(material),
               pdb::sealPayload(material, w.data()));
   }
   const support::IoStatus io = support::writeFileAtomicEx(path, store.bytes());
@@ -459,6 +551,83 @@ std::unique_ptr<Session> Session::attach(std::string_view source,
       }
       if (valid && r.atEnd()) {
         session->marks_ = std::move(restored);
+      } else {
+        ++ps.quarantined;
+      }
+    }
+  }
+
+  // OpenMP emission evidence. Keyed on the program text + the just-restored
+  // mark table (+ overrides, empty on a fresh open), so it only restores
+  // when eligibility could not have drifted. All-or-nothing like marks.
+  if (usable) {
+    const std::string material = session->pdbEmissionMaterial();
+    if (auto body = store.verifiedFind(pdb::RecordType::Emission, material)) {
+      pdb::Reader r(*body);
+      constexpr std::uint32_t kMaxLoops = 1U << 20;
+      const std::uint32_t np = r.u32();
+      bool valid = r.ok() && np <= kMaxLoops;
+      std::vector<std::uint32_t> parallelLoops;
+      for (std::uint32_t i = 0; valid && i < np; ++i) {
+        parallelLoops.push_back(r.u32());
+      }
+      const std::uint32_t n = valid ? r.u32() : 0;
+      valid = valid && r.ok() && n <= kMaxLoops;
+      emit::EmissionReport rep;
+      for (std::uint32_t i = 0; valid && i < n; ++i) {
+        emit::LoopEmission le;
+        le.procedure = r.str();
+        le.loop = r.u32();
+        le.headline = r.str();
+        le.emitted = r.u8() != 0;
+        std::string text = r.str();
+        (le.emitted ? le.payload : le.refusal) = std::move(text);
+        le.evidence = r.str();
+        le.relativeChecked = r.u8() != 0;
+        le.relativeDiverged = r.u8() != 0;
+        le.serialExecutions = static_cast<long long>(r.u64());
+        const std::uint32_t nb = r.u32();
+        if (!r.ok() || nb > kMaxLoops) {
+          valid = false;
+          break;
+        }
+        for (std::uint32_t j = 0; j < nb; ++j) {
+          emit::BlockingEdge be;
+          be.depId = r.u32();
+          be.type = r.str();
+          be.variable = r.str();
+          be.level = static_cast<int>(r.u32());
+          be.srcStmt = r.u32();
+          be.dstStmt = r.u32();
+          be.mark = r.str();
+          le.blocking.push_back(std::move(be));
+        }
+        if (!r.ok()) {
+          valid = false;
+          break;
+        }
+        if (le.emitted) {
+          ++rep.loopsEmitted;
+        } else {
+          ++rep.loopsRefused;
+        }
+        rep.loops.push_back(std::move(le));
+      }
+      if (valid && r.atEnd()) {
+        // Reapply the saved PARALLEL marks, then install the evidence —
+        // the restored session matches the saving one's loop markings.
+        std::set<std::uint32_t> ids(parallelLoops.begin(),
+                                    parallelLoops.end());
+        for (const auto& u : session->program_->units) {
+          u->forEachStmtMutable([&](Stmt& s) {
+            if (s.kind == StmtKind::Do && ids.count(s.id)) {
+              s.isParallel = true;
+            }
+          });
+        }
+        rep.ran = true;
+        rep.loopsConsidered = static_cast<int>(rep.loops.size());
+        session->lastEmission_ = std::move(rep);
       } else {
         ++ps.quarantined;
       }
@@ -2136,6 +2305,234 @@ validate::ValidationReport Session::validateDeletions(
   rep.validateSeconds =
       std::chrono::duration<double>(Clock::now() - t1).count();
   lastValidation_ = rep;
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP emission
+// ---------------------------------------------------------------------------
+
+std::string Session::dependenceSnapshot() {
+  settleEdits();
+  std::ostringstream os;
+  for (const auto& u : program_->units) {
+    transform::Workspace& ws = wsFor(u->name);
+    os << "== " << u->name << "\n";
+    for (const dep::Dependence& d : ws.graph->all()) {
+      os << d.id << " " << dep::depTypeName(d.type) << " "
+         << (d.variable.empty() ? "<control>" : d.variable) << " stmt"
+         << d.srcStmt << "->stmt" << d.dstStmt << " level=" << d.level
+         << " carrier=" << d.carrierLoop << " common=" << d.commonLoop
+         << " vec=" << d.vector.str() << " mark=" << dep::depMarkName(d.mark)
+         << " origin=" << static_cast<int>(d.origin)
+         << " interproc=" << d.interprocedural << " degraded=" << d.degraded
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+emit::EmissionReport Session::emitOpenMP(const emit::EmitOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  // Emission reads the CURRENT graphs and markings.
+  settleEdits();
+  emit::EmissionReport rep;
+  rep.ran = true;
+  rep.deck = deckName_;
+
+  const auto t0 = Clock::now();
+  for (const auto& u : program_->units) {
+    transform::Workspace& ws = wsFor(u->name);
+    emit::ProcedureContext pc;
+    pc.proc = u.get();
+    pc.model = ws.model.get();
+    pc.graph = ws.graph.get();
+    auto ovIt = overrides_.find(u->name);
+    if (ovIt != overrides_.end()) pc.overrides = &ovIt->second;
+    for (auto& le : emit::planProcedure(pc)) {
+      rep.loops.push_back(std::move(le));
+    }
+  }
+  rep.emitSeconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  // Relative validation: the serial run is the reference semantics; every
+  // eligible loop must agree with it under shuffled schedules WITH the
+  // directive's data-sharing clauses applied.
+  bool anyEligible = false;
+  for (const auto& le : rep.loops) anyEligible |= le.emitted;
+  if (opts.relativeValidation && anyEligible) {
+    const auto t1 = Clock::now();
+    interp::RunOptions so = opts.run;
+    so.checkParallel = false;
+    so.trace = nullptr;
+    so.maxSteps = opts.maxSteps;
+    so.parallelClauses.clear();
+    interp::RunResult serial;
+    {
+      interp::Machine m(*program_);
+      serial = m.run(so);
+    }
+    for (auto& le : rep.loops) {
+      if (!le.emitted) continue;
+      if (!serial.ok) {
+        // No reference run, no validated emission: explicit refusal, never
+        // an unvalidated directive.
+        le.emitted = false;
+        le.refusal = "serial baseline failed: " + serial.error;
+        continue;
+      }
+      interp::RunOptions base = opts.run;
+      base.trace = nullptr;
+      base.maxSteps = opts.maxSteps;
+      base.parallelClauses.clear();
+      base.parallelClauses[le.loop] = le.interpClauses;
+      validate::RelativeResult rr = validate::relativeCheck(
+          *program_, le.loop, base, serial, opts.schedules);
+      le.relativeChecked = rr.ran;
+      le.serialExecutions = rr.serialExecutions;
+      if (rr.diverged) {
+        le.relativeDiverged = true;
+        le.emitted = false;
+        le.evidence = rr.detail;
+        le.refusal = "relative validation diverged: " + rr.detail;
+      } else if (rr.ran) {
+        std::ostringstream ev;
+        ev << "relative-ok: " << opts.schedules
+           << " shuffled schedule(s) agree with the serial run"
+           << " (loop executed " << rr.serialExecutions << "x serially)";
+        le.evidence = ev.str();
+      }
+    }
+    rep.validateSeconds =
+        std::chrono::duration<double>(Clock::now() - t1).count();
+  }
+
+  // Tally + structured refusal reports. Zero silent drops: every refused
+  // loop lands in failures() with its blocking edges or divergence.
+  rep.loopsConsidered = static_cast<int>(rep.loops.size());
+  for (const auto& le : rep.loops) {
+    if (le.emitted) {
+      ++rep.loopsEmitted;
+      for (const emit::Clause& c : le.clauses) {
+        ++rep.clauseHistogram[emit::clauseKindName(c.kind)];
+      }
+    } else {
+      ++rep.loopsRefused;
+      std::ostringstream os;
+      os << le.procedure << " stmt" << le.loop << " [" << le.headline
+         << "] refused: " << le.refusal;
+      recordFailure("emitOpenMP", os.str(), /*rolledBack=*/false);
+    }
+  }
+
+  // Render the deck: plain DO loops (no PARALLEL markers — the directives
+  // carry the parallelism) with the surviving directives ahead of their
+  // loops, wrapped at the fixed-form 72-column limit.
+  std::map<StmtId, std::string> directives;
+  for (const auto& le : rep.loops) {
+    if (le.emitted) directives[le.loop] = le.payload;
+  }
+  fortran::PrettyOptions deckOpts;
+  deckOpts.emitParallelMarkers = false;
+  deckOpts.ompDirectives = &directives;
+  rep.deckText = fortran::printProgram(*program_, deckOpts);
+
+  if (opts.roundTrip) {
+    const auto t2 = Clock::now();
+    rep.roundTripChecked = true;
+    rep.roundTripOk = true;
+    rep.roundTripThreads = opts.roundTripThreads;
+    auto fail = [&](const std::string& why) {
+      rep.roundTripOk = false;
+      if (!rep.roundTripDetail.empty()) rep.roundTripDetail += "; ";
+      rep.roundTripDetail += why;
+    };
+
+    // 1. Re-lex: the deck's "!$OMP" lines (continuations rejoined) must
+    // reassemble to exactly the payloads that were emitted.
+    {
+      DiagnosticEngine ld;
+      fortran::Lexer lx(rep.deckText, ld);
+      (void)lx.run();
+      if (ld.hasErrors()) fail("emitted deck does not re-lex cleanly");
+      std::vector<std::string> got;
+      for (const auto& d : lx.ompDirectives()) got.push_back(d.text);
+      std::vector<std::string> want;
+      for (const auto& [id, payload] : directives) want.push_back(payload);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      if (got != want) {
+        fail("re-lexed directives differ from emitted payloads (" +
+             std::to_string(got.size()) + " lexed vs " +
+             std::to_string(want.size()) + " emitted)");
+      }
+    }
+
+    // 2. Stripping the directive lines from the deck must yield the plain
+    // print byte-for-byte (directives are whole inserted lines, nothing
+    // else may differ).
+    fortran::PrettyOptions plain;
+    plain.emitParallelMarkers = false;
+    const std::string stripped = fortran::printProgram(*program_, plain);
+    {
+      std::string manual;
+      std::istringstream in(rep.deckText);
+      std::string lineText;
+      while (std::getline(in, lineText)) {
+        std::string_view t = lineText;
+        while (!t.empty() && (t.front() == ' ' || t.front() == '\t')) {
+          t.remove_prefix(1);
+        }
+        if (t.size() >= 5 && (t.substr(0, 5) == "!$OMP")) continue;
+        manual += lineText;
+        manual += '\n';
+      }
+      if (manual != stripped) {
+        fail("directive-stripped deck is not byte-identical to the plain "
+             "print");
+      }
+    }
+
+    // 3. Fresh re-analysis: the deck (directives re-lex as comments) must
+    // produce a dependence graph byte-identical to the stripped source, at
+    // every requested thread count.
+    std::string baseline;
+    {
+      DiagnosticEngine bd;
+      auto base = Session::load(stripped, bd);
+      if (!base) {
+        fail("stripped source failed to re-parse");
+      } else {
+        (void)base->analyzeParallel(1);
+        baseline = base->dependenceSnapshot();
+      }
+    }
+    if (!baseline.empty()) {
+      for (int n : opts.roundTripThreads) {
+        DiagnosticEngine dd;
+        auto fresh = Session::load(rep.deckText, dd);
+        if (!fresh) {
+          fail("emitted deck failed to re-parse");
+          break;
+        }
+        (void)fresh->analyzeParallel(n);
+        if (fresh->dependenceSnapshot() != baseline) {
+          fail("dependence graph of the re-analyzed deck differs from the "
+               "stripped source at " +
+               std::to_string(n) + " thread(s)");
+          break;
+        }
+      }
+    }
+    if (!rep.roundTripOk) {
+      recordFailure("emitOpenMP", "round-trip failed: " + rep.roundTripDetail,
+                    /*rolledBack=*/false);
+    }
+    rep.roundTripSeconds =
+        std::chrono::duration<double>(Clock::now() - t2).count();
+  }
+
+  lastEmission_ = rep;
   return rep;
 }
 

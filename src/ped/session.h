@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dependence/graph.h"
+#include "emit/emit.h"
 #include "interp/machine.h"
 #include "interproc/array_kill.h"
 #include "interproc/summaries.h"
@@ -425,6 +426,37 @@ class Session {
   [[nodiscard]] const std::string& deckName() const { return deckName_; }
 
   // ---------------------------------------------------------------------
+  // OpenMP emission (validated parallel output)
+  // ---------------------------------------------------------------------
+
+  /// Emit an OpenMP-annotated deck from the current PARALLEL markings.
+  /// Every marked loop either emits a "!$OMP PARALLEL DO" directive with
+  /// clauses derived from the dependence graph, privatization analysis and
+  /// user classifications, or is refused with a FailureReport naming the
+  /// blocking dependence edges — never silently dropped. Emitted loops are
+  /// relative-executed under shuffled schedules with the directive's
+  /// data-sharing clauses applied (a divergence demotes the loop to
+  /// refused), and the emitted deck is round-tripped: re-lexed to the
+  /// exact directives written, and re-analyzed at the requested thread
+  /// counts to a dependence graph byte-identical to the directive-stripped
+  /// source. Settles deferred edits first.
+  emit::EmissionReport emitOpenMP(const emit::EmitOptions& opts);
+  emit::EmissionReport emitOpenMP() {
+    return emitOpenMP(emit::EmitOptions());
+  }
+
+  /// Result of the most recent emitOpenMP() pass (restored from the PDB on
+  /// warm open when the program, marks and overrides still match).
+  [[nodiscard]] const emit::EmissionReport& lastEmission() const {
+    return lastEmission_;
+  }
+
+  /// Deterministic serialization of every procedure's dependence graph
+  /// (edge fields, marks, degradation flags) — the byte-comparison
+  /// substrate for emission round-trip checks. Settles deferred edits.
+  [[nodiscard]] std::string dependenceSnapshot();
+
+  // ---------------------------------------------------------------------
   // Interface checking (the Composition Editor)
   // ---------------------------------------------------------------------
 
@@ -578,6 +610,7 @@ class Session {
   [[nodiscard]] std::string pdbGraphMaterial(const std::string& name) const;
   [[nodiscard]] std::string pdbMemoMaterial() const;
   [[nodiscard]] std::string pdbMarksMaterial() const;
+  [[nodiscard]] std::string pdbEmissionMaterial() const;
   dep::AnalysisContext contextFor(const std::string& name);
   /// Pure variant of contextFor for parallel per-procedure tasks: the
   /// oracle and stats sink are supplied by the caller, so nothing in the
@@ -667,6 +700,7 @@ class Session {
 
   std::string deckName_;
   validate::ValidationReport lastValidation_;
+  emit::EmissionReport lastEmission_;
   /// Rejected edges the last validation pass left unchecked (feeds
   /// DegradationReport::unvalidated).
   std::vector<DegradationReport::Edge> unvalidatedDeletions_;

@@ -119,6 +119,11 @@ ServerSession::SettleReport ServerSession::settle() {
   return r;
 }
 
+emit::EmissionReport ServerSession::emitOpenMP(const emit::EmitOptions& opts) {
+  if (!queue_.empty()) (void)settle();
+  return session_->emitOpenMP(opts);
+}
+
 // ---------------------------------------------------------------------------
 // AnalysisServer
 // ---------------------------------------------------------------------------

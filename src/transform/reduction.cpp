@@ -178,6 +178,17 @@ class ReductionRecognition : public Transformation {
 
 }  // namespace
 
+bool findSumReduction(const ir::Loop& loop, SumReduction* out) {
+  // findReduction takes a mutable loop because apply() reuses the match to
+  // rewrite; the search itself never mutates.
+  ReductionMatch m;
+  if (!findReduction(const_cast<Loop*>(&loop), &m)) return false;
+  out->update = m.update->id;
+  out->accumulator = m.accumulator;
+  out->subtract = m.subtract;
+  return true;
+}
+
 void addReductionTransforms(
     std::vector<std::unique_ptr<Transformation>>& out) {
   out.push_back(std::make_unique<ReductionRecognition>());

@@ -138,6 +138,21 @@ std::vector<fortran::StmtPtr>* containerOf(Workspace& ws, fortran::StmtId id,
 std::string freshName(const fortran::Procedure& proc,
                       const std::string& base);
 
+/// A recognized sum reduction in a loop body: exactly one update of the
+/// form S = S + term / S = term + S / S = S - term, with the scalar
+/// accumulator S appearing nowhere else in the loop. Exposed for clients
+/// (the OpenMP emitter) that classify the accumulator as REDUCTION(+:S)
+/// instead of restructuring the loop.
+struct SumReduction {
+  fortran::StmtId update = fortran::kInvalidStmt;
+  std::string accumulator;
+  bool subtract = false;
+};
+
+/// True when `loop` contains a recognizable sum reduction; fills `out`.
+/// Read-only: the loop is not modified.
+[[nodiscard]] bool findSumReduction(const ir::Loop& loop, SumReduction* out);
+
 /// A scratch clone of the workspace's procedure for trial application:
 /// fusion safety, for instance, is decided by fusing in the sandbox and
 /// inspecting the resulting dependence graph.

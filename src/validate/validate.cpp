@@ -190,6 +190,9 @@ RelativeResult relativeCheck(fortran::Program& program, fortran::StmtId loop,
   for (fortran::Stmt* s : parallelFlags) s->isParallel = false;
   target->isParallel = true;
   rr.ran = true;
+  if (auto it = serial.stmtCounts.find(loop); it != serial.stmtCounts.end()) {
+    rr.serialExecutions = it->second;
+  }
 
   for (int k = 0; k < schedules && !rr.diverged; ++k) {
     interp::RunOptions o = base;

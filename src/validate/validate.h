@@ -124,6 +124,10 @@ struct RelativeResult {
   fortran::StmtId loop = fortran::kInvalidStmt;
   bool ran = false;
   bool diverged = false;
+  /// Times the serial baseline executed the DO statement (0 = the loop was
+  /// never reached on this input, so agreement is vacuous — callers that
+  /// treat "passed" as evidence should check this).
+  long long serialExecutions = 0;
   /// First divergence localized: output position and values, race
   /// variables, or the runtime error the parallel schedule triggered.
   std::string detail;

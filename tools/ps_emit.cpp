@@ -1,0 +1,131 @@
+// ps_emit — OpenMP emission CLI over the workshop decks.
+//
+//   ps_emit --deck NAME [--out FILE] [--force] [--no-validate]
+//       Load one deck, mark its parallel loops (safe transformations plus
+//       the reduction workflow), emit the OpenMP-annotated deck, and print
+//       the per-loop report. With --out the emitted deck text is written to
+//       FILE; with --force refusal-fodder loops are marked too (see
+//       workloads::EmissionDriverOptions); --no-validate skips the
+//       relative-execution pass (round-trip checks always run).
+//
+//   ps_emit --check
+//       CI smoke: sweep every deck (forced marks included) and verify the
+//       zero-silent-drop invariant — each PARALLEL-marked loop either emits
+//       a directive whose deck round-trips to a byte-identical dependence
+//       graph, or is refused with blocking edges named.
+//
+// Exit 0 on success, 1 on an invariant violation or failed deck, 2 on
+// usage errors.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "support/io.h"
+#include "workloads/emission_driver.h"
+#include "workloads/harness.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace ps;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ps_emit --deck NAME [--out FILE] [--force] "
+               "[--no-validate]\n"
+               "       ps_emit --check\n");
+  return 2;
+}
+
+int emitOne(const std::string& deck, const std::string& outPath, bool force,
+            bool validate) {
+  if (!workloads::byName(deck)) {
+    std::fprintf(stderr, "ps_emit: unknown deck '%s'\n", deck.c_str());
+    return 2;
+  }
+  auto session = workloads::loadDeck(deck);
+  if (!session) {
+    std::fprintf(stderr, "ps_emit: %s failed to load\n", deck.c_str());
+    return 1;
+  }
+  const workloads::MarkCounts mc =
+      workloads::markParallelLoops(*session, force);
+  emit::EmitOptions opts;
+  opts.relativeValidation = validate;
+  const emit::EmissionReport rep = session->emitOpenMP(opts);
+  if (!rep.ran) {
+    std::fprintf(stderr, "ps_emit: emission failed: %s\n", rep.error.c_str());
+    return 1;
+  }
+  std::printf("ps_emit: marked safe=%d reduction=%d forced=%d\n", mc.safe,
+              mc.reduction, mc.forced);
+  std::printf("%s\n", rep.str().c_str());
+  if (!outPath.empty()) {
+    if (!support::writeFileAtomic(outPath, rep.deckText)) {
+      std::fprintf(stderr, "ps_emit: failed to write %s\n", outPath.c_str());
+      return 1;
+    }
+    std::printf("ps_emit: wrote %s (%zu bytes)\n", outPath.c_str(),
+                rep.deckText.size());
+  }
+  const bool ok = (!rep.roundTripChecked || rep.roundTripOk);
+  return ok ? 0 : 1;
+}
+
+int checkAll() {
+  workloads::EmissionDriverOptions opts;
+  opts.forceAllLoops = true;  // exercise the refusal path on every deck
+  const workloads::EmissionSweep sw = workloads::emitAllDecks(opts);
+  std::printf("%s", sw.str().c_str());
+  int rc = 0;
+  if (!sw.allDecksRan) {
+    std::fprintf(stderr, "ps_emit: a deck failed to load or emit\n");
+    rc = 1;
+  }
+  if (!sw.allRoundTripsOk) {
+    std::fprintf(stderr, "ps_emit: a round-trip check failed\n");
+    rc = 1;
+  }
+  if (!sw.zeroSilentDrops) {
+    std::fprintf(stderr,
+                 "ps_emit: zero-silent-drop invariant violated — a "
+                 "PARALLEL loop was neither emitted nor refused\n");
+    rc = 1;
+  }
+  if (sw.loopsConsidered == 0) {
+    std::fprintf(stderr, "ps_emit: sweep considered no loops (vacuous)\n");
+    rc = 1;
+  }
+  std::printf("ps_emit: check %s\n", rc == 0 ? "OK" : "FAILED");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string deck;
+  std::string out;
+  bool force = false;
+  bool validate = true;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(a, "--force") == 0) {
+      force = true;
+    } else if (std::strcmp(a, "--no-validate") == 0) {
+      validate = false;
+    } else if (std::strcmp(a, "--deck") == 0 && i + 1 < argc) {
+      deck = argv[++i];
+    } else if (std::strcmp(a, "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (check) return checkAll();
+  if (deck.empty()) return usage();
+  return emitOne(deck, out, force, validate);
+}
